@@ -1,0 +1,292 @@
+package repro
+
+// One benchmark per table and figure of the paper's evaluation, plus
+// ablation benches for the design choices called out in DESIGN.md.
+// Benchmarks both measure the cost of each pipeline stage and re-assert
+// the headline result of the experiment they regenerate, so
+// `go test -bench=. -benchmem` doubles as a reproduction run.
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/fingerprint"
+	"repro/internal/machine"
+	"repro/internal/parser"
+	"repro/internal/scenario"
+	"repro/internal/simulator"
+	"repro/internal/survey"
+)
+
+// BenchmarkFigure1 regenerates the upgrade-frequency histogram.
+func BenchmarkFigure1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ds := survey.Load()
+		fig := ds.Figure1()
+		total := 0
+		for _, row := range fig {
+			for _, n := range row {
+				total += n
+			}
+		}
+		if total != 50 {
+			b.Fatalf("figure 1 total = %d", total)
+		}
+	}
+}
+
+// BenchmarkFigure2 regenerates the reluctance cross-table.
+func BenchmarkFigure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ds := survey.Load()
+		fig := ds.Figure2()
+		if fig[true][true]+fig[true][false] != 35 {
+			b.Fatal("refrainers != 70%")
+		}
+	}
+}
+
+// BenchmarkFigure3 regenerates the failure-rate histogram.
+func BenchmarkFigure3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ds := survey.Load()
+		if ds.MedianFailureRate() != 5 {
+			b.Fatal("median != 5")
+		}
+	}
+}
+
+// BenchmarkTable1 runs the identification heuristic over all four
+// application populations and checks the published row values.
+func BenchmarkTable1(b *testing.B) {
+	want := map[string][5]int{
+		"firefox": {907, 839, 1, 23, 7},
+		"apache":  {400, 251, 133, 0, 2},
+		"php":     {215, 206, 0, 0, 0},
+		"mysql":   {286, 250, 0, 33, 1},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range scenario.Table1Populations() {
+			row, _ := scenario.EvaluateTable1(p)
+			got := [5]int{row.FilesTotal, row.EnvResources, row.FalsePositives, row.FalseNegatives, row.VendorRules}
+			if got != want[p.App] {
+				b.Fatalf("%s: %v != %v", p.App, got, want[p.App])
+			}
+		}
+	}
+}
+
+// BenchmarkFigure6 clusters the Table 2 machines with full parsers.
+func BenchmarkFigure6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		clusters := cluster.Run(cluster.Config{Diameter: 3},
+			scenario.MySQLFingerprints(scenario.MySQLFullRegistry()))
+		q := cluster.Evaluate(clusters, scenario.MySQLBehavior())
+		if !q.Sound() || q.C != 12 {
+			b.Fatalf("fig6: C=%d w=%d", q.C, q.W)
+		}
+	}
+}
+
+// BenchmarkFigure7 clusters with Mirage-supplied parsers only.
+func BenchmarkFigure7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		clusters := cluster.Run(cluster.Config{Diameter: 3},
+			scenario.MySQLFingerprints(scenario.MySQLMirageRegistry()))
+		if q := cluster.Evaluate(clusters, scenario.MySQLBehavior()); q.W != 2 {
+			b.Fatalf("fig7: w=%d", q.W)
+		}
+	}
+}
+
+// BenchmarkFigure8 clusters the Firefox machines with full parsers.
+func BenchmarkFigure8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		clusters := cluster.Run(cluster.Config{Diameter: 3},
+			scenario.FirefoxFingerprints(scenario.FirefoxFullRegistry()))
+		if q := cluster.Evaluate(clusters, scenario.FirefoxBehavior()); !q.Sound() || q.C != 2 {
+			b.Fatalf("fig8: C=%d w=%d", q.C, q.W)
+		}
+	}
+}
+
+// BenchmarkFigure9 runs both diameters of the Firefox content-only setup.
+func BenchmarkFigure9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		left := cluster.Run(cluster.Config{Diameter: 4},
+			scenario.FirefoxFingerprints(scenario.FirefoxMirageRegistry()))
+		right := cluster.Run(cluster.Config{Diameter: 6},
+			scenario.FirefoxFingerprints(scenario.FirefoxMirageRegistry()))
+		ql := cluster.Evaluate(left, scenario.FirefoxBehavior())
+		qr := cluster.Evaluate(right, scenario.FirefoxBehavior())
+		if !ql.Ideal() || qr.W != 3 {
+			b.Fatalf("fig9: left ideal=%v right w=%d", ql.Ideal(), qr.W)
+		}
+	}
+}
+
+// BenchmarkFigure10 simulates all five protocol curves at paper scale
+// (100,000 machines) and checks the overhead relationships.
+func BenchmarkFigure10(b *testing.B) {
+	p := simulator.DefaultParams()
+	for i := 0; i < b.N; i++ {
+		ns := simulator.NoStaging(p, scenario.PaperDeployment(scenario.ProblemsLast))
+		bb := simulator.Balanced(p, scenario.PaperDeployment(scenario.ProblemsLast))
+		bw := simulator.Balanced(p, scenario.PaperDeployment(scenario.ProblemsFirst))
+		rs := simulator.RandomStaging(p, scenario.PaperDeployment(scenario.ProblemsUniform), 42)
+		fl := simulator.FrontLoading(p, scenario.PaperDeployment(scenario.ProblemsLast))
+		if ns.Overhead != 25000 || bb.Overhead != 3 || bw.Overhead != 3 || rs.Overhead != 3 || fl.Overhead != 5 {
+			b.Fatal("fig10 overhead relationships broken")
+		}
+	}
+}
+
+// BenchmarkFigure11 simulates the imperfect-clustering curves.
+func BenchmarkFigure11(b *testing.B) {
+	p := simulator.DefaultParams()
+	for i := 0; i < b.N; i++ {
+		first := simulator.Balanced(p, scenario.WithMisplaced(scenario.PaperDeployment(scenario.ProblemsLast), true))
+		last := simulator.Balanced(p, scenario.WithMisplaced(scenario.PaperDeployment(scenario.ProblemsLast), false))
+		if first.Overhead != 4 || last.Overhead != 4 {
+			b.Fatalf("fig11 overhead = %d/%d", first.Overhead, last.Overhead)
+		}
+	}
+}
+
+// --- Ablation benches (DESIGN.md §5) ---
+
+// BenchmarkDiameterSweep sweeps the QT diameter across the Firefox
+// experiment, the design parameter Figures 7 and 9 show is hard to pick.
+func BenchmarkDiameterSweep(b *testing.B) {
+	fps := scenario.FirefoxFingerprints(scenario.FirefoxMirageRegistry())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for d := 0; d <= 8; d++ {
+			cluster.Run(cluster.Config{Diameter: d}, fps)
+		}
+	}
+}
+
+// BenchmarkParserAblation compares clustering cost with full parsers,
+// Mirage-only parsers, and no parsers at all (pure Rabin fingerprints).
+func BenchmarkParserAblation(b *testing.B) {
+	b.Run("full", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cluster.Run(cluster.Config{Diameter: 3}, scenario.MySQLFingerprints(scenario.MySQLFullRegistry()))
+		}
+	})
+	b.Run("mirage", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cluster.Run(cluster.Config{Diameter: 3}, scenario.MySQLFingerprints(scenario.MySQLMirageRegistry()))
+		}
+	})
+	b.Run("none", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cluster.Run(cluster.Config{Diameter: 3}, scenario.MySQLFingerprints(parser.NewRegistry()))
+		}
+	})
+}
+
+// BenchmarkRepresentativeCount varies representatives per cluster in the
+// §4.3 simulation; more representatives marginally improve imperfect
+// clustering at the cost of overhead.
+func BenchmarkRepresentativeCount(b *testing.B) {
+	p := simulator.DefaultParams()
+	for _, reps := range []int{1, 2, 5} {
+		b.Run(map[int]string{1: "reps1", 2: "reps2", 5: "reps5"}[reps], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				specs := scenario.PaperDeployment(scenario.ProblemsLast)
+				for j := range specs {
+					specs[j].Reps = reps
+				}
+				simulator.Balanced(p, specs)
+			}
+		})
+	}
+}
+
+// BenchmarkRabinChunkSize measures content fingerprinting at several
+// average chunk sizes. Small chunks would have caught the my.cnf
+// difference Figure 7 misses, at higher item-count cost.
+func BenchmarkRabinChunkSize(b *testing.B) {
+	data := make([]byte, 64*1024)
+	for i := range data {
+		data[i] = byte(i*31 + i/255)
+	}
+	f := &machine.File{Path: "/blob", Type: machine.TypeData, Data: data}
+	for _, avg := range []int{512, 4096, 16384} {
+		name := map[int]string{512: "avg512", 4096: "avg4096", 16384: "avg16384"}[avg]
+		b.Run(name, func(b *testing.B) {
+			c := fingerprint.NewChunker(avg, avg/8, avg*4)
+			b.SetBytes(int64(len(data)))
+			for i := 0; i < b.N; i++ {
+				parser.ContentFingerprint(c, f)
+			}
+		})
+	}
+}
+
+// BenchmarkSimulatorScaling measures event-driven simulation cost as the
+// cluster count grows at fixed fleet size.
+func BenchmarkSimulatorScaling(b *testing.B) {
+	p := simulator.DefaultParams()
+	for _, n := range []int{20, 100, 500} {
+		name := map[int]string{20: "clusters20", 100: "clusters100", 500: "clusters500"}[n]
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				simulator.Balanced(p, scenario.Deployment(100_000, n, 15, scenario.ProblemsLast))
+			}
+		})
+	}
+}
+
+// BenchmarkFingerprintMachine measures whole-machine fingerprinting, the
+// per-machine cost of the clustering pipeline.
+func BenchmarkFingerprintMachine(b *testing.B) {
+	m := scenario.BuildMySQLMachine(scenario.MySQLTable2()[0])
+	fp := parser.NewFingerprinter(scenario.MySQLFullRegistry())
+	refs := scenario.MySQLResourceRefs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fp.Fingerprint(m, refs)
+	}
+}
+
+// BenchmarkQTClustering measures the quadratic phase-2 cost on a synthetic
+// 200-machine original cluster, the scaling concern §3.2.3 discusses.
+func BenchmarkQTClustering(b *testing.B) {
+	base := scenario.MySQLFingerprints(scenario.MySQLMirageRegistry())
+	var fps []cluster.MachineFingerprint
+	for i := 0; i < 200; i++ {
+		fp := base[i%len(base)]
+		fp.Name = fp.Name + "-" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26))
+		fps = append(fps, fp)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cluster.Run(cluster.Config{Diameter: 3}, fps)
+	}
+}
+
+// BenchmarkIdentifyResources measures the identification heuristic over
+// the Firefox population (907 files, two traces), the heaviest Table 1 row.
+func BenchmarkIdentifyResources(b *testing.B) {
+	p := scenario.FirefoxTable1()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scenario.EvaluateTable1(p)
+	}
+}
+
+// BenchmarkSimulatorEvents reports the event throughput of the
+// discrete-event engine on the paper scenario.
+func BenchmarkSimulatorEvents(b *testing.B) {
+	p := simulator.DefaultParams()
+	events := 0
+	for i := 0; i < b.N; i++ {
+		res := simulator.FrontLoading(p, scenario.PaperDeployment(scenario.ProblemsLast))
+		events += res.Events
+	}
+	b.ReportMetric(float64(events)/float64(b.N), "events/run")
+}

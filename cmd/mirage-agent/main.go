@@ -1,0 +1,53 @@
+// mirage-agent runs the user-machine side of a networked Mirage
+// deployment: it builds one of the Table 2 machine configurations, dials
+// the vendor and serves identification, tracing, fingerprinting,
+// validation and integration commands until the vendor disconnects.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/scenario"
+	"repro/internal/transport"
+)
+
+func main() {
+	connect := flag.String("connect", "127.0.0.1:7033", "vendor address")
+	machineName := flag.String("machine", "ubt-ms4", "Table 2 machine configuration to impersonate (or 'list')")
+	flag.Parse()
+
+	specs := scenario.MySQLTable2()
+	if *machineName == "list" {
+		var names []string
+		for _, s := range specs {
+			names = append(names, s.Name)
+		}
+		fmt.Println(strings.Join(names, "\n"))
+		return
+	}
+
+	var found *scenario.MySQLMachineSpec
+	for i := range specs {
+		if specs[i].Name == *machineName {
+			found = &specs[i]
+			break
+		}
+	}
+	if found == nil {
+		fmt.Fprintf(os.Stderr, "unknown machine %q (use -machine list)\n", *machineName)
+		os.Exit(2)
+	}
+
+	m := scenario.BuildMySQLMachine(*found)
+	agent := transport.NewAgent(m)
+	log.Printf("agent %s connecting to %s", m.Name, *connect)
+	if err := agent.Run(*connect); err != nil {
+		log.Fatal(err)
+	}
+	ref, _ := m.Package("mysql")
+	log.Printf("agent %s: vendor closed the channel; final mysql version: %s", m.Name, ref.Version)
+}

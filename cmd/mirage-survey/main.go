@@ -1,0 +1,50 @@
+// mirage-survey regenerates the figures of the paper's upgrade survey
+// (§2): upgrade frequency by experience (Figure 1), reluctance versus
+// testing strategy (Figure 2) and the perceived failure-rate histogram
+// (Figure 3), plus the rank tables reported in prose.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/survey"
+)
+
+func main() {
+	figure := flag.String("figure", "all", "figure to print: 1, 2, 3, ranks or all")
+	flag.Parse()
+
+	ds := survey.Load()
+	show := func(f string) bool { return *figure == "all" || *figure == f }
+
+	if show("1") {
+		fmt.Println("Figure 1: upgrade frequencies by administrator experience (years)")
+		fmt.Print(ds.RenderFigure1())
+		fmt.Printf("at least monthly: %.0f%%\n\n", ds.Pct(func(r survey.Respondent) bool {
+			return r.Frequency.AtLeastMonthly()
+		}))
+	}
+	if show("2") {
+		fmt.Println("Figure 2: reluctance to upgrade")
+		fmt.Print(ds.RenderFigure2())
+		fmt.Println()
+	}
+	if show("3") {
+		fmt.Println("Figure 3: perceived upgrade failure rate")
+		fmt.Print(ds.RenderFigure3())
+		fmt.Println()
+	}
+	if show("ranks") {
+		fmt.Println("Average rank, reasons for upgrades (1 = most important):")
+		reasons := ds.AvgReasonRank()
+		for r := survey.ReasonSecurity; r <= survey.ReasonNewFeature; r++ {
+			fmt.Printf("  %-16s %.1f\n", r, reasons[r])
+		}
+		fmt.Println("Average rank, causes of failed upgrades:")
+		causes := ds.AvgCauseRank()
+		for c := survey.CauseBrokenDependency; c <= survey.CauseImproperPackaging; c++ {
+			fmt.Printf("  %-22s %.1f\n", c, causes[c])
+		}
+	}
+}

@@ -1,0 +1,101 @@
+// mirage-urr inspects a saved Upgrade Report Repository: summarize an
+// upgrade's results, list failures grouped by failure mode, and
+// materialize a report image into a textual machine description for
+// vendor-side debugging.
+//
+// Usage:
+//
+//	mirage-urr -file urr.json summary <upgrade-id>
+//	mirage-urr -file urr.json failures <upgrade-id>
+//	mirage-urr -file urr.json image <report-id>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"repro/internal/report"
+)
+
+func main() {
+	file := flag.String("file", "urr.json", "saved URR document")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) < 1 {
+		usage()
+	}
+
+	f, err := os.Open(*file)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	urr, err := report.LoadURR(f)
+	if err != nil {
+		fatal(err)
+	}
+
+	switch args[0] {
+	case "summary":
+		requireArg(args, 2)
+		s, fails := urr.Summary(args[1])
+		fmt.Printf("upgrade %s: %d success, %d failure (of %d reports total)\n",
+			args[1], s, fails, urr.Len())
+	case "failures":
+		requireArg(args, 2)
+		for _, g := range urr.GroupFailures(args[1]) {
+			fmt.Printf("failure mode: %s\n", g.Signature)
+			fmt.Printf("  reports: %d across clusters %v\n", len(g.Reports), g.Clusters)
+			fmt.Printf("  representative: report #%d from %s\n", g.Representative.ID, g.Representative.Machine)
+			for i, reason := range g.Representative.Reasons {
+				fmt.Printf("  reason[%d]: %s\n", i, reason)
+			}
+		}
+	case "image":
+		requireArg(args, 2)
+		id, err := strconv.Atoi(args[1])
+		if err != nil {
+			fatal(fmt.Errorf("bad report id %q", args[1]))
+		}
+		r := urr.Get(id)
+		if r == nil {
+			fatal(fmt.Errorf("no report %d", id))
+		}
+		if r.Image == nil {
+			fatal(fmt.Errorf("report %d has no image (successful reports omit them)", id))
+		}
+		m := r.Image.Materialize()
+		fmt.Printf("machine %s (%d files, %d packages)\n", m.Name, len(m.Paths()), len(m.Packages()))
+		for _, ref := range m.Packages() {
+			fmt.Printf("  package %s\n", ref)
+		}
+		for _, p := range m.Paths() {
+			f := m.ReadFile(p)
+			ver := f.Version
+			if ver == "" {
+				ver = "-"
+			}
+			fmt.Printf("  %-50s %-10s %8d bytes  v%s\n", p, f.Type, len(f.Data), ver)
+		}
+	default:
+		usage()
+	}
+}
+
+func requireArg(args []string, n int) {
+	if len(args) < n {
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: mirage-urr -file urr.json {summary|failures|image} <arg>")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mirage-urr:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,153 @@
+// mirage-vendor runs the vendor side of a networked Mirage deployment: it
+// listens for machine agents, drives local resource identification and
+// baseline tracing on each, fingerprints and clusters the fleet, and then
+// stages the MySQL 4->5 upgrade across the clusters, debugging reported
+// failures by releasing a corrected upgrade.
+//
+// Pair with mirage-agent:
+//
+//	mirage-vendor -listen 127.0.0.1:7033 -agents 4 &
+//	mirage-agent -connect 127.0.0.1:7033 -machine ubt-ms4 &
+//	mirage-agent -connect 127.0.0.1:7033 -machine ubt-ms4-php4 &
+//	...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/cluster"
+	"repro/internal/deploy"
+	"repro/internal/machine"
+	"repro/internal/parser"
+	"repro/internal/pkgmgr"
+	"repro/internal/report"
+	"repro/internal/scenario"
+	"repro/internal/transport"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7033", "address to listen on")
+	agents := flag.Int("agents", 1, "number of agents to wait for")
+	wait := flag.Duration("wait", 30*time.Second, "how long to wait for agents")
+	policy := flag.String("policy", "balanced", "deployment policy: balanced, frontloading or nostaging")
+	diameter := flag.Int("d", 3, "QT clustering diameter")
+	urrFile := flag.String("urr", "", "save the report repository to this file after deployment")
+	flag.Parse()
+
+	srv, err := transport.Listen(*listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	log.Printf("vendor listening on %s, waiting for %d agent(s)", srv.Addr(), *agents)
+	if got := srv.WaitForAgents(*agents, *wait); got < *agents {
+		log.Fatalf("only %d/%d agents registered", got, *agents)
+	}
+	names := srv.Agents()
+	log.Printf("agents: %v", names)
+
+	// Ask every agent to identify resources and record baselines.
+	for _, name := range names {
+		if _, err := srv.Identify(name, "mysql", [][]string{{"SELECT 1"}, {"SELECT 2"}}); err != nil {
+			log.Fatalf("identify mysql on %s: %v", name, err)
+		}
+		if _, err := srv.Record(name, "mysql", []string{"SELECT 1"}); err != nil {
+			log.Fatalf("record mysql on %s: %v", name, err)
+		}
+		// PHP identification fails harmlessly where PHP is absent; the
+		// model just produces an empty-ish trace.
+		if _, err := srv.Identify(name, "php", [][]string{nil}); err != nil {
+			log.Fatalf("identify php on %s: %v", name, err)
+		}
+		if _, err := srv.Record(name, "php", nil); err != nil {
+			log.Fatalf("record php on %s: %v", name, err)
+		}
+	}
+
+	// Fingerprint against the vendor reference and cluster.
+	refCfg := transport.MirageRegistryConfig()
+	reg, err := transport.BuildRegistry(refCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	refs := scenario.MySQLResourceRefs()
+	vendorItems := parser.NewFingerprinter(reg).Fingerprint(scenario.MySQLVendorReference(), refs)
+	dcs, raw, err := srv.ClusterRemote("mysql", refs, refCfg, vendorItems, cluster.Config{Diameter: *diameter}, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("clustered %d agents into %d clusters", len(names), len(raw))
+	for _, c := range raw {
+		log.Printf("  %s", c)
+	}
+
+	// Stage the upgrade.
+	urr := report.New()
+	ctl := deploy.NewController(urr, fixer(urr))
+	out, err := ctl.Deploy(parsePolicy(*policy), mysql5(), dcs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("policy=%v integrated=%d/%d overhead=%d rounds=%d abandoned=%v final=%s\n",
+		out.Policy, out.Integrated(), len(out.Nodes), out.Overhead, out.Rounds, out.Abandoned, out.FinalID)
+	for _, g := range urr.GroupFailures("mysql-5.0.22") {
+		fmt.Printf("failure mode %q: %d report(s) from clusters %v\n",
+			g.Signature, len(g.Reports), g.Clusters)
+	}
+	if *urrFile != "" {
+		f, err := os.Create(*urrFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := urr.Save(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("saved %d report(s) to %s", urr.Len(), *urrFile)
+	}
+}
+
+func parsePolicy(s string) deploy.Policy {
+	switch s {
+	case "frontloading":
+		return deploy.PolicyFrontLoading
+	case "nostaging":
+		return deploy.PolicyNoStaging
+	default:
+		return deploy.PolicyBalanced
+	}
+}
+
+func mysql5() *pkgmgr.Upgrade {
+	return &pkgmgr.Upgrade{
+		ID: "mysql-5.0.22",
+		Pkg: &pkgmgr.Package{Name: "mysql", Version: "5.0.22", Files: []*machine.File{
+			{Path: apps.MySQLExec, Type: machine.TypeExecutable, Data: []byte("mysqld 5.0.22"), Version: "5.0.22"},
+			{Path: apps.LibMySQLPath, Type: machine.TypeSharedLib, Data: []byte("libmysqlclient 5.0"), Version: "5.0"},
+		}},
+		Replaces: "4.1.22",
+	}
+}
+
+// fixer is the vendor debugging loop: inspect the failure signatures in
+// the URR and release a corrected upgrade addressing all of them.
+func fixer(urr *report.URR) deploy.Fixer {
+	return func(up *pkgmgr.Upgrade, failures []*report.Report) (*pkgmgr.Upgrade, bool) {
+		fixed := mysql5()
+		fixed.ID = up.ID + "-fix"
+		fixed.Pkg.Files[1] = &machine.File{Path: apps.LibMySQLPath, Type: machine.TypeSharedLib,
+			Data: []byte("libmysqlclient 5.0 php4-compat"), Version: "5.0"}
+		fixed.Migrations = []pkgmgr.FileEdit{
+			{Path: "/home/user/.my.cnf", Append: []byte("# migrated-for-5\n")},
+		}
+		log.Printf("vendor: debugging %d failure report(s), releasing %s", len(failures), fixed.ID)
+		return fixed, true
+	}
+}

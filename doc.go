@@ -1,0 +1,18 @@
+// Package repro is a from-scratch Go reproduction of "Staged Deployment in
+// Mirage, an Integrated Software Upgrade Testing and Distribution System"
+// (Crameri, Knežević, Kostić, Bianchini, Zwaenepoel; SOSP 2007).
+//
+// The library lives under internal/: environment fingerprinting
+// (internal/fingerprint, internal/parser), the identification heuristic
+// (internal/envid), the two-phase clustering algorithm (internal/cluster),
+// staged deployment protocols over both an event-driven simulator
+// (internal/simulator) and real networked machines (internal/deploy,
+// internal/transport), the user-machine testing subsystem
+// (internal/vmtest) and the Upgrade Report Repository (internal/report).
+// The top-level orchestration API is internal/core; the paper's evaluation
+// scenarios are reconstructed in internal/scenario and internal/survey.
+//
+// The benchmarks in bench_test.go regenerate every table and figure of the
+// paper's evaluation; see EXPERIMENTS.md for the comparison against the
+// published results.
+package repro

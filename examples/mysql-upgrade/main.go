@@ -1,0 +1,65 @@
+// mysql-upgrade reruns the paper's MySQL experiment (§4.2.1) end to end:
+// the 21 machine configurations of Table 2, clustered first with
+// application-specific parsers for every environmental resource (Figure 6)
+// and then with Mirage-supplied parsers only (Figure 7), evaluated against
+// the behaviour the machines actually exhibit when the MySQL 4->5 upgrade
+// is applied.
+//
+//	go run ./examples/mysql-upgrade
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/scenario"
+)
+
+func main() {
+	behavior := scenario.MySQLBehavior()
+
+	// Ground the labels: apply the upgrade to every machine and observe.
+	observed := scenario.VerifyMySQLBehavior()
+	agree := 0
+	for name, b := range behavior {
+		if observed[name] == b {
+			agree++
+		}
+	}
+	fmt.Printf("behaviour labels verified by execution: %d/%d machines agree\n\n", agree, len(behavior))
+
+	byProblem := scenario.MachinesByProblem(behavior)
+	fmt.Printf("PHP broken-dependency problem: %v\n", byProblem[scenario.MySQLProblemPHP])
+	fmt.Printf("my.cnf legacy-config problem:  %v\n\n", byProblem[scenario.MySQLProblemMyCnf])
+
+	fmt.Println("=== Figure 6: application-specific parsers for all resources ===")
+	full := cluster.Run(cluster.Config{Diameter: 3}, scenario.MySQLFingerprints(scenario.MySQLFullRegistry()))
+	report(full, behavior)
+
+	fmt.Println("=== Figure 7: Mirage-supplied parsers only, diameter 3 ===")
+	mirage := cluster.Run(cluster.Config{Diameter: 3}, scenario.MySQLFingerprints(scenario.MySQLMirageRegistry()))
+	report(mirage, behavior)
+
+	fmt.Println("=== vendor regrouping: discard my.cnf items for this upgrade ===")
+	merged := cluster.Run(cluster.Config{
+		Diameter:        3,
+		DiscardPrefixes: []string{"/etc/mysql/my.cnf"},
+	}, scenario.MySQLFingerprints(scenario.MySQLFullRegistry()))
+	report(merged, behavior)
+}
+
+func report(clusters []*cluster.Cluster, behavior cluster.Behavior) {
+	q := cluster.Evaluate(clusters, behavior)
+	kind := "imperfect"
+	switch {
+	case q.Ideal():
+		kind = "ideal"
+	case q.Sound():
+		kind = "sound"
+	}
+	fmt.Printf("%d clusters, C=%d, w=%d (%s)\n", q.Clusters, q.C, q.W, kind)
+	if q.W > 0 {
+		fmt.Printf("misplaced machines: %v\n", q.Misplaced)
+	}
+	fmt.Println(scenario.FormatClusters(clusters, behavior))
+}

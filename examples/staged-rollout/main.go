@@ -1,0 +1,150 @@
+// staged-rollout runs a fully networked Mirage deployment on localhost:
+// a vendor server and eight machine agents connected over TCP. The vendor
+// drives remote resource identification and baseline tracing, clusters the
+// fleet from wire-exchanged fingerprint diffs, and stages the MySQL 4->5
+// upgrade cluster by cluster; failures come back as reports with full
+// machine images, the vendor debugs once, and the corrected upgrade
+// converges everywhere.
+//
+//	go run ./examples/staged-rollout
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/cluster"
+	"repro/internal/deploy"
+	"repro/internal/machine"
+	"repro/internal/parser"
+	"repro/internal/pkgmgr"
+	"repro/internal/report"
+	"repro/internal/scenario"
+	"repro/internal/transport"
+)
+
+func main() {
+	srv, err := transport.Listen("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	fmt.Printf("vendor listening on %s\n", srv.Addr())
+
+	// Launch eight agents: plain Ubuntu boxes, PHP 4 machines, a legacy
+	// user-config machine and a Fedora box, all drawn from Table 2.
+	fleet := []string{
+		"ubt-ms4", "ubt-ms4-2", "ubt-ms4-withconfig",
+		"ubt-ms4-php4", "ubt-ms4-php4-ap139",
+		"ubt-ms4-userconfig",
+		"fc5-ms4", "fc5-ms4-php4",
+	}
+	specs := scenario.MySQLTable2()
+	machines := make(map[string]*machine.Machine)
+	for _, name := range fleet {
+		for i := range specs {
+			if specs[i].Name == name {
+				m := scenario.BuildMySQLMachine(specs[i])
+				machines[name] = m
+				go func() {
+					if err := transport.NewAgent(m).Run(srv.Addr()); err != nil {
+						log.Printf("agent %s: %v", m.Name, err)
+					}
+				}()
+			}
+		}
+	}
+	if got := srv.WaitForAgents(len(fleet), 10*time.Second); got != len(fleet) {
+		log.Fatalf("only %d/%d agents registered", got, len(fleet))
+	}
+	fmt.Printf("%d agents registered: %v\n\n", len(fleet), srv.Agents())
+
+	// Remote identification and baseline tracing.
+	for _, name := range srv.Agents() {
+		if _, err := srv.Identify(name, "mysql", [][]string{{"SELECT 1"}, {"SELECT 2"}}); err != nil {
+			log.Fatal(err)
+		}
+		if _, err := srv.Record(name, "mysql", []string{"SELECT 1"}); err != nil {
+			log.Fatal(err)
+		}
+		if _, ok := machines[name].Package("php"); ok {
+			if _, err := srv.Identify(name, "php", [][]string{nil}); err != nil {
+				log.Fatal(err)
+			}
+			if _, err := srv.Record(name, "php", nil); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	// Fingerprint the fleet over the wire and cluster it.
+	regCfg := transport.MirageRegistryConfig()
+	reg, err := transport.BuildRegistry(regCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	refs := scenario.MySQLResourceRefs()
+	vendorItems := parser.NewFingerprinter(reg).Fingerprint(scenario.MySQLVendorReference(), refs)
+	dcs, raw, err := srv.ClusterRemote("mysql", refs, regCfg, vendorItems, cluster.Config{Diameter: 3}, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("clustered into %d clusters:\n", len(raw))
+	for _, c := range raw {
+		fmt.Printf("  distance %2d: %v\n", c.Distance, c.Machines)
+	}
+	fmt.Println()
+
+	// Stage the deployment with the Balanced protocol.
+	urr := report.New()
+	ctl := deploy.NewController(urr, func(up *pkgmgr.Upgrade, failures []*report.Report) (*pkgmgr.Upgrade, bool) {
+		fmt.Printf("vendor: debugging %d failure report(s):\n", len(failures))
+		for _, g := range urr.GroupFailures(up.ID) {
+			fmt.Printf("  %s (clusters %v, %d report(s))\n", g.Signature, g.Clusters, len(g.Reports))
+		}
+		return fixedUpgrade(), true
+	})
+	out, err := ctl.Deploy(deploy.PolicyBalanced, mysql5(), dcs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\noutcome: %d/%d integrated, overhead %d machine(s), %d debug round(s)\n",
+		out.Integrated(), len(out.Nodes), out.Overhead, out.Rounds)
+
+	// Verify on the real machines behind the agents.
+	fmt.Println("\npost-deployment state:")
+	for _, name := range srv.Agents() {
+		m := machines[name]
+		ref, _ := m.Package("mysql")
+		my := (apps.MySQL{}).Run(m, []string{"SELECT 1"}).ExitStatus()
+		php := "-"
+		if _, ok := m.Package("php"); ok {
+			php = (apps.PHP{}).Run(m, nil).ExitStatus()
+		}
+		fmt.Printf("  %-22s mysql=%s (%s) php=%s\n", name, ref.Version, my, php)
+	}
+}
+
+func mysql5() *pkgmgr.Upgrade {
+	return &pkgmgr.Upgrade{
+		ID: "mysql-5.0.22",
+		Pkg: &pkgmgr.Package{Name: "mysql", Version: "5.0.22", Files: []*machine.File{
+			{Path: apps.MySQLExec, Type: machine.TypeExecutable, Data: []byte("mysqld 5.0.22"), Version: "5.0.22"},
+			{Path: apps.LibMySQLPath, Type: machine.TypeSharedLib, Data: []byte("libmysqlclient 5.0"), Version: "5.0"},
+		}},
+		Replaces: "4.1.22",
+	}
+}
+
+func fixedUpgrade() *pkgmgr.Upgrade {
+	up := mysql5()
+	up.ID = "mysql-5.0.22b"
+	up.Pkg.Files[1] = &machine.File{Path: apps.LibMySQLPath, Type: machine.TypeSharedLib,
+		Data: []byte("libmysqlclient 5.0 php4-compat"), Version: "5.0"}
+	up.Migrations = []pkgmgr.FileEdit{
+		{Path: "/home/user/.my.cnf", Append: []byte("# migrated-for-5\n")},
+	}
+	return up
+}

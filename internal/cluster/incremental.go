@@ -1,0 +1,168 @@
+package cluster
+
+import (
+	"sort"
+
+	"repro/internal/resource"
+)
+
+// Incremental reclustering (the future work item of §3.2.3: "we plan to
+// develop an efficient incremental reclustering approach, since a relevant
+// change in a machine's environment can change that machine's cluster").
+//
+// A full Run over N machines costs O(N²) in the QT phase. When one
+// machine's environment changes, Incremental updates the clustering by
+// removing the machine from its old cluster and re-placing it: into an
+// existing cluster when its parsed diff matches and the diameter bound
+// still holds against every member, or into a fresh singleton otherwise.
+// Only the affected clusters are touched; the rest of the clustering — and
+// therefore any deployment state keyed on it — is preserved.
+//
+// The result is guaranteed to respect the same invariants as Run (parsed
+// diffs identical within a cluster, content diameter bounded, app sets
+// uniform), though it may be less aggressively merged than a fresh Run —
+// the usual trade-off of incremental maintenance.
+
+// Snapshot is a reclusterable clustering: the clusters plus the
+// fingerprints that produced them.
+type Snapshot struct {
+	Config       Config
+	Fingerprints map[string]MachineFingerprint
+	Clusters     []*Cluster
+}
+
+// NewSnapshot captures the result of a Run for later incremental updates.
+func NewSnapshot(cfg Config, machines []MachineFingerprint, clusters []*Cluster) *Snapshot {
+	s := &Snapshot{Config: cfg, Fingerprints: make(map[string]MachineFingerprint, len(machines))}
+	for _, m := range machines {
+		s.Fingerprints[m.Name] = m
+	}
+	s.Clusters = clusters
+	return s
+}
+
+// BuildSnapshot runs the full algorithm and captures the result.
+func BuildSnapshot(cfg Config, machines []MachineFingerprint) *Snapshot {
+	return NewSnapshot(cfg, machines, Run(cfg, machines))
+}
+
+// Update re-places a machine whose environment changed (or adds a new
+// machine). It returns the cluster the machine now belongs to. The
+// snapshot's cluster list is updated in place; emptied clusters are
+// dropped and IDs reassigned to keep the deterministic order invariant.
+func (s *Snapshot) Update(m MachineFingerprint) *Cluster {
+	if _, ok := s.Fingerprints[m.Name]; ok {
+		s.remove(m.Name)
+	}
+	s.Fingerprints[m.Name] = m
+
+	target := s.findHome(m)
+	if target == nil {
+		target = &Cluster{Label: resource.NewSet(0)}
+		s.Clusters = append(s.Clusters, target)
+	}
+	target.Machines = append(target.Machines, m.Name)
+	sort.Strings(target.Machines)
+	target.Label.AddAll(m.ParsedDiff)
+	target.Label.AddAll(m.ContentDiff)
+	s.refresh()
+	return s.clusterOf(m.Name)
+}
+
+// Remove drops a machine from the clustering entirely (decommissioned).
+func (s *Snapshot) Remove(name string) {
+	s.remove(name)
+	delete(s.Fingerprints, name)
+	s.refresh()
+}
+
+func (s *Snapshot) remove(name string) {
+	for _, c := range s.Clusters {
+		for i, member := range c.Machines {
+			if member == name {
+				c.Machines = append(c.Machines[:i], c.Machines[i+1:]...)
+				return
+			}
+		}
+	}
+}
+
+// findHome returns an existing cluster the machine may join: identical
+// parsed diff and app set on every member, and content distance within the
+// diameter to every member.
+func (s *Snapshot) findHome(m MachineFingerprint) *Cluster {
+	for _, c := range s.Clusters {
+		if len(c.Machines) == 0 {
+			continue
+		}
+		fits := true
+		for _, member := range c.Machines {
+			mf := s.Fingerprints[member]
+			if !mf.ParsedDiff.Equal(m.ParsedDiff) ||
+				(!s.Config.DisableAppSetSplit && mf.AppSet != m.AppSet) ||
+				contentDistance(mf, m) > s.Config.Diameter {
+				fits = false
+				break
+			}
+		}
+		if fits {
+			return c
+		}
+	}
+	return nil
+}
+
+func contentDistance(a, b MachineFingerprint) int {
+	d := 0
+	for _, it := range a.ContentDiff.Items() {
+		if !b.ContentDiff.Contains(it) {
+			d++
+		}
+	}
+	for _, it := range b.ContentDiff.Items() {
+		if !a.ContentDiff.Contains(it) {
+			d++
+		}
+	}
+	return d
+}
+
+// refresh drops empty clusters, recomputes distances and reassigns IDs in
+// the same deterministic order Run uses.
+func (s *Snapshot) refresh() {
+	kept := s.Clusters[:0]
+	for _, c := range s.Clusters {
+		if len(c.Machines) == 0 {
+			continue
+		}
+		total := 0
+		for _, name := range c.Machines {
+			mf := s.Fingerprints[name]
+			total += mf.ParsedDiff.Len() + mf.ContentDiff.Len()
+		}
+		c.Distance = total / len(c.Machines)
+		kept = append(kept, c)
+	}
+	s.Clusters = kept
+	sort.Slice(s.Clusters, func(i, j int) bool {
+		if s.Clusters[i].Distance != s.Clusters[j].Distance {
+			return s.Clusters[i].Distance < s.Clusters[j].Distance
+		}
+		return s.Clusters[i].Machines[0] < s.Clusters[j].Machines[0]
+	})
+	for i, c := range s.Clusters {
+		c.ID = i
+	}
+}
+
+// clusterOf returns the cluster containing name, or nil.
+func (s *Snapshot) clusterOf(name string) *Cluster {
+	for _, c := range s.Clusters {
+		for _, m := range c.Machines {
+			if m == name {
+				return c
+			}
+		}
+	}
+	return nil
+}

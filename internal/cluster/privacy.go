@@ -1,0 +1,100 @@
+package cluster
+
+import (
+	"sort"
+
+	"repro/internal/resource"
+)
+
+// Privacy-preserving clustering (paper §3.5, "Deployment"): storing every
+// machine's item list at the vendor would let an attacker locate targets
+// of a known vulnerability. Instead, each machine can determine its
+// cluster locally from the comparison with the vendor's reference
+// fingerprint and communicate only a single cryptographic hash of its
+// differing items. The vendor then works purely with anonymous signature
+// counts: it publicly advertises the cluster (signature) currently being
+// tested and uses per-cluster machine counts to decide when to advance.
+//
+// This mechanism covers the "original", parser-aided phase of the
+// algorithm: machines with identical parsed diffs share a signature by
+// construction. Content-fingerprinted resources need pairwise distances
+// and therefore cannot be clustered blind; deployments wanting the privacy
+// mode provide parsers for all resources (which §4.2 recommends anyway).
+
+// LocalSignature is what a machine reveals to the vendor: one hash over
+// its parsed item diff, plus its application-set key (needed for the final
+// app-set split, and not sensitive: it is a deployment-granularity label).
+type LocalSignature struct {
+	Machine string
+	Diff    uint64
+	AppSet  string
+}
+
+// ComputeLocalSignature runs on the user machine: diff own items against
+// the vendor's reference list and hash the result. No item ever leaves
+// the machine.
+func ComputeLocalSignature(machineName string, own, vendor *resource.Set, appSet string) LocalSignature {
+	diff := own.Diff(vendor).OfKind(resource.Parsed)
+	return LocalSignature{Machine: machineName, Diff: diff.Signature(), AppSet: appSet}
+}
+
+// AnonymousCluster is a cluster the vendor sees only as a signature pair
+// and a member count (plus the member names it needs for notification —
+// in a deployment with an anonymizing network even these would be absent,
+// replaced by machines recognising their own advertised signature).
+type AnonymousCluster struct {
+	DiffSignature uint64
+	AppSet        string
+	Machines      []string
+}
+
+// Size returns the number of machines behind the signature.
+func (c *AnonymousCluster) Size() int { return len(c.Machines) }
+
+// GroupBySignature is the vendor-side half of the privacy protocol: group
+// the received signatures. Machines sharing (diff hash, app set) form one
+// cluster of deployment. Output is deterministic: clusters sorted by
+// signature then app set, members sorted by name.
+func GroupBySignature(sigs []LocalSignature) []*AnonymousCluster {
+	type key struct {
+		diff   uint64
+		appSet string
+	}
+	groups := make(map[key]*AnonymousCluster)
+	for _, s := range sigs {
+		k := key{s.Diff, s.AppSet}
+		g, ok := groups[k]
+		if !ok {
+			g = &AnonymousCluster{DiffSignature: s.Diff, AppSet: s.AppSet}
+			groups[k] = g
+		}
+		g.Machines = append(g.Machines, s.Machine)
+	}
+	out := make([]*AnonymousCluster, 0, len(groups))
+	for _, g := range groups {
+		sort.Strings(g.Machines)
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].DiffSignature != out[j].DiffSignature {
+			return out[i].DiffSignature < out[j].DiffSignature
+		}
+		return out[i].AppSet < out[j].AppSet
+	})
+	return out
+}
+
+// Advertisement is what the vendor publishes during staged deployment:
+// the signature of the cluster currently being tested. A machine checks
+// membership locally; nothing about other machines is revealed.
+type Advertisement struct {
+	UpgradeID     string
+	DiffSignature uint64
+	AppSet        string
+}
+
+// Matches lets a machine decide, locally, whether an advertisement
+// addresses its cluster.
+func (s LocalSignature) Matches(ad Advertisement) bool {
+	return s.Diff == ad.DiffSignature && s.AppSet == ad.AppSet
+}

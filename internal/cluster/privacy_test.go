@@ -1,0 +1,132 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/resource"
+)
+
+func ownSet(keys ...string) *resource.Set {
+	s := resource.NewSet(len(keys))
+	for _, k := range keys {
+		s.Add(resource.Item{Key: k, Hash: 1, Kind: resource.Parsed})
+	}
+	return s
+}
+
+func TestLocalSignatureGrouping(t *testing.T) {
+	vendor := ownSet("libc.2.4", "mysqld.4.1")
+
+	sigs := []LocalSignature{
+		ComputeLocalSignature("m1", ownSet("libc.2.4", "mysqld.4.1"), vendor, "mysql"),
+		ComputeLocalSignature("m2", ownSet("libc.2.4", "mysqld.4.1"), vendor, "mysql"),
+		ComputeLocalSignature("m3", ownSet("libc.2.5", "mysqld.4.1"), vendor, "mysql"),
+		ComputeLocalSignature("m4", ownSet("libc.2.4", "mysqld.4.1"), vendor, "mysql,php"),
+	}
+	clusters := GroupBySignature(sigs)
+	if len(clusters) != 3 {
+		t.Fatalf("clusters = %d, want 3", len(clusters))
+	}
+	// m1 and m2 share a signature; m3 differs in items; m4 in app set.
+	found := false
+	for _, c := range clusters {
+		if c.Size() == 2 {
+			found = true
+			if c.Machines[0] != "m1" || c.Machines[1] != "m2" {
+				t.Fatalf("pair cluster = %v", c.Machines)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("identical machines did not share a signature cluster")
+	}
+}
+
+func TestLocalSignatureMatchesFullClustering(t *testing.T) {
+	// The privacy protocol must produce the same original clusters as
+	// phase 1 of the full algorithm (for parser-covered fleets).
+	vendor := ownSet("a", "b")
+	machines := []MachineFingerprint{
+		fp("m1", ownSet("a", "b").Diff(vendor).OfKind(resource.Parsed), nil),
+		fp("m2", ownSet("a", "b").Diff(vendor).OfKind(resource.Parsed), nil),
+		fp("m3", ownSet("a", "b", "c").Diff(vendor).OfKind(resource.Parsed), nil),
+	}
+	full := Run(Config{Diameter: 3}, machines)
+
+	var sigs []LocalSignature
+	for _, name := range []string{"m1", "m2", "m3"} {
+		own := ownSet("a", "b")
+		if name == "m3" {
+			own = ownSet("a", "b", "c")
+		}
+		sigs = append(sigs, ComputeLocalSignature(name, own, vendor, "app"))
+	}
+	anon := GroupBySignature(sigs)
+
+	if len(anon) != len(full) {
+		t.Fatalf("anonymous clusters = %d, full clusters = %d", len(anon), len(full))
+	}
+	// Same partitions (compare as sets of member lists).
+	fullParts := make(map[string]bool)
+	for _, c := range full {
+		fullParts[keyOf(c.Machines)] = true
+	}
+	for _, c := range anon {
+		if !fullParts[keyOf(c.Machines)] {
+			t.Fatalf("anonymous cluster %v not in full clustering", c.Machines)
+		}
+	}
+}
+
+func keyOf(names []string) string {
+	out := ""
+	for _, n := range names {
+		out += n + ","
+	}
+	return out
+}
+
+func TestSignatureRevealsNoItems(t *testing.T) {
+	// The wire artifact is a single uint64 plus the app set: verify the
+	// signature changes with the diff but carries no item text.
+	vendor := ownSet("secret-path-1")
+	a := ComputeLocalSignature("m", ownSet("secret-path-1"), vendor, "app")
+	b := ComputeLocalSignature("m", ownSet("secret-path-2"), vendor, "app")
+	if a.Diff == b.Diff {
+		t.Fatal("different environments share a signature")
+	}
+}
+
+func TestAdvertisementMatching(t *testing.T) {
+	vendor := ownSet("a")
+	sig := ComputeLocalSignature("m", ownSet("a", "b"), vendor, "mysql")
+	ad := Advertisement{UpgradeID: "up", DiffSignature: sig.Diff, AppSet: "mysql"}
+	if !sig.Matches(ad) {
+		t.Fatal("machine does not recognise its own advertisement")
+	}
+	if sig.Matches(Advertisement{UpgradeID: "up", DiffSignature: sig.Diff + 1, AppSet: "mysql"}) {
+		t.Fatal("machine matched a foreign cluster advertisement")
+	}
+	if sig.Matches(Advertisement{UpgradeID: "up", DiffSignature: sig.Diff, AppSet: "mysql,php"}) {
+		t.Fatal("machine matched a foreign app-set advertisement")
+	}
+}
+
+func TestGroupBySignatureDeterministic(t *testing.T) {
+	vendor := ownSet("x")
+	sigs := []LocalSignature{
+		ComputeLocalSignature("m2", ownSet("x", "y"), vendor, "a"),
+		ComputeLocalSignature("m1", ownSet("x", "y"), vendor, "a"),
+		ComputeLocalSignature("m3", ownSet("x"), vendor, "a"),
+	}
+	a := GroupBySignature(sigs)
+	b := GroupBySignature([]LocalSignature{sigs[2], sigs[0], sigs[1]})
+	if len(a) != len(b) {
+		t.Fatal("non-deterministic group count")
+	}
+	for i := range a {
+		if keyOf(a[i].Machines) != keyOf(b[i].Machines) {
+			t.Fatalf("order differs at %d", i)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package cluster
+
+// Quality metrics for a clustering relative to a particular upgrade and a
+// set of problems (paper §4.2): C counts unnecessarily created clusters and
+// w counts wrongly-placed machines (machines that behave differently from
+// the rest of their cluster).
+//
+// With p distinct problems, an ideal clustering has exactly p+1 clusters
+// (one per problem plus one for all correct machines), C = 0 and w = 0. A
+// sound clustering has C >= 0 and w = 0: multiple clusters may share a
+// behaviour, but no cluster mixes behaviours. An imperfect clustering has
+// w > 0.
+
+// Behavior maps machine name to its behaviour under the upgrade: "" (or
+// "ok") for correct behaviour, any other string naming the problem the
+// machine exhibits.
+type Behavior map[string]string
+
+// Quality summarises a clustering against ground-truth behaviour.
+type Quality struct {
+	Clusters  int // total clusters produced
+	Problems  int // distinct problems in the behaviour map
+	C         int // unnecessary clusters: Clusters - (Problems + 1)
+	W         int // wrongly-placed machines
+	Misplaced []string
+}
+
+// Ideal reports whether the clustering is ideal (C = 0 and w = 0).
+func (q Quality) Ideal() bool { return q.C == 0 && q.W == 0 }
+
+// Sound reports whether the clustering is sound (w = 0).
+func (q Quality) Sound() bool { return q.W == 0 }
+
+func normBehavior(b string) string {
+	if b == "ok" {
+		return ""
+	}
+	return b
+}
+
+// Evaluate computes the quality of clusters against behaviour. A machine is
+// wrongly placed if its behaviour differs from the dominant behaviour of
+// its cluster; per cluster, the dominant behaviour is the most common one
+// (ties broken toward correct behaviour, then lexicographically), so w
+// counts the minority members.
+func Evaluate(clusters []*Cluster, behavior Behavior) Quality {
+	q := Quality{Clusters: len(clusters)}
+
+	problems := make(map[string]bool)
+	for _, b := range behavior {
+		if nb := normBehavior(b); nb != "" {
+			problems[nb] = true
+		}
+	}
+	q.Problems = len(problems)
+	q.C = q.Clusters - (q.Problems + 1)
+
+	for _, c := range clusters {
+		counts := make(map[string]int)
+		for _, m := range c.Machines {
+			counts[normBehavior(behavior[m])]++
+		}
+		dominant, best := "", -1
+		for b, n := range counts {
+			if n > best || (n == best && better(b, dominant)) {
+				dominant, best = b, n
+			}
+		}
+		for _, m := range c.Machines {
+			if normBehavior(behavior[m]) != dominant {
+				q.W++
+				q.Misplaced = append(q.Misplaced, m)
+			}
+		}
+	}
+	return q
+}
+
+// better is the deterministic tie-break for dominant behaviour: correct
+// behaviour beats problems; otherwise lexicographic order.
+func better(a, b string) bool {
+	if a == "" {
+		return true
+	}
+	if b == "" {
+		return false
+	}
+	return a < b
+}

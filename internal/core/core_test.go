@@ -1,0 +1,313 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/cluster"
+	"repro/internal/deploy"
+	"repro/internal/machine"
+	"repro/internal/parser"
+	"repro/internal/pkgmgr"
+	"repro/internal/report"
+)
+
+func lib(path, version, marker string) *machine.File {
+	return &machine.File{Path: path, Type: machine.TypeSharedLib,
+		Data: []byte(path + " " + version + " " + marker), Version: version}
+}
+
+func exe(path, version string) *machine.File {
+	return &machine.File{Path: path, Type: machine.TypeExecutable,
+		Data: []byte(path + " " + version), Version: version}
+}
+
+func cfg(path, data string) *machine.File {
+	return &machine.File{Path: path, Type: machine.TypeConfig, Data: []byte(data)}
+}
+
+// buildReference builds a vendor reference machine: mysql 4.1.22, no PHP,
+// no user config.
+func buildReference() *machine.Machine {
+	m := machine.New("vendor-reference")
+	m.SetEnv("HOME", "/root")
+	m.WriteFile(lib("/lib/libc.so", "2.4", ""))
+	m.WriteFile(exe(apps.MySQLExec, "4.1.22"))
+	m.WriteFile(lib(apps.LibMySQLPath, "4.1", ""))
+	m.WriteFile(cfg("/etc/mysql/my.cnf", "[mysqld]\nport=3306\n"))
+	m.WriteFile(&machine.File{Path: "/usr/share/mysql/errmsg.txt", Type: machine.TypeText, Data: []byte("errors")})
+	m.WriteFile(&machine.File{Path: "/var/lib/mysql/users.frm", Type: machine.TypeBinary, Data: []byte("table")})
+	m.InstallPackage(machine.PackageRef{Name: "mysql", Version: "4.1.22"},
+		[]string{apps.MySQLExec, apps.LibMySQLPath, "/etc/mysql/my.cnf"})
+	return m
+}
+
+// userMachineVariant builds a user machine derived from the reference.
+// kind: "plain", "php4" (PHP problem on MySQL upgrade) or "userconfig"
+// (my.cnf problem).
+func userMachineVariant(name, kind string) *machine.Machine {
+	m := buildReference()
+	m.Name = name
+	m.SetEnv("HOME", "/home/user")
+	switch kind {
+	case "php4":
+		m.WriteFile(exe(apps.PHPExec, "4.4.6"))
+		m.InstallPackage(machine.PackageRef{Name: "php", Version: "4.4.6"}, []string{apps.PHPExec})
+	case "userconfig":
+		m.WriteFile(cfg("/home/user/.my.cnf", "[client]\nlegacy=1\n"))
+	}
+	return m
+}
+
+// mysql5Upgrade returns the problematic upgrade: new server plus a client
+// library without the php4 compatibility symbols.
+func mysql5Upgrade() *pkgmgr.Upgrade {
+	return &pkgmgr.Upgrade{
+		ID: "mysql-5.0.22",
+		Pkg: &pkgmgr.Package{
+			Name: "mysql", Version: "5.0.22",
+			Files: []*machine.File{
+				exe(apps.MySQLExec, "5.0.22"),
+				lib(apps.LibMySQLPath, "5.0", ""),
+				cfg("/etc/mysql/my.cnf", "[mysqld]\nport=3306\n"),
+			},
+		},
+		Replaces: "4.1.22",
+	}
+}
+
+// mysql5Fixed is the corrected upgrade the vendor produces after debugging:
+// the client library keeps the old symbols and a migration rewrites legacy
+// user configuration files.
+func mysql5Fixed() *pkgmgr.Upgrade {
+	up := mysql5Upgrade()
+	up.ID = "mysql-5.0.22b"
+	up.Pkg.Files[1] = lib(apps.LibMySQLPath, "5.0", "php4-compat")
+	up.Migrations = []pkgmgr.FileEdit{
+		{Path: "/home/user/.my.cnf", Append: []byte("# migrated-for-5\n")},
+	}
+	return up
+}
+
+func setupVendorAndFleet(t *testing.T) (*Vendor, *Fleet) {
+	t.Helper()
+	v := NewVendor(buildReference())
+	v.Repo.Add(mysql5Upgrade().Pkg)
+	// The vendor provides a parser for MySQL's configuration files and the
+	// one rule Table 1 requires (include the /var database directory).
+	v.Registry.RegisterPath("/etc/mysql/my.cnf", parser.ConfigParser{})
+	v.Registry.RegisterGlob("/home/*/.my.cnf", parser.ConfigParser{})
+	v.IdentifyResources(apps.MySQL{}, [][]string{{"SELECT 1"}, {"SELECT 2"}})
+
+	fleet := NewFleet(v,
+		userMachineVariant("u-plain-1", "plain"),
+		userMachineVariant("u-plain-2", "plain"),
+		userMachineVariant("u-php4-1", "php4"),
+		userMachineVariant("u-php4-2", "php4"),
+		userMachineVariant("u-usercfg-1", "userconfig"),
+	)
+	for _, u := range fleet.Machines {
+		u.IdentifyLocal(apps.MySQL{}, [][]string{{"SELECT 1"}, {"SELECT 2"}})
+		u.RecordBaseline(apps.MySQL{}, []string{"SELECT 1"})
+		if _, ok := u.M.Package("php"); ok {
+			u.IdentifyLocal(apps.PHP{}, [][]string{nil, nil})
+			u.RecordBaseline(apps.PHP{}, nil)
+		}
+	}
+	return v, fleet
+}
+
+func TestIdentifyResourcesOnReference(t *testing.T) {
+	v := NewVendor(buildReference())
+	res := v.IdentifyResources(apps.MySQL{}, [][]string{{"SELECT 1"}, {"SELECT 2"}})
+	joined := strings.Join(res.Resources, " ")
+	for _, want := range []string{"/lib/libc.so", apps.MySQLExec, "/etc/mysql/my.cnf", "env:HOME"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("resources missing %q: %v", want, res.Resources)
+		}
+	}
+	// The database directory is excluded by default (/var).
+	if strings.Contains(joined, "/var/lib/mysql") {
+		t.Errorf("database directory classified: %v", res.Resources)
+	}
+	if v.Resources["mysql"] == nil {
+		t.Fatal("resources not cached")
+	}
+}
+
+func TestClusterFleetSeparatesBehaviours(t *testing.T) {
+	v, fleet := setupVendorAndFleet(t)
+	cl, err := v.ClusterFleet(fleet, "mysql", cluster.Config{Diameter: 3}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The php4 pair and the usercfg machine must not share clusters with
+	// plain machines: their environments differ (installed app set /
+	// user config file).
+	byMachine := make(map[string]int)
+	for i, c := range cl.Clusters {
+		for _, m := range c.Machines {
+			byMachine[m] = i
+		}
+	}
+	if byMachine["u-php4-1"] != byMachine["u-php4-2"] {
+		t.Fatal("identical php4 machines split")
+	}
+	if byMachine["u-plain-1"] != byMachine["u-plain-2"] {
+		t.Fatal("identical plain machines split")
+	}
+	if byMachine["u-php4-1"] == byMachine["u-plain-1"] {
+		t.Fatal("php4 machines clustered with plain machines")
+	}
+	if byMachine["u-usercfg-1"] == byMachine["u-plain-1"] {
+		t.Fatal("userconfig machine clustered with plain machines")
+	}
+	// Ground-truth soundness for the MySQL 5 upgrade.
+	behavior := cluster.Behavior{
+		"u-plain-1": "", "u-plain-2": "",
+		"u-php4-1": "php-crash", "u-php4-2": "php-crash",
+		"u-usercfg-1": "mycnf-crash",
+	}
+	q := cluster.Evaluate(cl.Clusters, behavior)
+	if !q.Sound() {
+		t.Fatalf("clustering not sound: %+v", q)
+	}
+}
+
+func TestStagedDeploymentEndToEnd(t *testing.T) {
+	v, fleet := setupVendorAndFleet(t)
+	cl, err := v.ClusterFleet(fleet, "mysql", cluster.Config{Diameter: 3}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fixCount := 0
+	fix := func(up *pkgmgr.Upgrade, failures []*report.Report) (*pkgmgr.Upgrade, bool) {
+		fixCount++
+		if fixCount > 2 {
+			return nil, false
+		}
+		fixed := mysql5Fixed()
+		v.Repo.Add(fixed.Pkg)
+		return fixed, true
+	}
+
+	out, err := v.StageDeployment(deploy.PolicyBalanced, mysql5Upgrade(), cl, fix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Abandoned {
+		t.Fatalf("deployment abandoned; URR failures: %v", v.URR.GroupFailures("mysql-5.0.22"))
+	}
+	if got := out.Integrated(); got != len(fleet.Machines) {
+		t.Fatalf("integrated = %d, want %d", got, len(fleet.Machines))
+	}
+	// Staging must keep overhead at the number of distinct problems hit by
+	// representatives (php crash and my.cnf crash: at most one rep each).
+	if out.Overhead > 2 {
+		t.Fatalf("overhead = %d, want <= 2", out.Overhead)
+	}
+	// Every machine now runs some 5.0.22 variant in production.
+	for _, u := range fleet.Machines {
+		ref, _ := u.M.Package("mysql")
+		if ref.Version != "5.0.22" {
+			t.Fatalf("%s runs mysql %s", u.Name(), ref.Version)
+		}
+	}
+	// And the applications actually work post-upgrade.
+	for _, u := range fleet.Machines {
+		if tr := (apps.MySQL{}).Run(u.M, []string{"SELECT 1"}); tr.ExitStatus() != "ok" {
+			t.Fatalf("%s: mysql broken after deployment: %s", u.Name(), tr.ExitStatus())
+		}
+		if _, ok := u.M.Package("php"); ok {
+			if tr := (apps.PHP{}).Run(u.M, nil); tr.ExitStatus() != "ok" {
+				t.Fatalf("%s: php broken after deployment", u.Name())
+			}
+		}
+	}
+}
+
+func TestStagedDeploymentProtectsNonRepresentatives(t *testing.T) {
+	v, fleet := setupVendorAndFleet(t)
+	cl, err := v.ClusterFleet(fleet, "mysql", cluster.Config{Diameter: 3}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fix := func(up *pkgmgr.Upgrade, failures []*report.Report) (*pkgmgr.Upgrade, bool) {
+		fixed := mysql5Fixed()
+		v.Repo.Add(fixed.Pkg)
+		return fixed, true
+	}
+	out, err := v.StageDeployment(deploy.PolicyBalanced, mysql5Upgrade(), cl, fix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// u-php4-2 is the non-representative of the php4 cluster: it must
+	// never have tested the faulty original upgrade.
+	for _, r := range v.URR.ForUpgrade("mysql-5.0.22") {
+		if r.Machine == "u-php4-2" && !r.Success {
+			t.Fatal("non-representative tested the faulty upgrade")
+		}
+	}
+	_ = out
+}
+
+func TestReproduceFromReportImage(t *testing.T) {
+	v, fleet := setupVendorAndFleet(t)
+	u := fleet.Lookup("u-php4-1")
+	rep, err := u.TestUpgrade(mysql5Upgrade())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Success {
+		t.Fatal("php4 machine passed faulty upgrade")
+	}
+	v.URR.Deposit(rep)
+	tr, err := v.Reproduce(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.ExitStatus() != "crash" {
+		t.Fatalf("reproduction did not crash: %s", tr.ExitStatus())
+	}
+}
+
+func TestReproduceErrors(t *testing.T) {
+	v := NewVendor(buildReference())
+	if _, err := v.Reproduce(&report.Report{}); err == nil {
+		t.Fatal("no error for image-less report")
+	}
+}
+
+func TestClusterFleetUnknownApp(t *testing.T) {
+	v := NewVendor(buildReference())
+	fleet := NewFleet(v, userMachineVariant("u", "plain"))
+	if _, err := v.ClusterFleet(fleet, "unknown", cluster.Config{Diameter: 3}, 1); err == nil {
+		t.Fatal("no error for unidentified application")
+	}
+}
+
+func TestFleetLookup(t *testing.T) {
+	v := NewVendor(buildReference())
+	fleet := NewFleet(v, userMachineVariant("a", "plain"))
+	if fleet.Lookup("a") == nil || fleet.Lookup("b") != nil {
+		t.Fatal("Lookup broken")
+	}
+}
+
+func TestRepsPerCluster(t *testing.T) {
+	v, fleet := setupVendorAndFleet(t)
+	cl, err := v.ClusterFleet(fleet, "mysql", cluster.Config{Diameter: 3}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dc := range cl.Deploy {
+		if dc.Size() >= 2 && len(dc.Representatives) != 2 {
+			t.Fatalf("cluster %s has %d reps", dc.ID, len(dc.Representatives))
+		}
+		if dc.Size() == 1 && len(dc.Representatives) != 1 {
+			t.Fatalf("singleton cluster %s has %d reps", dc.ID, len(dc.Representatives))
+		}
+	}
+}

@@ -1,0 +1,246 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/cluster"
+	"repro/internal/deploy"
+	"repro/internal/machine"
+	"repro/internal/parser"
+	"repro/internal/pkgmgr"
+	"repro/internal/report"
+	"repro/internal/scenario"
+)
+
+// Firefox end-to-end: build the Table 3 fleet from the scenario package,
+// record browsing baselines, cluster with the vendor preference parsers,
+// deploy the 2.0 upgrade. The staged deployment must catch the silent
+// mis-rendering on migrated profiles via output comparison (no crash is
+// involved) and converge after the vendor ships a fixed upgrade bundling a
+// preference migration.
+func setupFirefox(t *testing.T) (*Vendor, *Fleet) {
+	t.Helper()
+	v := NewVendor(scenario.FirefoxVendorReference())
+	prefParser := parser.ConfigParser{IgnoreKeys: []string{"last_window_x", "last_session_time"}}
+	v.Registry.RegisterPath(apps.FirefoxPrefs, prefParser)
+	v.Registry.RegisterPath(apps.FirefoxLocalstore, prefParser)
+	v.Registry.RegisterPath("/home/user/.mozilla/firefox/prefs-1.0.bak", prefParser)
+	v.IdentifyResources(apps.Firefox{}, [][]string{
+		{"http://example.org"}, {"http://news.example.com"},
+	})
+
+	var machines []*machine.Machine
+	for _, spec := range scenario.FirefoxTable3() {
+		machines = append(machines, scenario.BuildFirefoxMachine(spec))
+	}
+	fleet := NewFleet(v, machines...)
+	for _, u := range fleet.Machines {
+		u.IdentifyLocal(apps.Firefox{}, [][]string{{"http://example.org"}, {"http://news.example.com"}})
+		u.RecordBaseline(apps.Firefox{}, []string{"http://example.org"})
+	}
+	return v, fleet
+}
+
+func firefox2Upgrade(fixed bool) *pkgmgr.Upgrade {
+	up := &pkgmgr.Upgrade{
+		ID: "firefox-2.0",
+		Pkg: &pkgmgr.Package{Name: "firefox", Version: "2.0", Files: []*machine.File{
+			{Path: apps.FirefoxExec, Type: machine.TypeExecutable, Data: []byte("firefox-bin 2.0"), Version: "2.0"},
+			{Path: "/usr/lib/firefox/libxul.so", Type: machine.TypeSharedLib, Data: []byte("libxul 2.0"), Version: "2.0"},
+		}},
+		Replaces: "1.5.0.7",
+	}
+	if fixed {
+		up.ID = "firefox-2.0.0.1"
+		// The corrected upgrade regenerates the carried-over preference
+		// files, removing the legacy 1.0 entries.
+		up.Migrations = []pkgmgr.FileEdit{
+			{Path: apps.FirefoxPrefs, SetData: []byte("browser.startup.homepage = about:home\nregenerated = 2.0\n")},
+			{Path: apps.FirefoxLocalstore, SetData: []byte("window.state = default\nregenerated = 2.0\n")},
+			{Path: "/home/user/.mozilla/firefox/prefs-1.0.bak", Remove: true},
+		}
+	}
+	return up
+}
+
+func TestFirefoxFleetClusteringSound(t *testing.T) {
+	v, fleet := setupFirefox(t)
+	cl, err := v.ClusterFleet(fleet, "firefox", cluster.Config{Diameter: 3}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := cluster.Evaluate(cl.Clusters, scenario.FirefoxBehavior())
+	if !q.Sound() {
+		t.Fatalf("fleet clustering not sound: %+v", q)
+	}
+}
+
+func TestFirefoxSilentMisbehaviorCaughtByReplay(t *testing.T) {
+	v, fleet := setupFirefox(t)
+	bad := fleet.Lookup("firefox15-from10")
+	rep, err := bad.TestUpgrade(firefox2Upgrade(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Success {
+		t.Fatal("replay comparison missed the silent mis-rendering")
+	}
+	// No crash was involved: the failure must be an output divergence.
+	for _, reason := range rep.Reasons {
+		if reason == "" {
+			t.Fatal("empty failure reason")
+		}
+	}
+	good := fleet.Lookup("firefox15-fresh")
+	rep2, err := good.TestUpgrade(firefox2Upgrade(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep2.Success {
+		t.Fatalf("fresh profile failed: %+v", rep2)
+	}
+	_ = v
+}
+
+func TestFirefoxStagedDeploymentWithMigration(t *testing.T) {
+	v, fleet := setupFirefox(t)
+	cl, err := v.ClusterFleet(fleet, "firefox", cluster.Config{Diameter: 3}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fix := func(up *pkgmgr.Upgrade, failures []*report.Report) (*pkgmgr.Upgrade, bool) {
+		fixed := firefox2Upgrade(true)
+		v.Repo.Add(fixed.Pkg)
+		return fixed, true
+	}
+	v.Repo.Add(firefox2Upgrade(false).Pkg)
+	out, err := v.StageDeployment(deploy.PolicyFrontLoading, firefox2Upgrade(false), cl, fix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Abandoned {
+		t.Fatalf("abandoned; failures: %+v", v.URR.GroupFailures("firefox-2.0"))
+	}
+	if out.Integrated() != 6 {
+		t.Fatalf("integrated = %d", out.Integrated())
+	}
+	// Every machine renders correctly on 2.0 now: the migration removed
+	// the legacy preferences.
+	for _, u := range fleet.Machines {
+		tr := (apps.Firefox{}).Run(u.M, []string{"http://example.org"})
+		if got := string(tr.Outputs()[0].Data); got != "render(http://example.org)" {
+			t.Fatalf("%s renders %q after deployment", u.Name(), got)
+		}
+	}
+	// FrontLoading phase 1 sees every representative: overhead counts only
+	// the representative(s) of problem clusters.
+	if out.Overhead == 0 || out.Overhead > 2 {
+		t.Fatalf("overhead = %d", out.Overhead)
+	}
+}
+
+func TestUrgentUpgradeBypassesStagingAtCoreLevel(t *testing.T) {
+	v, fleet := setupVendorAndFleet(t)
+	cl, err := v.ClusterFleet(fleet, "mysql", cluster.Config{Diameter: 3}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	up := mysql5Fixed()
+	up.Urgent = true
+	v.Repo.Add(up.Pkg)
+	out, err := v.StageDeployment(deploy.PolicyBalanced, up, cl, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Policy != deploy.PolicyNoStaging {
+		t.Fatalf("urgent upgrade used %v", out.Policy)
+	}
+	if out.Integrated() != len(fleet.Machines) {
+		t.Fatalf("integrated = %d", out.Integrated())
+	}
+}
+
+func TestAbandonedDeploymentLeavesProductionIntact(t *testing.T) {
+	v, fleet := setupVendorAndFleet(t)
+	cl, err := v.ClusterFleet(fleet, "mysql", cluster.Config{Diameter: 3}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Vendor cannot fix anything.
+	out, err := v.StageDeployment(deploy.PolicyBalanced, mysql5Upgrade(), cl,
+		func(*pkgmgr.Upgrade, []*report.Report) (*pkgmgr.Upgrade, bool) { return nil, false })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Abandoned {
+		t.Fatal("not abandoned")
+	}
+	// Machines whose cluster never passed keep running 4.1.22 untouched —
+	// validation happened only in sandboxes.
+	for _, u := range fleet.Machines {
+		st := out.Nodes[u.Name()]
+		ref, _ := u.M.Package("mysql")
+		if st.UpgradeID == "" && ref.Version != "4.1.22" {
+			t.Fatalf("%s modified despite never passing validation: %s", u.Name(), ref.Version)
+		}
+		if tr := (apps.MySQL{}).Run(u.M, []string{"SELECT 1"}); tr.ExitStatus() != "ok" {
+			t.Fatalf("%s broken after abandoned deployment", u.Name())
+		}
+	}
+}
+
+func TestNotifyFinalConvergesVersions(t *testing.T) {
+	v, fleet := setupVendorAndFleet(t)
+	cl, err := v.ClusterFleet(fleet, "mysql", cluster.Config{Diameter: 3}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fix := func(up *pkgmgr.Upgrade, failures []*report.Report) (*pkgmgr.Upgrade, bool) {
+		fixed := mysql5Fixed()
+		v.Repo.Add(fixed.Pkg)
+		return fixed, true
+	}
+	out, err := v.StageDeployment(deploy.PolicyBalanced, mysql5Upgrade(), cl, fix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Abandoned {
+		t.Fatal("abandoned")
+	}
+	// Every node converged on the SAME final upgrade ID, including the
+	// ones that integrated the original version before the fix existed.
+	for name, st := range out.Nodes {
+		if st.UpgradeID != out.FinalID {
+			t.Fatalf("%s finished on %q, final is %q", name, st.UpgradeID, out.FinalID)
+		}
+	}
+}
+
+func TestURRGroupsFailuresAcrossFleet(t *testing.T) {
+	v, fleet := setupVendorAndFleet(t)
+	// Everyone tests the faulty upgrade directly (no staging): the URR
+	// must collapse the failures into exactly two failure modes.
+	for _, u := range fleet.Machines {
+		rep, err := u.TestUpgrade(mysql5Upgrade())
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep.Cluster = "all"
+		v.URR.Deposit(rep)
+	}
+	groups := v.URR.GroupFailures("mysql-5.0.22")
+	if len(groups) != 2 {
+		t.Fatalf("failure modes = %d, want 2 (php crash, my.cnf crash)", len(groups))
+	}
+	// Each group's representative report reproduces.
+	for _, g := range groups {
+		tr, err := v.Reproduce(g.Representative)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.ExitStatus() != "crash" {
+			t.Fatalf("group %q did not reproduce", g.Signature)
+		}
+	}
+}

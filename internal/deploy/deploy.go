@@ -1,0 +1,420 @@
+// Package deploy implements Mirage's deployment subsystem over real
+// (simulated) machines: the three abstractions of §3.2.1 — clusters of
+// deployment, representatives, and vendor-to-cluster distance — plus a
+// controller that executes staged deployment protocols end to end,
+// coordinating user-machine testing and reporting.
+//
+// The simulator package answers "what latency/overhead would a protocol
+// have at scale"; this package actually performs deployments: nodes
+// download upgrades, validate them in isolation, deposit reports in the
+// URR, and integrate on success, while the vendor debugs reported failures
+// and re-releases corrected upgrades.
+package deploy
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/pkgmgr"
+	"repro/internal/report"
+)
+
+// Node is one managed user machine.
+type Node interface {
+	// Name identifies the machine.
+	Name() string
+	// TestUpgrade downloads the upgrade, validates it in an isolated
+	// environment, and returns the resulting report (not yet deposited).
+	TestUpgrade(up *pkgmgr.Upgrade) (*report.Report, error)
+	// Integrate applies the upgrade to the production system. Called only
+	// after the node's own validation succeeded.
+	Integrate(up *pkgmgr.Upgrade) error
+}
+
+// Cluster is a cluster of deployment: representatives test first.
+type Cluster struct {
+	ID              string
+	Distance        int
+	Representatives []Node
+	Others          []Node
+}
+
+// Size returns the total number of nodes.
+func (c *Cluster) Size() int { return len(c.Representatives) + len(c.Others) }
+
+// Fixer is the vendor's debugging loop: given the failure reports for an
+// upgrade, it returns a corrected upgrade. ok=false means the vendor could
+// not produce a fix and deployment of the upgrade is abandoned.
+type Fixer func(up *pkgmgr.Upgrade, failures []*report.Report) (fixed *pkgmgr.Upgrade, ok bool)
+
+// Policy selects the staged deployment protocol.
+type Policy int
+
+const (
+	// PolicyBalanced deploys nearest cluster first, representatives before
+	// non-representatives (paper §4.3, "Balanced").
+	PolicyBalanced Policy = iota
+	// PolicyFrontLoading tests all representatives in parallel and debugs
+	// everything up front, then deploys non-representatives farthest
+	// cluster first (paper §4.3, "FrontLoading").
+	PolicyFrontLoading
+	// PolicyNoStaging deploys to every node at once; for urgent upgrades.
+	PolicyNoStaging
+	// PolicyRandomStaging is Balanced with a randomized cluster order; the
+	// paper uses it to isolate the benefit of staging from that of
+	// distance-based ordering. Seeded deterministically via Controller.Seed.
+	PolicyRandomStaging
+)
+
+func (p Policy) String() string {
+	switch p {
+	case PolicyBalanced:
+		return "Balanced"
+	case PolicyFrontLoading:
+		return "FrontLoading"
+	case PolicyNoStaging:
+		return "NoStaging"
+	case PolicyRandomStaging:
+		return "RandomStaging"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// NodeStatus records the final state of one node.
+type NodeStatus struct {
+	Node      string
+	Cluster   string
+	UpgradeID string // the upgrade version the node integrated ("" if none)
+	Tests     int    // validation runs performed on this node
+	Failures  int    // validation runs that failed
+}
+
+// Outcome summarises a deployment.
+type Outcome struct {
+	Policy    Policy
+	FinalID   string // ID of the upgrade version that ultimately deployed
+	Rounds    int    // vendor debugging rounds
+	Overhead  int    // nodes that tested a faulty upgrade (paper's metric)
+	Nodes     map[string]*NodeStatus
+	Abandoned bool // vendor gave up fixing
+}
+
+// Integrated counts nodes that integrated some version of the upgrade.
+func (o *Outcome) Integrated() int {
+	n := 0
+	for _, st := range o.Nodes {
+		if st.UpgradeID != "" {
+			n++
+		}
+	}
+	return n
+}
+
+// Controller executes deployments.
+type Controller struct {
+	URR *report.URR
+	Fix Fixer
+	// MaxRounds bounds vendor debugging iterations (default 10).
+	MaxRounds int
+	// Seed drives the PolicyRandomStaging shuffle, for reproducibility.
+	Seed uint64
+}
+
+// NewController returns a controller depositing into urr and debugging
+// with fix.
+func NewController(urr *report.URR, fix Fixer) *Controller {
+	return &Controller{URR: urr, Fix: fix, MaxRounds: 10}
+}
+
+// Deploy runs the upgrade across the clusters under the given policy and
+// returns the outcome. Urgent upgrades bypass staging regardless of policy,
+// as the paper allows ("it may bypass the entire cluster infrastructure").
+func (ctl *Controller) Deploy(policy Policy, up *pkgmgr.Upgrade, clusters []*Cluster) (*Outcome, error) {
+	out := &Outcome{Policy: policy, Nodes: make(map[string]*NodeStatus)}
+	for _, c := range clusters {
+		for _, n := range append(append([]Node(nil), c.Representatives...), c.Others...) {
+			out.Nodes[n.Name()] = &NodeStatus{Node: n.Name(), Cluster: c.ID}
+		}
+	}
+	if up.Urgent {
+		policy = PolicyNoStaging
+		out.Policy = PolicyNoStaging
+	}
+
+	var final *pkgmgr.Upgrade
+	var err error
+	switch policy {
+	case PolicyNoStaging:
+		final, err = ctl.deployNoStaging(up, clusters, out)
+	case PolicyFrontLoading:
+		final, err = ctl.deployFrontLoading(up, clusters, out)
+	case PolicyRandomStaging:
+		final, err = ctl.deployRandom(up, clusters, out)
+	default:
+		final, err = ctl.deployBalanced(up, clusters, out)
+	}
+	if err != nil || out.Abandoned {
+		return out, err
+	}
+	// Nodes that integrated an earlier version of the upgrade before a
+	// problem elsewhere forced a correction are "later notified of a new
+	// upgrade fixing the problems" (§4.3): validate and integrate the
+	// final version on them now.
+	err = ctl.notifyFinal(final, clusters, out)
+	return out, err
+}
+
+// notifyFinal brings nodes that integrated a superseded version up to the
+// final corrected upgrade. Each such node re-validates before integrating.
+func (ctl *Controller) notifyFinal(final *pkgmgr.Upgrade, clusters []*Cluster, out *Outcome) error {
+	for _, c := range clusters {
+		for _, n := range append(append([]Node(nil), c.Representatives...), c.Others...) {
+			st := out.Nodes[n.Name()]
+			if st.UpgradeID == "" || st.UpgradeID == final.ID {
+				continue
+			}
+			ok, err := ctl.testNode(n, c.ID, final, out)
+			if err != nil {
+				return err
+			}
+			if ok {
+				if err := ctl.integrate(n, final, out); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// testNode validates up on node n, deposits the report, updates bookkeeping
+// and returns whether validation passed.
+func (ctl *Controller) testNode(n Node, cluster string, up *pkgmgr.Upgrade, out *Outcome) (bool, error) {
+	rep, err := n.TestUpgrade(up)
+	if err != nil {
+		return false, fmt.Errorf("deploy: testing %s on %s: %w", up.ID, n.Name(), err)
+	}
+	rep.Cluster = cluster
+	ctl.URR.Deposit(rep)
+	st := out.Nodes[n.Name()]
+	st.Tests++
+	if !rep.Success {
+		st.Failures++
+		out.Overhead++
+		return false, nil
+	}
+	return true, nil
+}
+
+// integrate applies the validated upgrade on the node.
+func (ctl *Controller) integrate(n Node, up *pkgmgr.Upgrade, out *Outcome) error {
+	if err := n.Integrate(up); err != nil {
+		return fmt.Errorf("deploy: integrating %s on %s: %w", up.ID, n.Name(), err)
+	}
+	out.Nodes[n.Name()].UpgradeID = up.ID
+	return nil
+}
+
+// debug invokes the vendor fixer on the current failures and returns the
+// corrected upgrade, or ok=false when the vendor gives up or rounds are
+// exhausted.
+func (ctl *Controller) debug(up *pkgmgr.Upgrade, out *Outcome) (*pkgmgr.Upgrade, bool) {
+	max := ctl.MaxRounds
+	if max == 0 {
+		max = 10
+	}
+	if out.Rounds >= max || ctl.Fix == nil {
+		out.Abandoned = true
+		return nil, false
+	}
+	out.Rounds++
+	fixed, ok := ctl.Fix(up, ctl.URR.Failures(up.ID))
+	if !ok {
+		out.Abandoned = true
+		return nil, false
+	}
+	return fixed, true
+}
+
+// testGroup tests the upgrade on every node of the group; nodes that pass
+// integrate immediately. It returns the names of failing nodes.
+func (ctl *Controller) testGroup(nodes []Node, cluster string, up *pkgmgr.Upgrade, out *Outcome) ([]Node, error) {
+	var failed []Node
+	for _, n := range nodes {
+		ok, err := ctl.testNode(n, cluster, up, out)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			failed = append(failed, n)
+			continue
+		}
+		if err := ctl.integrate(n, up, out); err != nil {
+			return nil, err
+		}
+	}
+	return failed, nil
+}
+
+// convergeGroup repeatedly tests-and-debugs until every node of the group
+// passes, the vendor abandons the upgrade, or an error occurs. It returns
+// the (possibly corrected) upgrade in force afterwards.
+func (ctl *Controller) convergeGroup(nodes []Node, cluster string, up *pkgmgr.Upgrade, out *Outcome) (*pkgmgr.Upgrade, error) {
+	pending := nodes
+	for len(pending) > 0 {
+		failed, err := ctl.testGroup(pending, cluster, up, out)
+		if err != nil {
+			return up, err
+		}
+		if len(failed) == 0 {
+			break
+		}
+		fixed, ok := ctl.debug(up, out)
+		if !ok {
+			return up, nil
+		}
+		up = fixed
+		pending = failed
+	}
+	return up, nil
+}
+
+func byDistance(clusters []*Cluster, descending bool) []*Cluster {
+	out := append([]*Cluster(nil), clusters...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Distance != out[j].Distance {
+			if descending {
+				return out[i].Distance > out[j].Distance
+			}
+			return out[i].Distance < out[j].Distance
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+func (ctl *Controller) deployNoStaging(up *pkgmgr.Upgrade, clusters []*Cluster, out *Outcome) (*pkgmgr.Upgrade, error) {
+	out.FinalID = up.ID
+	for _, c := range byDistance(clusters, false) {
+		all := append(append([]Node(nil), c.Representatives...), c.Others...)
+		final, err := ctl.convergeGroup(all, c.ID, up, out)
+		if err != nil {
+			return up, err
+		}
+		if out.Abandoned {
+			return up, nil
+		}
+		up = final
+		out.FinalID = up.ID
+	}
+	return up, nil
+}
+
+func (ctl *Controller) deployBalanced(up *pkgmgr.Upgrade, clusters []*Cluster, out *Outcome) (*pkgmgr.Upgrade, error) {
+	out.FinalID = up.ID
+	for _, c := range byDistance(clusters, false) {
+		// Representatives first, then the rest of the cluster.
+		final, err := ctl.convergeGroup(c.Representatives, c.ID, up, out)
+		if err != nil {
+			return up, err
+		}
+		if out.Abandoned {
+			return up, nil
+		}
+		final, err = ctl.convergeGroup(c.Others, c.ID, final, out)
+		if err != nil {
+			return up, err
+		}
+		if out.Abandoned {
+			return up, nil
+		}
+		up = final
+		out.FinalID = up.ID
+	}
+	return up, nil
+}
+
+// deployRandom is Balanced over a deterministically shuffled order.
+func (ctl *Controller) deployRandom(up *pkgmgr.Upgrade, clusters []*Cluster, out *Outcome) (*pkgmgr.Upgrade, error) {
+	order := byDistance(clusters, false)
+	state := ctl.Seed
+	if state == 0 {
+		state = 0x9E3779B97F4A7C15
+	}
+	next := func() uint64 {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return state
+	}
+	for i := len(order) - 1; i > 0; i-- {
+		j := int(next() % uint64(i+1))
+		order[i], order[j] = order[j], order[i]
+	}
+	out.FinalID = up.ID
+	for _, c := range order {
+		final, err := ctl.convergeGroup(c.Representatives, c.ID, up, out)
+		if err != nil {
+			return up, err
+		}
+		if out.Abandoned {
+			return up, nil
+		}
+		final, err = ctl.convergeGroup(c.Others, c.ID, final, out)
+		if err != nil {
+			return up, err
+		}
+		if out.Abandoned {
+			return up, nil
+		}
+		up = final
+		out.FinalID = up.ID
+	}
+	return up, nil
+}
+
+func (ctl *Controller) deployFrontLoading(up *pkgmgr.Upgrade, clusters []*Cluster, out *Outcome) (*pkgmgr.Upgrade, error) {
+	out.FinalID = up.ID
+	order := byDistance(clusters, true)
+
+	// Phase 1: all representatives of all clusters, repeatedly, until no
+	// representative reports a problem.
+	for {
+		anyFailed := false
+		for _, c := range order {
+			failed, err := ctl.testGroup(c.Representatives, c.ID, up, out)
+			if err != nil {
+				return up, err
+			}
+			if len(failed) > 0 {
+				anyFailed = true
+			}
+		}
+		if !anyFailed {
+			break
+		}
+		fixed, ok := ctl.debug(up, out)
+		if !ok {
+			return up, nil
+		}
+		up = fixed
+		out.FinalID = up.ID
+	}
+
+	// Phase 2: non-representatives, one cluster at a time, most dissimilar
+	// first. Problems here mean imperfect clustering or testing; they are
+	// debugged before moving on.
+	for _, c := range order {
+		final, err := ctl.convergeGroup(c.Others, c.ID, up, out)
+		if err != nil {
+			return up, err
+		}
+		if out.Abandoned {
+			return up, nil
+		}
+		up = final
+		out.FinalID = up.ID
+	}
+	return up, nil
+}

@@ -1,0 +1,53 @@
+package fingerprint
+
+import (
+	"bufio"
+	"io"
+)
+
+// Streaming interface to the chunker: real resources can be large (the
+// paper content-fingerprints arbitrary binary files), so the chunker also
+// operates over an io.Reader without materializing the whole file.
+
+// SplitReader reads r to EOF, calling emit for each content-defined chunk
+// in order. The Chunk's Offset and Length refer to the stream; the chunk
+// bytes themselves are not retained. SplitReader and Split produce
+// identical chunkings for identical content.
+func (c *Chunker) SplitReader(r io.Reader, emit func(Chunk)) error {
+	br := bufio.NewReader(r)
+	c.rabin.Reset()
+	c.hasher.Reset()
+	start, size := 0, 0
+	pos := 0
+	for {
+		b, err := br.ReadByte()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		fp := c.rabin.Roll(b)
+		c.hasher.Roll(b)
+		pos++
+		size = pos - start
+		atBoundary := size >= c.min && fp&c.mask == boundaryMagic&c.mask
+		if atBoundary || size >= c.max {
+			emit(Chunk{Offset: start, Length: size, Hash: c.hasher.Sum()})
+			start = pos
+			c.rabin.Reset()
+			c.hasher.Reset()
+		}
+	}
+	if pos > start {
+		emit(Chunk{Offset: start, Length: pos - start, Hash: c.hasher.Sum()})
+	}
+	return nil
+}
+
+// HashReader returns the ordered chunk hashes of the stream.
+func (c *Chunker) HashReader(r io.Reader) ([]uint64, error) {
+	var out []uint64
+	err := c.SplitReader(r, func(ch Chunk) { out = append(out, ch.Hash) })
+	return out, err
+}

@@ -1,0 +1,73 @@
+package fingerprint
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/iotest"
+)
+
+func TestSplitReaderMatchesSplit(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	data := make([]byte, 300_000)
+	rng.Read(data)
+
+	c1 := NewChunker(0, 0, 0)
+	want := c1.Split(data)
+
+	c2 := NewChunker(0, 0, 0)
+	var got []Chunk
+	if err := c2.SplitReader(bytes.NewReader(data), func(ch Chunk) { got = append(got, ch) }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("chunk counts differ: %d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("chunk %d differs: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSplitReaderOneBytePerRead(t *testing.T) {
+	// A reader that returns one byte at a time must produce the same
+	// chunking (exercises internal buffering).
+	data := bytes.Repeat([]byte("mirage staged deployment "), 2000)
+	c1 := NewChunker(0, 0, 0)
+	want := c1.HashChunks(data)
+	c2 := NewChunker(0, 0, 0)
+	got, err := c2.HashReader(iotest.OneByteReader(bytes.NewReader(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("lengths differ: %d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("hash %d differs", i)
+		}
+	}
+}
+
+func TestSplitReaderEmpty(t *testing.T) {
+	c := NewChunker(0, 0, 0)
+	calls := 0
+	if err := c.SplitReader(bytes.NewReader(nil), func(Chunk) { calls++ }); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 0 {
+		t.Fatalf("emit called %d times for empty input", calls)
+	}
+}
+
+func TestSplitReaderPropagatesError(t *testing.T) {
+	c := NewChunker(0, 0, 0)
+	boom := errors.New("boom")
+	err := c.SplitReader(iotest.ErrReader(boom), func(Chunk) {})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}

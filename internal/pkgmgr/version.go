@@ -1,0 +1,57 @@
+// Package pkgmgr is the package-management substrate under Mirage: package
+// and upgrade objects, a vendor-side repository, dependency resolution, and
+// transactional install/upgrade/remove with rollback on simulated machines.
+//
+// The survey in the paper reports that 86% of administrators install
+// upgrades through the system's package manager, and that dependency
+// enforcement "only tries to enforce that the right packages are in place"
+// — it neither tests behaviour nor reports problems. This package
+// reproduces exactly that contract: declared dependencies are enforced at
+// install time, but runtime linkage breakage (the PHP-against-libmysql
+// story) is invisible to it and only surfaces in user-machine testing.
+package pkgmgr
+
+import (
+	"strconv"
+	"strings"
+)
+
+// CompareVersions compares dotted version strings numerically component by
+// component ("4.1.22" < "5.0" < "5.0.1"). Non-numeric components compare
+// lexicographically after numeric ones. Returns -1, 0 or 1.
+func CompareVersions(a, b string) int {
+	as, bs := strings.Split(a, "."), strings.Split(b, ".")
+	for i := 0; i < len(as) || i < len(bs); i++ {
+		ac, bc := "0", "0" // missing components count as zero: 5.0 == 5.0.0
+		if i < len(as) && as[i] != "" {
+			ac = as[i]
+		}
+		if i < len(bs) && bs[i] != "" {
+			bc = bs[i]
+		}
+		if ac == bc {
+			continue
+		}
+		an, aerr := strconv.Atoi(ac)
+		bn, berr := strconv.Atoi(bc)
+		switch {
+		case aerr == nil && berr == nil:
+			if an < bn {
+				return -1
+			}
+			if an > bn {
+				return 1
+			}
+		case aerr == nil:
+			return -1 // numeric sorts before non-numeric
+		case berr == nil:
+			return 1
+		default:
+			if ac < bc {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}

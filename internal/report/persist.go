@@ -1,0 +1,55 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Persistence for the Upgrade Report Repository. The paper's URR is a
+// queryable store co-located with the vendor; real deployments need it to
+// survive vendor restarts, so the repository serializes to a stable JSON
+// document (report images included — they are what make failures
+// reproducible later).
+
+// urrDocument is the serialized form.
+type urrDocument struct {
+	Version int       `json:"version"`
+	NextSeq int       `json:"next_seq"`
+	Reports []*Report `json:"reports"`
+}
+
+// documentVersion guards against reading future formats.
+const documentVersion = 1
+
+// Save writes the repository to w as JSON.
+func (u *URR) Save(w io.Writer) error {
+	u.mu.Lock()
+	doc := urrDocument{Version: documentVersion, NextSeq: u.nextSeq, Reports: u.reports}
+	u.mu.Unlock()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("report: saving URR: %w", err)
+	}
+	return nil
+}
+
+// LoadURR reads a repository previously written by Save.
+func LoadURR(r io.Reader) (*URR, error) {
+	var doc urrDocument
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("report: loading URR: %w", err)
+	}
+	if doc.Version != documentVersion {
+		return nil, fmt.Errorf("report: unsupported URR document version %d", doc.Version)
+	}
+	u := New()
+	u.nextSeq = doc.NextSeq
+	u.reports = doc.Reports
+	// Re-derive IDs defensively: they are positional.
+	for i, rep := range u.reports {
+		rep.ID = i
+	}
+	return u, nil
+}

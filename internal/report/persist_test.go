@@ -1,0 +1,73 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	u := New()
+	u.Deposit(&Report{UpgradeID: "up1", Machine: "m1", Cluster: "c1", Success: true})
+	m := sampleMachine()
+	u.Deposit(&Report{
+		UpgradeID: "up1", Machine: "m2", Cluster: "c2", Success: false,
+		FailedApps: []string{"php"}, Reasons: []string{"crash"},
+		Image: CaptureImage(m),
+	})
+
+	var buf bytes.Buffer
+	if err := u.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadURR(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != 2 {
+		t.Fatalf("loaded %d reports", loaded.Len())
+	}
+	s, f := loaded.Summary("up1")
+	if s != 1 || f != 1 {
+		t.Fatalf("summary = %d/%d", s, f)
+	}
+	// The failure image survives and still materializes.
+	fail := loaded.Failures("up1")[0]
+	if fail.Image == nil {
+		t.Fatal("image lost")
+	}
+	clone := fail.Image.Materialize()
+	if f := clone.ReadFile("/bin/app"); f == nil || string(f.Data) != "bin" || f.Type != machine.TypeExecutable {
+		t.Fatalf("materialized file = %+v", f)
+	}
+	// Deposits continue with fresh sequence numbers.
+	id := loaded.Deposit(&Report{UpgradeID: "up2", Success: true})
+	if id != 2 {
+		t.Fatalf("next id = %d", id)
+	}
+	if loaded.Get(2).Seq <= loaded.Get(1).Seq {
+		t.Fatal("sequence not monotone after reload")
+	}
+}
+
+func TestLoadRejectsBadInput(t *testing.T) {
+	if _, err := LoadURR(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := LoadURR(strings.NewReader(`{"version": 99, "reports": []}`)); err == nil {
+		t.Fatal("future version accepted")
+	}
+}
+
+func TestSaveEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := New().Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadURR(&buf)
+	if err != nil || loaded.Len() != 0 {
+		t.Fatalf("empty round trip: %v, %d", err, loaded.Len())
+	}
+}

@@ -1,0 +1,250 @@
+// Package report implements Mirage's reporting subsystem (paper §3.4): the
+// Upgrade Report Repository (URR) that collects success/failure results
+// from all machines and clusters. Each report stores (1) the cluster of
+// deployment, (2) the succinct test results, and (3) a report image that
+// lets the vendor reproduce the problem — in the paper, the entire upgraded
+// virtual-machine state; here, the full state of the simulated sandbox,
+// which Materialize turns back into a runnable machine.
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/machine"
+)
+
+// FileState is one file captured in a report image.
+type FileState struct {
+	Path    string
+	Type    machine.FileType
+	Version string
+	Data    []byte
+}
+
+// PackageState is one installed package captured in a report image.
+type PackageState struct {
+	Name    string
+	Version string
+	Files   []string
+}
+
+// Image is a reproducible snapshot of a machine: the paper's report image.
+type Image struct {
+	MachineName string
+	Files       []FileState
+	Env         map[string]string
+	Packages    []PackageState
+}
+
+// CaptureImage snapshots the full state of m.
+func CaptureImage(m *machine.Machine) *Image {
+	img := &Image{MachineName: m.Name, Env: m.AllEnv()}
+	for _, f := range m.Files() {
+		img.Files = append(img.Files, FileState{
+			Path: f.Path, Type: f.Type, Version: f.Version,
+			Data: append([]byte(nil), f.Data...),
+		})
+	}
+	for _, ref := range m.Packages() {
+		img.Packages = append(img.Packages, PackageState{
+			Name: ref.Name, Version: ref.Version, Files: m.PackageFiles(ref.Name),
+		})
+	}
+	return img
+}
+
+// Materialize reconstructs a runnable machine from the image, letting the
+// vendor reproduce the reported problem locally.
+func (img *Image) Materialize() *machine.Machine {
+	m := machine.New(img.MachineName)
+	for _, f := range img.Files {
+		m.WriteFile(&machine.File{
+			Path: f.Path, Type: f.Type, Version: f.Version,
+			Data: append([]byte(nil), f.Data...),
+		})
+	}
+	for k, v := range img.Env {
+		m.SetEnv(k, v)
+	}
+	for _, p := range img.Packages {
+		m.InstallPackage(machine.PackageRef{Name: p.Name, Version: p.Version}, p.Files)
+	}
+	return m
+}
+
+// Report is one upgrade test result deposited in the URR.
+type Report struct {
+	ID        int // assigned by the URR
+	UpgradeID string
+	Machine   string
+	Cluster   string // cluster of deployment
+	Success   bool
+	// FailedApps and Reasons summarise the failure succinctly; empty on
+	// success.
+	FailedApps []string
+	Reasons    []string
+	// Image is attached on failure so the vendor can reproduce the
+	// problem; successful reports omit it to save repository space.
+	Image *Image
+	// Seq is a logical receipt timestamp assigned by the URR.
+	Seq int
+}
+
+// Signature is a stable identity for the failure mode: upgrade plus failed
+// applications plus reasons. The vendor uses it to collapse the redundant
+// reports the survey complains about.
+func (r *Report) Signature() string {
+	if r.Success {
+		return r.UpgradeID + "|success"
+	}
+	return r.UpgradeID + "|" + strings.Join(r.FailedApps, ",") + "|" + strings.Join(r.Reasons, ";")
+}
+
+func (r *Report) String() string {
+	status := "success"
+	if !r.Success {
+		status = "FAILURE " + strings.Join(r.FailedApps, ",")
+	}
+	return fmt.Sprintf("report#%d upgrade=%s machine=%s cluster=%s: %s",
+		r.ID, r.UpgradeID, r.Machine, r.Cluster, status)
+}
+
+// URR is the Upgrade Report Repository. The current implementation
+// co-locates it with the vendor, as in the paper; it is safe for
+// concurrent use by the transport layer.
+type URR struct {
+	mu      sync.Mutex
+	reports []*Report
+	nextSeq int
+}
+
+// New returns an empty repository.
+func New() *URR {
+	return &URR{}
+}
+
+// Deposit stores a report, assigning its ID and sequence, and returns the ID.
+func (u *URR) Deposit(r *Report) int {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	r.ID = len(u.reports)
+	r.Seq = u.nextSeq
+	u.nextSeq++
+	u.reports = append(u.reports, r)
+	return r.ID
+}
+
+// Len returns the number of deposited reports.
+func (u *URR) Len() int {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return len(u.reports)
+}
+
+// Get returns report by ID, or nil.
+func (u *URR) Get(id int) *Report {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if id < 0 || id >= len(u.reports) {
+		return nil
+	}
+	return u.reports[id]
+}
+
+// ForUpgrade returns all reports for one upgrade, in deposit order.
+func (u *URR) ForUpgrade(upgradeID string) []*Report {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	var out []*Report
+	for _, r := range u.reports {
+		if r.UpgradeID == upgradeID {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Failures returns the failed reports for one upgrade.
+func (u *URR) Failures(upgradeID string) []*Report {
+	var out []*Report
+	for _, r := range u.ForUpgrade(upgradeID) {
+		if !r.Success {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// FailureGroup is a set of reports sharing one failure signature.
+type FailureGroup struct {
+	Signature string
+	Clusters  []string
+	Reports   []*Report
+	// Representative is the first report of the group — the one the
+	// vendor debugs; the rest are the redundancy Mirage's clustering is
+	// designed to minimise.
+	Representative *Report
+}
+
+// GroupFailures collapses an upgrade's failures by signature, the
+// de-duplication view of the repository.
+func (u *URR) GroupFailures(upgradeID string) []FailureGroup {
+	groups := make(map[string]*FailureGroup)
+	var order []string
+	for _, r := range u.Failures(upgradeID) {
+		sig := r.Signature()
+		g, ok := groups[sig]
+		if !ok {
+			g = &FailureGroup{Signature: sig, Representative: r}
+			groups[sig] = g
+			order = append(order, sig)
+		}
+		g.Reports = append(g.Reports, r)
+		g.Clusters = append(g.Clusters, r.Cluster)
+	}
+	out := make([]FailureGroup, 0, len(groups))
+	for _, sig := range order {
+		g := groups[sig]
+		sort.Strings(g.Clusters)
+		g.Clusters = dedupe(g.Clusters)
+		out = append(out, *g)
+	}
+	return out
+}
+
+// Summary counts successes and failures for an upgrade.
+func (u *URR) Summary(upgradeID string) (successes, failures int) {
+	for _, r := range u.ForUpgrade(upgradeID) {
+		if r.Success {
+			successes++
+		} else {
+			failures++
+		}
+	}
+	return
+}
+
+// SuccessesInCluster counts successful reports for upgrade from a cluster;
+// deployment protocols use it to decide when to advance to the next stage.
+func (u *URR) SuccessesInCluster(upgradeID, cluster string) int {
+	n := 0
+	for _, r := range u.ForUpgrade(upgradeID) {
+		if r.Success && r.Cluster == cluster {
+			n++
+		}
+	}
+	return n
+}
+
+func dedupe(sorted []string) []string {
+	out := sorted[:0]
+	for i, s := range sorted {
+		if i == 0 || s != sorted[i-1] {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,238 @@
+package resource
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func item(key string, h uint64) Item  { return Item{Key: key, Hash: h, Kind: Parsed} }
+func citem(key string, h uint64) Item { return Item{Key: key, Hash: h, Kind: Content} }
+
+func TestItemID(t *testing.T) {
+	a := item("libc.2.4", 1)
+	b := item("libc.2.4", 2)
+	if a.ID() == b.ID() {
+		t.Fatal("items with different hashes share an ID")
+	}
+	if a.ID() != item("libc.2.4", 1).ID() {
+		t.Fatal("identical items have different IDs")
+	}
+}
+
+func TestItemPrefix(t *testing.T) {
+	it := item("libc.2.4", 9)
+	for _, tc := range []struct {
+		prefix string
+		want   bool
+	}{
+		{"", true},
+		{"libc", true},
+		{"libc.2", true},
+		{"libc.2.4", true},
+		{"libc.2.4.5", false},
+		{"libc.24", false},
+		{"lib", false},
+		{"glibc", false},
+	} {
+		if got := it.Prefix(tc.prefix); got != tc.want {
+			t.Errorf("Prefix(%q) = %v, want %v", tc.prefix, got, tc.want)
+		}
+	}
+}
+
+func TestNewParsedJoinsComponents(t *testing.T) {
+	it := NewParsed(5, "my.cnf", "mysqld", "port")
+	if it.Key != "my.cnf.mysqld.port" {
+		t.Fatalf("key = %q", it.Key)
+	}
+	if it.Kind != Parsed {
+		t.Fatalf("kind = %v", it.Kind)
+	}
+}
+
+func TestNewContentKind(t *testing.T) {
+	it := NewContent("data.bin", 7)
+	if it.Kind != Content || it.Key != "data.bin" {
+		t.Fatalf("unexpected content item %+v", it)
+	}
+}
+
+func TestSetAddContains(t *testing.T) {
+	s := NewSet(0)
+	it := item("a", 1)
+	if s.Contains(it) {
+		t.Fatal("empty set contains item")
+	}
+	s.Add(it)
+	s.Add(it) // idempotent
+	if !s.Contains(it) || s.Len() != 1 {
+		t.Fatalf("set after double add: len=%d", s.Len())
+	}
+}
+
+func TestSetZeroValueUsable(t *testing.T) {
+	var s Set
+	s.Add(item("x", 1))
+	if !s.Contains(item("x", 1)) {
+		t.Fatal("zero-value Set unusable")
+	}
+}
+
+func TestSetItemsSorted(t *testing.T) {
+	s := NewSet(0)
+	s.Add(item("b", 1))
+	s.Add(item("a", 2))
+	s.Add(item("c", 3))
+	items := s.Items()
+	for i := 1; i < len(items); i++ {
+		if items[i-1].ID() >= items[i].ID() {
+			t.Fatal("Items() not sorted")
+		}
+	}
+}
+
+func TestDiffSymmetric(t *testing.T) {
+	a := NewSet(0)
+	b := NewSet(0)
+	a.Add(item("shared", 1))
+	b.Add(item("shared", 1))
+	a.Add(item("only-a", 2))
+	b.Add(item("only-b", 3))
+
+	d := a.Diff(b)
+	if d.Len() != 2 {
+		t.Fatalf("diff len = %d, want 2", d.Len())
+	}
+	if !d.Contains(item("only-a", 2)) || !d.Contains(item("only-b", 3)) {
+		t.Fatal("diff missing one-sided items")
+	}
+	if d.Contains(item("shared", 1)) {
+		t.Fatal("diff contains shared item")
+	}
+}
+
+func TestDiffSameHashDifferentValue(t *testing.T) {
+	// Same key, different hash: both versions appear in the diff (the
+	// machine has one, the vendor the other).
+	a := NewSet(0)
+	b := NewSet(0)
+	a.Add(item("libc.2.4", 100))
+	b.Add(item("libc.2.4", 200))
+	if d := a.Diff(b); d.Len() != 2 {
+		t.Fatalf("diff len = %d, want 2", d.Len())
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a, b := NewSet(0), NewSet(0)
+	if !a.Equal(b) {
+		t.Fatal("two empty sets not equal")
+	}
+	a.Add(item("x", 1))
+	if a.Equal(b) {
+		t.Fatal("unequal sets reported equal")
+	}
+	b.Add(item("x", 1))
+	if !a.Equal(b) {
+		t.Fatal("equal sets reported unequal")
+	}
+}
+
+func TestWithoutPrefix(t *testing.T) {
+	s := NewSet(0)
+	s.Add(item("my.cnf.mysqld.port", 1))
+	s.Add(item("my.cnf.client.socket", 2))
+	s.Add(item("libc.2.4", 3))
+	trimmed := s.WithoutPrefix("my.cnf")
+	if trimmed.Len() != 1 || !trimmed.Contains(item("libc.2.4", 3)) {
+		t.Fatalf("WithoutPrefix kept %d items: %v", trimmed.Len(), trimmed.Items())
+	}
+	// Original untouched.
+	if s.Len() != 3 {
+		t.Fatal("WithoutPrefix mutated receiver")
+	}
+}
+
+func TestOfKind(t *testing.T) {
+	s := NewSet(0)
+	s.Add(item("p", 1))
+	s.Add(citem("c", 2))
+	if got := s.OfKind(Parsed).Len(); got != 1 {
+		t.Fatalf("parsed subset len = %d", got)
+	}
+	if got := s.OfKind(Content).Len(); got != 1 {
+		t.Fatalf("content subset len = %d", got)
+	}
+}
+
+func TestSignatureOrderIndependent(t *testing.T) {
+	a, b := NewSet(0), NewSet(0)
+	a.Add(item("x", 1))
+	a.Add(item("y", 2))
+	b.Add(item("y", 2))
+	b.Add(item("x", 1))
+	if a.Signature() != b.Signature() {
+		t.Fatal("signature depends on insertion order")
+	}
+	b.Add(item("z", 3))
+	if a.Signature() == b.Signature() {
+		t.Fatal("signature ignores added item")
+	}
+}
+
+func TestManhattanDistance(t *testing.T) {
+	a, b := NewSet(0), NewSet(0)
+	if ManhattanDistance(a, b) != 0 {
+		t.Fatal("distance between empty sets != 0")
+	}
+	a.Add(citem("f1", 1))
+	a.Add(citem("f2", 2))
+	b.Add(citem("f2", 2))
+	b.Add(citem("f3", 3))
+	if d := ManhattanDistance(a, b); d != 2 {
+		t.Fatalf("distance = %d, want 2", d)
+	}
+	if ManhattanDistance(a, b) != ManhattanDistance(b, a) {
+		t.Fatal("distance not symmetric")
+	}
+}
+
+func TestManhattanDistanceNilSafe(t *testing.T) {
+	s := NewSet(0)
+	s.Add(citem("f", 1))
+	if d := ManhattanDistance(nil, s); d != 1 {
+		t.Fatalf("distance(nil, s) = %d, want 1", d)
+	}
+	if d := ManhattanDistance(s, nil); d != 1 {
+		t.Fatalf("distance(s, nil) = %d, want 1", d)
+	}
+}
+
+// Properties: diff with self is empty; diff is symmetric in content;
+// distance satisfies identity of indiscernibles on our set model.
+func TestSetProperties(t *testing.T) {
+	mk := func(keys []string) *Set {
+		s := NewSet(len(keys))
+		for _, k := range keys {
+			if k == "" {
+				continue
+			}
+			s.Add(item(k, uint64(len(k))))
+		}
+		return s
+	}
+	selfDiff := func(keys []string) bool {
+		s := mk(keys)
+		return s.Diff(s).Len() == 0
+	}
+	if err := quick.Check(selfDiff, nil); err != nil {
+		t.Error(err)
+	}
+	symmetric := func(xs, ys []string) bool {
+		a, b := mk(xs), mk(ys)
+		return a.Diff(b).Equal(b.Diff(a)) && ManhattanDistance(a, b) == a.Diff(b).Len()
+	}
+	if err := quick.Check(symmetric, nil); err != nil {
+		t.Error(err)
+	}
+}

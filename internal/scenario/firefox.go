@@ -1,0 +1,199 @@
+package scenario
+
+import (
+	"strings"
+
+	"repro/internal/apps"
+	"repro/internal/cluster"
+	"repro/internal/machine"
+	"repro/internal/parser"
+)
+
+// FirefoxProblemLegacyPrefs labels the Firefox 2.0 upgrade problem: two
+// preference files carried over from 1.0.x cause erratic behaviour
+// (paper ref [11]).
+const FirefoxProblemLegacyPrefs = "firefox-legacy-prefs"
+
+// Preference file contents. Machines migrated from 1.0.4 carry legacy
+// entries (the "1.0" markers the Firefox model keys on) plus a leftover
+// migration artifact; fresh profiles do not. Every variant also contains
+// user-specific noise (timestamps, window coordinates) that differs per
+// machine and must be discarded by the vendor's parser.
+const (
+	ffPrefsFresh = "browser.startup.homepage = about:home\n" +
+		"javascript.enabled = true\njava.enabled = true\n" +
+		"last_window_x = %X%\nlast_session_time = %T%\n"
+	ffPrefsFreshNoJava = "browser.startup.homepage = about:home\n" +
+		"javascript.enabled = false\njava.enabled = false\n" +
+		"last_window_x = %X%\nlast_session_time = %T%\n"
+	ffPrefsFrom10 = "browser.startup.homepage = about:home\n" +
+		"javascript.enabled = true\njava.enabled = true\n" +
+		"profile.migrated_from = 1.0.4\nextensions.lastAppVersion = 1.0.4\n" +
+		"last_window_x = %X%\nlast_session_time = %T%\n"
+	ffPrefsFrom10NoJava = "browser.startup.homepage = about:home\n" +
+		"javascript.enabled = false\njava.enabled = false\n" +
+		"profile.migrated_from = 1.0.4\nextensions.lastAppVersion = 1.0.4\n" +
+		"last_window_x = %X%\nlast_session_time = %T%\n"
+
+	ffLocalstoreFresh  = "window.state = default\ntoolbar.layout = standard\n"
+	ffLocalstoreFrom10 = "window.state = carried-over-1.0\ntoolbar.layout = legacy-1.0\n"
+)
+
+// FirefoxMachineSpec describes one Table 3 configuration.
+type FirefoxMachineSpec struct {
+	Name     string
+	From10   bool // profile upgraded from 1.0.4
+	NoJava   bool // Java and JavaScript disabled
+	Noise    string
+	Behavior string
+}
+
+// FirefoxTable3 returns the six machine configurations of Table 3. All run
+// Firefox 1.5.0.7 before the 2.0 upgrade; the three from10 machines
+// exhibit the legacy-preferences problem.
+func FirefoxTable3() []FirefoxMachineSpec {
+	return []FirefoxMachineSpec{
+		{Name: "firefox15-fresh", Noise: "101"},
+		{Name: "firefox15-fresh-2", Noise: "257"},
+		{Name: "firefox15-fresh-nojava", NoJava: true, Noise: "390"},
+		{Name: "firefox15-from10", From10: true, Noise: "148", Behavior: FirefoxProblemLegacyPrefs},
+		{Name: "firefox15-from10-2", From10: true, Noise: "512", Behavior: FirefoxProblemLegacyPrefs},
+		{Name: "firefox15-from10-nojava", From10: true, NoJava: true, Noise: "777", Behavior: FirefoxProblemLegacyPrefs},
+	}
+}
+
+// BuildFirefoxMachine constructs the simulated machine for one spec.
+func BuildFirefoxMachine(spec FirefoxMachineSpec) *machine.Machine {
+	m := machine.New(spec.Name)
+	m.SetEnv("HOME", "/home/user")
+	m.WriteFile(&machine.File{Path: "/lib/libc.so", Type: machine.TypeSharedLib,
+		Data: []byte("libc 2.4 ubt-build"), Version: "2.4"})
+	m.WriteFile(&machine.File{Path: apps.FirefoxExec, Type: machine.TypeExecutable,
+		Data: []byte("firefox-bin 1.5.0.7"), Version: "1.5.0.7"})
+	m.WriteFile(&machine.File{Path: "/usr/lib/firefox/libxul.so", Type: machine.TypeSharedLib,
+		Data: []byte("libxul 1.5.0.7"), Version: "1.5.0.7"})
+	m.InstallPackage(machine.PackageRef{Name: "firefox", Version: "1.5.0.7"},
+		[]string{apps.FirefoxExec, "/usr/lib/firefox/libxul.so"})
+
+	prefs := ffPrefsFresh
+	localstore := ffLocalstoreFresh
+	switch {
+	case spec.From10 && spec.NoJava:
+		prefs = ffPrefsFrom10NoJava
+		localstore = ffLocalstoreFrom10
+	case spec.From10:
+		prefs = ffPrefsFrom10
+		localstore = ffLocalstoreFrom10
+	case spec.NoJava:
+		prefs = ffPrefsFreshNoJava
+	}
+	prefs = injectNoise(prefs, spec.Noise)
+	m.WriteFile(&machine.File{Path: apps.FirefoxPrefs, Type: machine.TypeConfig, Data: []byte(prefs)})
+	m.WriteFile(&machine.File{Path: apps.FirefoxLocalstore, Type: machine.TypeConfig, Data: []byte(localstore)})
+	if spec.From10 {
+		// Leftover migration artifact from the 1.0.4 -> 1.5 upgrade.
+		m.WriteFile(&machine.File{Path: "/home/user/.mozilla/firefox/prefs-1.0.bak",
+			Type: machine.TypeConfig, Data: []byte("backup of 1.0 preferences")})
+	}
+	return m
+}
+
+// injectNoise substitutes per-machine user-specific values (window
+// coordinates, timestamps) into a preference template.
+func injectNoise(prefs, noise string) string {
+	prefs = strings.ReplaceAll(prefs, "%X%", noise)
+	return strings.ReplaceAll(prefs, "%T%", noise+noise)
+}
+
+// FirefoxVendorReference returns the vendor's reference machine: a fresh
+// 1.5.0.7 profile.
+func FirefoxVendorReference() *machine.Machine {
+	return BuildFirefoxMachine(FirefoxMachineSpec{Name: "vendor-reference", Noise: "0"})
+}
+
+// FirefoxResourceRefs lists Firefox's environmental resources for the
+// clustering experiments.
+func FirefoxResourceRefs() []string {
+	return []string{
+		"/lib/libc.so",
+		apps.FirefoxExec,
+		"/usr/lib/firefox/libxul.so",
+		apps.FirefoxPrefs,
+		apps.FirefoxLocalstore,
+		"/home/user/.mozilla/firefox/prefs-1.0.bak",
+	}
+}
+
+// FirefoxFullRegistry is the Figure 8 setup: vendor parsers for the
+// preference files, configured to discard the user-specific noise
+// (timestamps and window coordinates) that would otherwise pollute items.
+func FirefoxFullRegistry() *parser.Registry {
+	reg := parser.MirageRegistry().Clone()
+	prefParser := parser.ConfigParser{IgnoreKeys: []string{"last_window_x", "last_session_time"}}
+	reg.RegisterPath(apps.FirefoxPrefs, prefParser)
+	reg.RegisterPath(apps.FirefoxLocalstore, prefParser)
+	reg.RegisterPath("/home/user/.mozilla/firefox/prefs-1.0.bak", prefParser)
+	return reg
+}
+
+// FirefoxMirageRegistry is the Figure 9 setup: Mirage parsers only; the
+// preference files fall back to content fingerprinting, where the noise is
+// indistinguishable from relevant settings.
+func FirefoxMirageRegistry() *parser.Registry {
+	return parser.MirageRegistry().Clone()
+}
+
+// FirefoxBehavior returns the ground-truth behaviour for the 2.0 upgrade.
+func FirefoxBehavior() cluster.Behavior {
+	b := make(cluster.Behavior)
+	for _, spec := range FirefoxTable3() {
+		b[spec.Name] = spec.Behavior
+	}
+	return b
+}
+
+// FirefoxFingerprints fingerprints the Table 3 machines against the vendor
+// reference with the given registry.
+func FirefoxFingerprints(reg *parser.Registry) []cluster.MachineFingerprint {
+	fp := parser.NewFingerprinter(reg)
+	refs := FirefoxResourceRefs()
+	vendorSet := fp.Fingerprint(FirefoxVendorReference(), refs)
+	var out []cluster.MachineFingerprint
+	for _, spec := range FirefoxTable3() {
+		m := BuildFirefoxMachine(spec)
+		out = append(out, cluster.NewMachineFingerprint(m.Name, fp.Fingerprint(m, refs), vendorSet, m.AppSetKey()))
+	}
+	return out
+}
+
+// VerifyFirefoxBehavior applies the 2.0 upgrade to each Table 3 machine
+// via the app model and reports observed behaviour ("" = output unchanged,
+// FirefoxProblemLegacyPrefs = outputs diverge), grounding the labels.
+func VerifyFirefoxBehavior() cluster.Behavior {
+	out := make(cluster.Behavior)
+	urls := []string{"http://example.org", "http://news.example.com"}
+	for _, spec := range FirefoxTable3() {
+		m := BuildFirefoxMachine(spec)
+		before := (apps.Firefox{}).Run(m, urls)
+		m.WriteFile(&machine.File{Path: apps.FirefoxExec, Type: machine.TypeExecutable,
+			Data: []byte("firefox-bin 2.0"), Version: "2.0"})
+		m.WriteFile(&machine.File{Path: "/usr/lib/firefox/libxul.so", Type: machine.TypeSharedLib,
+			Data: []byte("libxul 2.0"), Version: "2.0"})
+		after := (apps.Firefox{}).Run(m, urls)
+
+		behavior := ""
+		if after.ExitStatus() != "ok" {
+			behavior = FirefoxProblemLegacyPrefs
+		} else {
+			bo, ao := before.Outputs(), after.Outputs()
+			for i := range bo {
+				if i < len(ao) && string(bo[i].Data) != string(ao[i].Data) {
+					behavior = FirefoxProblemLegacyPrefs
+					break
+				}
+			}
+		}
+		out[spec.Name] = behavior
+	}
+	return out
+}

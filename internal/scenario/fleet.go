@@ -1,0 +1,68 @@
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+)
+
+// LargeFleet generates n machines for fleet-scale tests by cycling through
+// the Table 2 configuration variants and perturbing each instance with
+// machine-local noise that a correct pipeline must ignore:
+//
+//   - a distinct hostname file (user-specific data, excluded from the
+//     resource list);
+//   - my.cnf comment variations (discarded by the config parser);
+//   - unrelated data files (never identified as environmental resources).
+//
+// Machines generated from the same variant must therefore land in the same
+// cluster, so the expected cluster structure of a LargeFleet equals that of
+// Table 2 itself.
+func LargeFleet(n int) []*machine.Machine {
+	specs := MySQLTable2()
+	out := make([]*machine.Machine, n)
+	for i := 0; i < n; i++ {
+		spec := specs[i%len(specs)]
+		spec.Name = fmt.Sprintf("%s-n%04d", spec.Name, i)
+		m := BuildMySQLMachine(spec)
+
+		// Machine-local noise.
+		m.WriteFile(&machine.File{
+			Path: "/etc/hostname", Type: machine.TypeText,
+			Data: []byte(spec.Name),
+		})
+		m.WriteFile(&machine.File{
+			Path: fmt.Sprintf("/home/user/notes-%d.txt", i), Type: machine.TypeData,
+			Data: []byte(fmt.Sprintf("scratch file %d", i)),
+		})
+		if spec.EtcCnf != "" && i%3 == 0 {
+			// Append a locally added comment; the config parser must make
+			// this invisible to clustering.
+			m.MutateFile("/etc/mysql/my.cnf", func(f *machine.File) {
+				f.Data = append(f.Data, []byte(fmt.Sprintf("# local note on machine %d\n", i))...)
+			})
+		}
+		out[i] = m
+	}
+	return out
+}
+
+// FleetBehavior returns the expected behaviour for a LargeFleet(n) under
+// the MySQL 4->5 upgrade, derived from the underlying variant of each
+// machine.
+func FleetBehavior(fleet []*machine.Machine) map[string]string {
+	byVariant := make(map[string]string)
+	for _, spec := range MySQLTable2() {
+		byVariant[spec.Name] = spec.Behavior
+	}
+	out := make(map[string]string, len(fleet))
+	for _, m := range fleet {
+		// Strip the -nXXXX suffix to recover the variant name.
+		name := m.Name
+		if len(name) > 6 && name[len(name)-6] == '-' && name[len(name)-5] == 'n' {
+			name = name[:len(name)-6]
+		}
+		out[m.Name] = byVariant[name]
+	}
+	return out
+}

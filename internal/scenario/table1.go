@@ -1,0 +1,349 @@
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/envid"
+	"repro/internal/machine"
+	"repro/internal/trace"
+)
+
+// Table 1 of the paper evaluates the identification heuristic on four
+// applications. This file reconstructs the four trace populations with the
+// same structure the real applications exhibited:
+//
+//	App      Files  Env  FP   FN  Rules
+//	firefox    907  839   1   23      7
+//	apache     400  251 133    0      2
+//	php        215  206   0    0      0
+//	mysql      286  250   0   33      1
+//
+// The misclassification *mechanisms* are the ones the paper reports:
+// MySQL's database directory lives under /var (default-excluded) yet holds
+// configuration; Apache reads its access log during initialization and its
+// document root read-only on every run; Firefox loads extensions, themes
+// and fonts lazily, after initialization; PHP needs no correction at all.
+
+// Table1Population is one application's reconstructed workload.
+type Table1Population struct {
+	App     string
+	Machine *machine.Machine
+	Traces  []*trace.Trace
+	// Truth is the ground-truth set of environmental file resources.
+	Truth map[string]bool
+	// Rules are the vendor rules that perfect the classification.
+	Rules []envid.Rule
+}
+
+// Table1Row is one row of the reproduced table.
+type Table1Row struct {
+	App            string
+	FilesTotal     int
+	EnvResources   int
+	FalsePositives int
+	FalseNegatives int
+	VendorRules    int
+}
+
+func (r Table1Row) String() string {
+	return fmt.Sprintf("%-8s files=%4d env=%4d FP=%3d FN=%3d rules=%d",
+		r.App, r.FilesTotal, r.EnvResources, r.FalsePositives, r.FalseNegatives, r.VendorRules)
+}
+
+// file writes a file of the given type and returns its path.
+func addFile(m *machine.Machine, path string, t machine.FileType) string {
+	m.WriteFile(&machine.File{Path: path, Type: t, Data: []byte("content of " + path)})
+	return path
+}
+
+// addMany writes n numbered files under prefix and returns their paths.
+func addMany(m *machine.Machine, prefix string, n int, t machine.FileType) []string {
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		out[i] = addFile(m, fmt.Sprintf("%s%03d", prefix, i), t)
+	}
+	return out
+}
+
+func openAll(tr *trace.Trace, paths []string, mode trace.Mode) {
+	for _, p := range paths {
+		tr.Open(p, mode)
+	}
+}
+
+// MySQLTable1 reconstructs the MySQL population: 286 files accessed, 250
+// environmental, 33 of which live in the /var database directory and are
+// missed until one include rule is added.
+func MySQLTable1() *Table1Population {
+	m := machine.New("table1-mysql")
+	libs := []string{
+		addFile(m, "/lib/libc.so", machine.TypeSharedLib),
+		addFile(m, "/lib/libpthread.so", machine.TypeSharedLib),
+		addFile(m, "/lib/libm.so", machine.TypeSharedLib),
+	}
+	exe := addFile(m, "/usr/sbin/mysqld", machine.TypeExecutable)
+	cnf := addFile(m, "/etc/mysql/my.cnf", machine.TypeConfig)
+	share := addMany(m, "/usr/share/mysql/charset-", 212, machine.TypeText)
+	db := addMany(m, "/var/lib/mysql/table-", 33, machine.TypeBinary)
+	logs := addMany(m, "/var/log/mysql/log-", 30, machine.TypeLog)
+	tmp := addMany(m, "/tmp/mysql-tmp-", 6, machine.TypeData)
+
+	mkTrace := func(queries int) *trace.Trace {
+		tr := trace.New("mysqld")
+		openAll(tr, libs, trace.ModeRead)
+		tr.Open(exe, trace.ModeRead)
+		tr.Open(cnf, trace.ModeRead)
+		openAll(tr, share, trace.ModeRead)
+		openAll(tr, db, trace.ModeReadWrite)
+		openAll(tr, logs, trace.ModeWrite)
+		openAll(tr, tmp, trace.ModeReadWrite)
+		tr.Exit("ok")
+		_ = queries
+		return tr
+	}
+
+	truth := make(map[string]bool)
+	for _, p := range libs {
+		truth[p] = true
+	}
+	truth[exe] = true
+	truth[cnf] = true
+	for _, p := range share {
+		truth[p] = true
+	}
+	for _, p := range db {
+		truth[p] = true // the paper: the database directory "also contain[s] configuration data"
+	}
+
+	return &Table1Population{
+		App:     "mysql",
+		Machine: m,
+		Traces:  []*trace.Trace{mkTrace(1), mkTrace(2)},
+		Truth:   truth,
+		Rules:   []envid.Rule{envid.IncludePattern(`^/var/lib/mysql/`)},
+	}
+}
+
+// ApacheTable1 reconstructs the Apache population: the access log (opened
+// during initialization) and 132 document-root HTML files (read-only on
+// every run) are false positives until two exclude rules are added.
+func ApacheTable1() *Table1Population {
+	m := machine.New("table1-apache")
+	libs := []string{
+		addFile(m, "/lib/libc.so", machine.TypeSharedLib),
+		addFile(m, "/lib/libpthread.so", machine.TypeSharedLib),
+		addFile(m, "/lib/libssl.so", machine.TypeSharedLib),
+	}
+	exe := addFile(m, "/usr/sbin/httpd", machine.TypeExecutable)
+	conf := addFile(m, "/etc/apache/httpd.conf", machine.TypeConfig)
+	acl := addFile(m, "/etc/apache/acl.conf", machine.TypeConfig)
+	modules := addMany(m, "/usr/lib/apache/mod-", 245, machine.TypeSharedLib)
+	accessLog := addFile(m, "/usr/local/apache/logs/access_log", machine.TypeLog)
+	html := addMany(m, "/srv/www/page-", 132, machine.TypeData)
+	cgiA := addMany(m, "/srv/cgi-data/a-", 8, machine.TypeData)
+	cgiB := addMany(m, "/srv/cgi-data/b-", 8, machine.TypeData)
+
+	mkTrace := func(cgi []string) *trace.Trace {
+		tr := trace.New("httpd")
+		openAll(tr, libs, trace.ModeRead)
+		tr.Open(exe, trace.ModeRead)
+		tr.Open(conf, trace.ModeRead)
+		tr.Open(acl, trace.ModeRead)
+		openAll(tr, modules, trace.ModeRead)
+		// The log is opened while initialization is still common to all
+		// runs — exactly why the heuristic flags it.
+		tr.Open(accessLog, trace.ModeWrite)
+		// Request-specific files break the common prefix here.
+		openAll(tr, cgi, trace.ModeRead)
+		// The document root is read read-only by every run.
+		openAll(tr, html, trace.ModeRead)
+		tr.Exit("ok")
+		return tr
+	}
+
+	truth := make(map[string]bool)
+	for _, p := range libs {
+		truth[p] = true
+	}
+	truth[exe] = true
+	truth[conf] = true
+	truth[acl] = true
+	for _, p := range modules {
+		truth[p] = true
+	}
+
+	return &Table1Population{
+		App:     "apache",
+		Machine: m,
+		Traces:  []*trace.Trace{mkTrace(cgiA), mkTrace(cgiB)},
+		Truth:   truth,
+		Rules: []envid.Rule{
+			envid.ExcludePattern(`^/usr/local/apache/logs/`),
+			envid.ExcludePattern(`^/srv/www/`),
+		},
+	}
+}
+
+// PHPTable1 reconstructs the PHP population: the heuristic is perfect with
+// no vendor rules.
+func PHPTable1() *Table1Population {
+	m := machine.New("table1-php")
+	libs := []string{
+		addFile(m, "/lib/libc.so", machine.TypeSharedLib),
+		addFile(m, "/lib/libxml2.so", machine.TypeSharedLib),
+		addFile(m, "/lib/libz.so", machine.TypeSharedLib),
+	}
+	exe := addFile(m, "/usr/bin/php", machine.TypeExecutable)
+	ini := addFile(m, "/etc/php/php.ini", machine.TypeConfig)
+	ext := addMany(m, "/usr/lib/php/ext-", 201, machine.TypeSharedLib)
+	scriptsA := addMany(m, "/srv/www/app/a-", 5, machine.TypeText)
+	scriptsB := addMany(m, "/srv/www/app/b-", 4, machine.TypeText)
+
+	mkTrace := func(scripts []string) *trace.Trace {
+		tr := trace.New("php")
+		openAll(tr, libs, trace.ModeRead)
+		tr.Open(exe, trace.ModeRead)
+		tr.Open(ini, trace.ModeRead)
+		openAll(tr, ext, trace.ModeRead)
+		openAll(tr, scripts, trace.ModeRead)
+		tr.Exit("ok")
+		return tr
+	}
+
+	truth := make(map[string]bool)
+	for _, p := range libs {
+		truth[p] = true
+	}
+	truth[exe] = true
+	truth[ini] = true
+	for _, p := range ext {
+		truth[p] = true
+	}
+
+	return &Table1Population{
+		App:     "php",
+		Machine: m,
+		Traces:  []*trace.Trace{mkTrace(scriptsA), mkTrace(scriptsB)},
+		Truth:   truth,
+		Rules:   nil,
+	}
+}
+
+// FirefoxTable1 reconstructs the Firefox population: 23 lazily loaded
+// extension/theme/font/plugin files are missed (seven include/exclude
+// rules fix everything), and one cache file read during initialization is
+// the single false positive.
+func FirefoxTable1() *Table1Population {
+	m := machine.New("table1-firefox")
+	libs := []string{
+		addFile(m, "/lib/libc.so", machine.TypeSharedLib),
+		addFile(m, "/lib/libgtk.so", machine.TypeSharedLib),
+		addFile(m, "/lib/libX11.so", machine.TypeSharedLib),
+	}
+	exe := addFile(m, "/usr/lib/firefox/firefox-bin", machine.TypeExecutable)
+	prefs := addFile(m, "/home/user/.mozilla/firefox/prefs.js", machine.TypeConfig)
+	localstore := addFile(m, "/home/user/.mozilla/firefox/localstore.rdf", machine.TypeConfig)
+	bundled := addMany(m, "/usr/lib/firefox/res-", 810, machine.TypeSharedLib)
+	cacheIndex := addFile(m, "/home/user/.mozilla/firefox/cache/_CACHE_001_", machine.TypeBinary)
+
+	// The 23 lazily-loaded resources, grouped as the seven rule targets.
+	extensions := addMany(m, "/home/user/.mozilla/firefox/extensions/ext-", 8, machine.TypeBinary)
+	themes := addMany(m, "/usr/lib/firefox/themes/theme-", 5, machine.TypeBinary)
+	fonts := addMany(m, "/usr/share/fonts/font-", 4, machine.TypeBinary)
+	plugins := addMany(m, "/usr/lib/firefox/plugins/plugin-", 3, machine.TypeBinary)
+	searchplugins := addMany(m, "/usr/lib/firefox/searchplugins/sp-", 2, machine.TypeBinary)
+	dictionaries := addMany(m, "/usr/lib/firefox/dictionaries/dict-", 1, machine.TypeBinary)
+	lazy := concat(extensions, themes, fonts, plugins, searchplugins, dictionaries)
+
+	pagesA := addMany(m, "/home/user/.mozilla/firefox/cache/page-a", 34, machine.TypeData)
+	pagesB := addMany(m, "/home/user/.mozilla/firefox/cache/page-b", 33, machine.TypeData)
+
+	mkTrace := func(lazySubset, pages []string) *trace.Trace {
+		tr := trace.New("firefox-bin")
+		openAll(tr, libs, trace.ModeRead)
+		tr.Open(exe, trace.ModeRead)
+		tr.Getenv("HOME", "/home/user")
+		tr.Open(prefs, trace.ModeRead)
+		tr.Open(localstore, trace.ModeRead)
+		openAll(tr, bundled, trace.ModeRead)
+		// The cache index is consulted during initialization: the single
+		// false positive.
+		tr.Open(cacheIndex, trace.ModeRead)
+		// Per-run page rendering: lazy resources and written cache pages.
+		for i := range pages {
+			if i < len(lazySubset) {
+				tr.Open(lazySubset[i], trace.ModeRead)
+			}
+			tr.Open(pages[i], trace.ModeReadWrite)
+		}
+		tr.Exit("ok")
+		return tr
+	}
+
+	truth := make(map[string]bool)
+	for _, p := range libs {
+		truth[p] = true
+	}
+	truth[exe] = true
+	truth[prefs] = true
+	truth[localstore] = true
+	for _, p := range bundled {
+		truth[p] = true
+	}
+	for _, p := range lazy {
+		truth[p] = true
+	}
+
+	return &Table1Population{
+		App:     "firefox",
+		Machine: m,
+		Traces: []*trace.Trace{
+			mkTrace(lazy[:12], pagesA),
+			mkTrace(lazy[12:], pagesB),
+		},
+		Truth: truth,
+		Rules: []envid.Rule{
+			envid.ExcludePattern(`^/home/user/\.mozilla/firefox/cache/`),
+			envid.IncludePattern(`^/home/user/\.mozilla/firefox/extensions/`),
+			envid.IncludePattern(`^/usr/lib/firefox/themes/`),
+			envid.IncludePattern(`^/usr/share/fonts/`),
+			envid.IncludePattern(`^/usr/lib/firefox/plugins/`),
+			envid.IncludePattern(`^/usr/lib/firefox/searchplugins/`),
+			envid.IncludePattern(`^/usr/lib/firefox/dictionaries/`),
+		},
+	}
+}
+
+func concat(groups ...[]string) []string {
+	var out []string
+	for _, g := range groups {
+		out = append(out, g...)
+	}
+	return out
+}
+
+// Table1Populations returns all four populations in the paper's row order.
+func Table1Populations() []*Table1Population {
+	return []*Table1Population{FirefoxTable1(), ApacheTable1(), PHPTable1(), MySQLTable1()}
+}
+
+// EvaluateTable1 runs the heuristic on a population, without and then with
+// the vendor rules, and returns the table row (heuristic-only FP/FN plus
+// the rule count needed for a perfect classification).
+func EvaluateTable1(p *Table1Population) (Table1Row, envid.Evaluation) {
+	bare := (&envid.Identifier{}).Identify(p.Machine, p.Traces, p.App)
+	bareEval := envid.Evaluate(bare, p.Truth)
+
+	withRules := (&envid.Identifier{Rules: p.Rules}).Identify(p.Machine, p.Traces, p.App)
+	ruledEval := envid.Evaluate(withRules, p.Truth)
+
+	row := Table1Row{
+		App:            p.App,
+		FilesTotal:     bareEval.FilesTotal,
+		EnvResources:   bareEval.EnvResources,
+		FalsePositives: bareEval.FalsePositives,
+		FalseNegatives: bareEval.FalseNegatives,
+		VendorRules:    len(p.Rules),
+	}
+	return row, ruledEval
+}

@@ -1,0 +1,106 @@
+package simulator
+
+import "testing"
+
+// Late-arrival behaviour (§4.3: "some machines may stay offline for long
+// periods of time; it would be impractical to wait for all these machines
+// to pass testing before moving to the next cluster").
+
+func offlineScenario(threshold float64, offline int, returnTime float64) (Params, []ClusterSpec) {
+	p := DefaultParams()
+	p.Threshold = threshold
+	specs := testScenario(10, 100, 2, true)
+	specs[0].Offline = offline
+	specs[0].ReturnTime = returnTime
+	return p, specs
+}
+
+func TestOfflineMachinesDoNotDelayCluster(t *testing.T) {
+	p, specs := offlineScenario(0.9, 5, 10_000) // 5/99 offline, threshold 90%
+	res := Balanced(p, specs)
+	base := Balanced(DefaultParams(), testScenario(10, 100, 2, true))
+	// The first cluster's latency is unchanged: the threshold lets it
+	// advance without the offline machines.
+	if res.Latency[specs[0].Name] != base.Latency[specs[0].Name] {
+		t.Fatalf("offline machines delayed the cluster: %v vs %v",
+			res.Latency[specs[0].Name], base.Latency[specs[0].Name])
+	}
+	if res.LateTests != 5 {
+		t.Fatalf("late tests = %d, want 5", res.LateTests)
+	}
+}
+
+func TestLateArrivalsTestAfterReturn(t *testing.T) {
+	p, specs := offlineScenario(0.9, 5, 10_000)
+	res := Balanced(p, specs)
+	// The simulation runs until the late arrivals have tested: the engine
+	// processes events past their return time.
+	if res.Events == 0 {
+		t.Fatal("no events")
+	}
+	// Makespan reflects cluster completions only, not late arrivals.
+	if res.Makespan > 5000 {
+		t.Fatalf("late arrivals inflated makespan: %v", res.Makespan)
+	}
+}
+
+func TestBelowThresholdWaitsForLateArrivals(t *testing.T) {
+	// 60 of 99 non-reps offline with threshold 0.5: online fraction
+	// 39/99 < 0.5, so the cluster must wait for the return.
+	p, specs := offlineScenario(0.5, 60, 2_000)
+	res := Balanced(p, specs)
+	if res.Latency[specs[0].Name] < 2_000 {
+		t.Fatalf("cluster advanced below threshold at %v", res.Latency[specs[0].Name])
+	}
+	// Subsequent clusters are pushed back behind the gate.
+	if res.Latency[specs[1].Name] < 2_000 {
+		t.Fatalf("next cluster started before the gate: %v", res.Latency[specs[1].Name])
+	}
+}
+
+func TestLateArrivalOnProblemClusterRetries(t *testing.T) {
+	// Offline machines in a problem cluster return before the fix exists:
+	// they fail, report, and retry — counted as overhead like any tester.
+	p := DefaultParams()
+	p.Threshold = 0.5
+	specs := testScenario(10, 100, 2, false) // problems in first clusters
+	specs[0].Offline = 10
+	specs[0].ReturnTime = 0 // return immediately
+	res := Balanced(p, specs)
+	// Overhead: the representative plus possibly the early-returning late
+	// arrivals that raced the fix. At minimum the rep of each problem.
+	if res.Overhead < 3 {
+		t.Fatalf("overhead = %d", res.Overhead)
+	}
+	if res.LateTests == 0 {
+		t.Fatal("late arrivals never tested")
+	}
+}
+
+func TestNoStagingWithOffline(t *testing.T) {
+	p := DefaultParams()
+	specs := testScenario(10, 100, 2, true)
+	specs[3].Offline = 20
+	specs[3].ReturnTime = 5_000
+	res := NoStaging(p, specs)
+	if res.LateTests != 20 {
+		t.Fatalf("late tests = %d", res.LateTests)
+	}
+	// The cluster still completed on the normal schedule.
+	if res.Latency[specs[3].Name] != p.RoundTrip() {
+		t.Fatalf("clean cluster latency = %v", res.Latency[specs[3].Name])
+	}
+}
+
+func TestOfflineZeroIsNoop(t *testing.T) {
+	p := DefaultParams()
+	a := Balanced(p, testScenario(10, 100, 2, true))
+	specs := testScenario(10, 100, 2, true)
+	for i := range specs {
+		specs[i].Offline = 0
+	}
+	b := Balanced(p, specs)
+	if a.Makespan != b.Makespan || a.Overhead != b.Overhead || b.LateTests != 0 {
+		t.Fatal("zero offline changed behaviour")
+	}
+}

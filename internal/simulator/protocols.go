@@ -1,0 +1,253 @@
+package simulator
+
+import "sort"
+
+// This file implements the deployment protocols of §4.3 on top of the
+// event engine: the two Mirage staged protocols (FrontLoading and
+// Balanced) and the two baselines (NoStaging and RandomStaging).
+//
+// Common structure: representatives of a cluster always test before the
+// cluster's non-representatives; the vendor's debugging pipeline is
+// serial; machines that fail testing retry one download+test round-trip
+// after the relevant fix ships.
+
+// orderByDistance returns the clusters sorted by ascending (or descending)
+// distance to the vendor, ties broken by name for determinism.
+func orderByDistance(clusters []ClusterSpec, descending bool) []*ClusterSpec {
+	out := make([]*ClusterSpec, len(clusters))
+	for i := range clusters {
+		out[i] = &clusters[i]
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Distance != out[j].Distance {
+			if descending {
+				return out[i].Distance > out[j].Distance
+			}
+			return out[i].Distance < out[j].Distance
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// NoStaging places all machines into a single cluster and treats them all
+// as representatives: everyone downloads and tests immediately. Fast, with
+// upgrade overhead equal to the total number of problematic machines. The
+// paper positions it for simple, urgent upgrades such as security patches.
+func NoStaging(p Params, clusters []ClusterSpec) *Result {
+	s := NewSim(p, "NoStaging")
+	specs := orderByDistance(clusters, false)
+	for _, c := range specs {
+		c := c
+		var attempt func()
+		attempt = func() {
+			out := s.TestGroup(c, c.Size-c.Offline, false)
+			if out.Failed == 0 {
+				s.MarkDone(c)
+				scheduleLateArrivals(s, c)
+				return
+			}
+			// Failed machines retry one round-trip after the fix ships;
+			// the cluster completes when its last machine passes.
+			s.At(out.FixReady+p.RoundTrip(), "nostaging-retry:"+c.Name, attempt)
+		}
+		s.At(p.RoundTrip(), "nostaging-test:"+c.Name, attempt)
+	}
+	return s.Finish()
+}
+
+// scheduleLateArrivals handles the machines that were offline when their
+// cluster deployed: when they return, they download, test and report on
+// the upgrades they missed (paper §4.3, the "late arrivals"). By then the
+// relevant fixes have usually shipped, so they pass; if not, they retry
+// like everyone else. Late arrivals never delay cluster completion — that
+// is the point of the vendor-defined threshold.
+func scheduleLateArrivals(s *Sim, c *ClusterSpec) {
+	if c.Offline <= 0 {
+		return
+	}
+	ret := c.ReturnTime
+	if ret < s.Now() {
+		ret = s.Now()
+	}
+	var attempt func()
+	attempt = func() {
+		s.Res.LateTests += c.Offline
+		out := s.TestGroup(c, c.Offline, false)
+		if out.Failed > 0 {
+			s.At(out.FixReady+s.P.RoundTrip(), "late-retry:"+c.Name, attempt)
+		}
+	}
+	s.At(ret+s.P.RoundTrip(), "late-arrival:"+c.Name, attempt)
+}
+
+// runCluster deploys one cluster: representatives first (unless skipReps),
+// then non-representatives, retrying after fixes until no failures remain,
+// then calls next. It is shared by Balanced, RandomStaging and
+// FrontLoading's second phase.
+func runCluster(s *Sim, c *ClusterSpec, skipReps bool, next func()) {
+	var repPhase, nonRepPhase, nonRepRetry func()
+
+	repPhase = func() {
+		out := s.TestGroup(c, c.Reps, true)
+		if out.Failed > 0 {
+			s.At(out.FixReady+s.P.RoundTrip(), "rep-retry:"+c.Name, repPhase)
+			return
+		}
+		s.After(s.P.RoundTrip(), "nonrep-test:"+c.Name, nonRepPhase)
+	}
+
+	// Only the online non-representatives test now; the cluster advances
+	// once the threshold fraction of non-representatives has passed and no
+	// failures are outstanding. Offline machines are handled as late
+	// arrivals and never gate deployment progress (provided the online
+	// fraction meets the threshold; otherwise deployment must wait for
+	// them to return).
+	online := c.NonReps() - c.Offline
+	onlineFraction := 1.0
+	if c.NonReps() > 0 {
+		onlineFraction = float64(online) / float64(c.NonReps())
+	}
+
+	complete := func() {
+		if onlineFraction >= s.P.Threshold {
+			s.MarkDone(c)
+			scheduleLateArrivals(s, c)
+			next()
+			return
+		}
+		// Below threshold: the cluster cannot advance until the late
+		// arrivals return and pass.
+		ret := c.ReturnTime
+		if ret < s.Now() {
+			ret = s.Now()
+		}
+		var lateGate func()
+		lateGate = func() {
+			s.Res.LateTests += c.Offline
+			out := s.TestGroup(c, c.Offline, false)
+			if out.Failed > 0 {
+				s.At(out.FixReady+s.P.RoundTrip(), "late-gate-retry:"+c.Name, lateGate)
+				return
+			}
+			s.MarkDone(c)
+			next()
+		}
+		s.At(ret+s.P.RoundTrip(), "late-gate:"+c.Name, lateGate)
+	}
+
+	nonRepPhase = func() {
+		out := s.TestGroup(c, online, false)
+		if out.Failed == 0 {
+			complete()
+			return
+		}
+		// Machines that passed integrate the upgrade now (they may later
+		// be notified of a corrected version); the failing machines —
+		// misplaced ones, or the whole group when clustering let an
+		// unfixed problem through — retry after the fix.
+		s.At(out.FixReady+s.P.RoundTrip(), "nonrep-retry:"+c.Name, nonRepRetry)
+	}
+
+	nonRepRetry = func() {
+		// Only the previously failing machines re-test: passing n=0
+		// re-evaluates the cluster problem and the misplaced machines.
+		out := s.TestGroup(c, 0, false)
+		if out.Failed == 0 {
+			complete()
+			return
+		}
+		s.At(out.FixReady+s.P.RoundTrip(), "nonrep-retry:"+c.Name, nonRepRetry)
+	}
+
+	if skipReps {
+		s.After(s.P.RoundTrip(), "nonrep-test:"+c.Name, nonRepPhase)
+	} else {
+		s.After(s.P.RoundTrip(), "rep-test:"+c.Name, repPhase)
+	}
+}
+
+// runSequential deploys the given clusters one after another.
+func runSequential(s *Sim, order []*ClusterSpec, skipReps bool) {
+	var deploy func(i int)
+	deploy = func(i int) {
+		if i >= len(order) {
+			return
+		}
+		runCluster(s, order[i], skipReps, func() { deploy(i + 1) })
+	}
+	deploy(0)
+}
+
+// Balanced deploys cluster by cluster, starting from the cluster most
+// similar to the vendor's installation: representatives of the cluster
+// test first, then its non-representatives, then deployment advances.
+// It reduces upgrade overhead to (roughly) the number of problems while
+// letting many machines upgrade before all debugging completes.
+func Balanced(p Params, clusters []ClusterSpec) *Result {
+	s := NewSim(p, "Balanced")
+	runSequential(s, orderByDistance(clusters, false), false)
+	return s.Finish()
+}
+
+// RandomStaging is Balanced with a random deployment order; the paper uses
+// it to isolate the benefit of staging itself from that of intelligent
+// cluster ordering. The shuffle is seeded for reproducibility.
+func RandomStaging(p Params, clusters []ClusterSpec, seed uint64) *Result {
+	s := NewSim(p, "RandomStaging")
+	order := orderByDistance(clusters, false)
+	// Deterministic Fisher-Yates using an xorshift generator, so results
+	// are stable across runs and platforms.
+	state := seed
+	if state == 0 {
+		state = 0x9E3779B97F4A7C15
+	}
+	next := func() uint64 {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return state
+	}
+	for i := len(order) - 1; i > 0; i-- {
+		j := int(next() % uint64(i+1))
+		order[i], order[j] = order[j], order[i]
+	}
+	runSequential(s, order, false)
+	return s.Finish()
+}
+
+// FrontLoading front-loads the vendor's debugging effort: phase 1 notifies
+// the representatives of all clusters in parallel and repeats
+// test-and-debug rounds until no representative reports a problem; phase 2
+// then deploys to non-representatives one cluster at a time, most
+// dissimilar cluster first. Per-cluster latency is dominated by the
+// debug cycles of phase 1, but phase 2 needs no representative step, so
+// the last cluster finishes earlier than under the other staged protocols.
+func FrontLoading(p Params, clusters []ClusterSpec) *Result {
+	s := NewSim(p, "FrontLoading")
+	specs := orderByDistance(clusters, true) // farthest first for phase 2
+
+	var phase1 func()
+	phase1 = func() {
+		anyFailed := false
+		var latestFix float64
+		for _, c := range specs {
+			out := s.TestGroup(c, c.Reps, true)
+			if out.Failed > 0 {
+				anyFailed = true
+				if out.FixReady > latestFix {
+					latestFix = out.FixReady
+				}
+			}
+		}
+		if anyFailed {
+			// All representatives are re-notified once the vendor has
+			// corrected every reported problem.
+			s.At(latestFix+p.RoundTrip(), "phase1-round", phase1)
+			return
+		}
+		runSequential(s, specs, true)
+	}
+	s.At(p.RoundTrip(), "phase1-round", phase1)
+	return s.Finish()
+}

@@ -1,0 +1,231 @@
+package simulator
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Params are the timing parameters of the simulated deployment (paper
+// §4.3.1: download 5, test 10, fix 500 time units; the download+test to
+// debugging ratio mimics tens of minutes vs. at least one day).
+type Params struct {
+	DownloadTime float64
+	TestTime     float64
+	FixTime      float64
+	// Threshold is the fraction of non-representatives that must pass
+	// before deployment advances to the next cluster (vendor-defined; the
+	// paper waits for "a large fraction" to tolerate offline machines).
+	Threshold float64
+}
+
+// DefaultParams returns the paper's example scenario timings.
+func DefaultParams() Params {
+	return Params{DownloadTime: 5, TestTime: 10, FixTime: 500, Threshold: 1.0}
+}
+
+// RoundTrip is the time for one download+test cycle.
+func (p Params) RoundTrip() float64 { return p.DownloadTime + p.TestTime }
+
+// ClusterSpec describes one cluster of deployment as the simulator sees it.
+type ClusterSpec struct {
+	Name string
+	Size int // total machines, including representatives
+	Reps int // representatives (>= 1 for staged protocols)
+	// Problem names the upgrade problem every machine of this cluster
+	// exhibits ("" for none). Sound clustering means all machines of the
+	// cluster share this behaviour.
+	Problem string
+	// Misplaced lists problems of individually misplaced non-representative
+	// machines (imperfect clustering), one entry per machine.
+	Misplaced []string
+	// Distance to the vendor's environment; staged protocols order
+	// clusters by it.
+	Distance int
+	// Offline is the number of non-representative machines offline when
+	// deployment reaches the cluster. Staged protocols advance once the
+	// vendor-defined threshold fraction of non-representatives has passed;
+	// offline machines are "late arrivals" that test whatever upgrade is
+	// current when they return at ReturnTime.
+	Offline int
+	// ReturnTime is the absolute time offline machines come back online.
+	ReturnTime float64
+}
+
+// NonReps returns the number of non-representative machines.
+func (c ClusterSpec) NonReps() int { return c.Size - c.Reps }
+
+// Result collects the outcome of one simulated deployment.
+type Result struct {
+	Protocol string
+	// Latency maps cluster name to the time at which the cluster completed
+	// deployment (threshold reached and no outstanding failures).
+	Latency map[string]float64
+	// Overhead is the number of machines that tested a faulty upgrade —
+	// the paper's definition of upgrade overhead.
+	Overhead int
+	// Reports is the number of failure reports received by the vendor.
+	Reports int
+	// Fixes is the number of debugging cycles the vendor performed.
+	Fixes int
+	// Makespan is the time the last cluster completed.
+	Makespan float64
+	// Events is the number of simulator events processed.
+	Events int
+	// LateTests counts tests performed by late arrivals after their
+	// cluster had already advanced.
+	LateTests int
+}
+
+// CDFPoint is one step of the per-cluster latency CDF.
+type CDFPoint struct {
+	Time     float64
+	Fraction float64
+}
+
+// CDF returns the cumulative distribution of per-cluster latency, the curve
+// plotted in Figures 10 and 11.
+func (r *Result) CDF() []CDFPoint {
+	times := make([]float64, 0, len(r.Latency))
+	for _, t := range r.Latency {
+		times = append(times, t)
+	}
+	sort.Float64s(times)
+	points := make([]CDFPoint, len(times))
+	for i, t := range times {
+		points[i] = CDFPoint{Time: t, Fraction: float64(i+1) / float64(len(times))}
+	}
+	return points
+}
+
+// FractionByTime returns the fraction of clusters complete at time t.
+func (r *Result) FractionByTime(t float64) float64 {
+	n := 0
+	for _, lt := range r.Latency {
+		if lt <= t {
+			n++
+		}
+	}
+	return float64(n) / float64(len(r.Latency))
+}
+
+func (r *Result) String() string {
+	return fmt.Sprintf("%s: makespan=%.0f overhead=%d reports=%d fixes=%d",
+		r.Protocol, r.Makespan, r.Overhead, r.Reports, r.Fixes)
+}
+
+// Sim drives one deployment simulation: an Engine plus the vendor's serial
+// debugging pipeline and the global set of fixed problems.
+type Sim struct {
+	*Engine
+	P Params
+	// fixDone maps a problem to the absolute time its fix is (or will be)
+	// available; problems not present are unfixed and unreported.
+	fixDone    map[string]float64
+	vendorFree float64
+	Res        *Result
+}
+
+// NewSim returns a simulation with the given parameters.
+func NewSim(p Params, protocol string) *Sim {
+	if p.Threshold <= 0 {
+		p.Threshold = 1.0
+	}
+	return &Sim{
+		Engine:  NewEngine(),
+		P:       p,
+		fixDone: make(map[string]float64),
+		Res:     &Result{Protocol: protocol, Latency: make(map[string]float64)},
+	}
+}
+
+// Fixed reports whether problem's fix is available at the current time.
+func (s *Sim) Fixed(problem string) bool {
+	t, ok := s.fixDone[problem]
+	return ok && t <= s.Now()
+}
+
+// Report delivers failure reports for problem from n machines at the
+// current time and returns the absolute time the fix will be available.
+// The vendor debugs serially: concurrent problems queue behind each other
+// (the paper's 500-unit fix time is the entire debugging cycle at the
+// vendor). Reporting an already-queued problem adds reports but no new fix.
+func (s *Sim) Report(problem string, n int) float64 {
+	s.Res.Reports += n
+	if t, ok := s.fixDone[problem]; ok {
+		return t
+	}
+	start := s.Now()
+	if s.vendorFree > start {
+		start = s.vendorFree
+	}
+	done := start + s.P.FixTime
+	s.vendorFree = done
+	s.fixDone[problem] = done
+	s.Res.Fixes++
+	return done
+}
+
+// TestOutcome describes one group test round.
+type TestOutcome struct {
+	Passed int
+	Failed int
+	// FixReady is the latest fix-availability time among the problems the
+	// failing machines hit; meaningful only when Failed > 0.
+	FixReady float64
+}
+
+// TestGroup simulates n machines of cluster c downloading and testing the
+// upgrade, finishing at the current time (the caller schedules the call at
+// notify time + RoundTrip). Machines whose problem is unfixed fail, are
+// counted in overhead, and report. reps says whether this group is the
+// representative group (which tests cluster-wide problems) or the
+// non-representative group (which additionally includes the misplaced
+// machines).
+func (s *Sim) TestGroup(c *ClusterSpec, n int, reps bool) TestOutcome {
+	var out TestOutcome
+	if c.Problem != "" && !s.Fixed(c.Problem) {
+		out.Failed += n
+		s.Res.Overhead += n
+		done := s.Report(c.Problem, n)
+		if done > out.FixReady {
+			out.FixReady = done
+		}
+		return out
+	}
+	out.Passed = n
+	if !reps {
+		for _, mp := range c.Misplaced {
+			if s.Fixed(mp) {
+				continue
+			}
+			out.Failed++
+			out.Passed--
+			s.Res.Overhead++
+			done := s.Report(mp, 1)
+			if done > out.FixReady {
+				out.FixReady = done
+			}
+		}
+	}
+	return out
+}
+
+// MarkDone records cluster completion at the current time.
+func (s *Sim) MarkDone(c *ClusterSpec) {
+	if _, dup := s.Res.Latency[c.Name]; dup {
+		panic("simulator: cluster completed twice: " + c.Name)
+	}
+	s.Res.Latency[c.Name] = s.Now()
+}
+
+// Finish runs the engine to completion and finalizes the result.
+func (s *Sim) Finish() *Result {
+	s.Run()
+	for _, t := range s.Res.Latency {
+		if t > s.Res.Makespan {
+			s.Res.Makespan = t
+		}
+	}
+	s.Res.Events = s.Events
+	return s.Res
+}

@@ -1,0 +1,409 @@
+// Package survey encodes the 50-administrator upgrade survey of paper §2
+// and regenerates its figures. The original per-respondent data was never
+// published (the survey PDF link is long dead); this package reconstructs
+// a respondent-level dataset whose marginal distributions reproduce every
+// aggregate the paper reports:
+//
+//   - 50 respondents; 82% with more than five years of experience; 78%
+//     managing more than 20 machines; 48 administer UNIX-like systems,
+//     29 Windows, 12 Mac OS (multiple selections allowed);
+//   - Figure 1: 90% upgrade at least monthly;
+//   - reasons for upgrades ranked: security 1.6, bug fix 2.2, user
+//     request 3.3, new feature 3.5 (average rank, 1 = most important);
+//   - Figure 2: 70% refrain from installing upgrades even though 70%
+//     have a testing strategy;
+//   - Figure 3: 66% estimate a 5-10% upgrade failure rate; the average
+//     estimate is 8.6% and the median 5%;
+//   - 48% experienced problems that passed initial testing; 18% report
+//     catastrophic failures; only 50% consistently report problems;
+//   - causes ranked: broken dependencies 2.5, removed behaviour 2.5,
+//     buggy upgrades 2.6, legacy configurations 3.1, improper
+//     packaging 3.2.
+package survey
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Experience buckets (years of administration experience).
+type Experience int
+
+const (
+	Exp0to2 Experience = iota
+	Exp2to5
+	Exp5to10
+	ExpOver10
+)
+
+var experienceNames = [...]string{"0-2", "2-5", "5-10", "more than 10"}
+
+func (e Experience) String() string { return experienceNames[e] }
+
+// MoreThanFiveYears reports whether the bucket exceeds five years.
+func (e Experience) MoreThanFiveYears() bool { return e >= Exp5to10 }
+
+// Frequency buckets of Figure 1, most frequent first.
+type Frequency int
+
+const (
+	FreqMoreThanWeekly Frequency = iota
+	FreqWeekly
+	FreqBiweekly
+	FreqMonthly
+	FreqQuarterly
+	FreqSemester
+	FreqYearly
+	FreqLessThanYearly
+)
+
+var frequencyNames = [...]string{
+	"More than once a week", "Once a week", "Once every couple of weeks",
+	"Once a month", "Once per quarter", "Once per semester", "Once a year",
+	"Not even once a year",
+}
+
+func (f Frequency) String() string { return frequencyNames[f] }
+
+// AtLeastMonthly reports whether the bucket is monthly or more frequent.
+func (f Frequency) AtLeastMonthly() bool { return f <= FreqMonthly }
+
+// Respondent is one survey answer sheet.
+type Respondent struct {
+	ID              int
+	Experience      Experience
+	MachinesOver20  bool
+	UNIX            bool
+	Windows         bool
+	MacOS           bool
+	Frequency       Frequency
+	Refrains        bool // refrains from installing upgrades
+	TestingStrategy bool
+	FailureRatePct  int  // perceived % of upgrades with problems
+	PassedTesting   bool // experienced problems that passed initial testing
+	Catastrophic    bool // experienced catastrophic upgrade failures
+	ReportsProblems bool // consistently reports problems to the vendor
+
+	// Rankings, 1 = most important.
+	ReasonRank map[Reason]int
+	CauseRank  map[Cause]int
+}
+
+// Reason for performing upgrades.
+type Reason int
+
+const (
+	ReasonSecurity Reason = iota
+	ReasonBugFix
+	ReasonUserRequest
+	ReasonNewFeature
+)
+
+var reasonNames = [...]string{"security patch", "bug fix", "user request", "new feature"}
+
+func (r Reason) String() string { return reasonNames[r] }
+
+// Cause of failed upgrades.
+type Cause int
+
+const (
+	CauseBrokenDependency Cause = iota
+	CauseRemovedBehavior
+	CauseBuggyUpgrade
+	CauseLegacyConfig
+	CauseImproperPackaging
+)
+
+var causeNames = [...]string{
+	"broken dependency", "removed behavior", "buggy upgrade",
+	"legacy configuration", "improper packaging",
+}
+
+func (c Cause) String() string { return causeNames[c] }
+
+// Dataset is the reconstructed survey.
+type Dataset struct {
+	Respondents []Respondent
+}
+
+// frequencyPlan assigns Figure 1's histogram: 45/50 upgrade at least
+// monthly (90%).
+var frequencyPlan = map[Frequency]int{
+	FreqMoreThanWeekly: 16,
+	FreqWeekly:         11,
+	FreqBiweekly:       8,
+	FreqMonthly:        10,
+	FreqQuarterly:      2,
+	FreqSemester:       2,
+	FreqYearly:         1,
+	FreqLessThanYearly: 0,
+}
+
+// experiencePlan: 41/50 (82%) above five years.
+var experiencePlan = map[Experience]int{
+	Exp0to2:   4,
+	Exp2to5:   5,
+	Exp5to10:  21,
+	ExpOver10: 20,
+}
+
+// failurePlan reproduces Figure 3: 33/50 (66%) in the 5-10% buckets,
+// mean 8.56 (the paper's 8.6), median 5.
+var failurePlan = map[int]int{
+	1: 8, 5: 22, 10: 11, 20: 6, 25: 2, 30: 1,
+	40: 0, 50: 0, 60: 0, 80: 0, 90: 0, 100: 0,
+}
+
+// FailureBuckets are Figure 3's x axis.
+var FailureBuckets = []int{1, 5, 10, 20, 25, 30, 40, 50, 60, 80, 90, 100}
+
+// Load builds the reconstructed dataset. It is deterministic.
+func Load() *Dataset {
+	ds := &Dataset{}
+
+	// Expand the marginal plans into per-respondent assignments, pairing
+	// them round-robin so cross-tabulations stay plausible (experienced
+	// administrators appear in every frequency bucket, as in Figure 1).
+	var freqs []Frequency
+	for f := FreqMoreThanWeekly; f <= FreqLessThanYearly; f++ {
+		for i := 0; i < frequencyPlan[f]; i++ {
+			freqs = append(freqs, f)
+		}
+	}
+	var exps []Experience
+	for e := Exp0to2; e <= ExpOver10; e++ {
+		for i := 0; i < experiencePlan[e]; i++ {
+			exps = append(exps, e)
+		}
+	}
+	var rates []int
+	for _, b := range FailureBuckets {
+		for i := 0; i < failurePlan[b]; i++ {
+			rates = append(rates, b)
+		}
+	}
+	sort.Ints(rates)
+
+	for i := 0; i < 50; i++ {
+		r := Respondent{
+			ID: i + 1,
+			// Interleave experience across frequency buckets.
+			Experience:      exps[(i*17)%len(exps)],
+			Frequency:       freqs[i%len(freqs)],
+			FailureRatePct:  rates[(i*7)%len(rates)],
+			MachinesOver20:  i%50 < 39, // 78%
+			UNIX:            i%50 < 48, // 48 respondents
+			Windows:         (i*3)%50 < 29,
+			MacOS:           (i*7)%50 < 12,
+			Refrains:        i%10 < 7,      // 70%
+			PassedTesting:   (i*3)%50 < 24, // 48%
+			Catastrophic:    (i*11)%50 < 9, // 18%
+			ReportsProblems: i%2 == 0,      // 50%
+		}
+		// 70% have a testing strategy, correlated so that 27 of the 35
+		// refraining administrators have one (Figure 2's stacking: most of
+		// the administrators who refrain do so despite having a strategy).
+		if r.Refrains {
+			r.TestingStrategy = !refrainersWithoutStrategy[i]
+		} else {
+			r.TestingStrategy = nonRefrainersWithStrategy[i]
+		}
+		r.ReasonRank = reasonRanks(i)
+		r.CauseRank = causeRanks(i)
+		ds.Respondents = append(ds.Respondents, r)
+	}
+	return ds
+}
+
+// Figure 2 stacking. Respondents with i%10 in 0..6 refrain (35 of 50);
+// eight of them lack a testing strategy, and eight non-refrainers have one,
+// keeping both marginals at 70%.
+var refrainersWithoutStrategy = map[int]bool{
+	6: true, 16: true, 26: true, 36: true, 46: true,
+	3: true, 13: true, 23: true,
+}
+
+var nonRefrainersWithStrategy = map[int]bool{
+	7: true, 17: true, 27: true, 37: true, 47: true,
+	8: true, 18: true, 28: true,
+}
+
+// rankPool expands a bucket plan (rank -> count, 50 total) into a slice.
+func rankPool(plan map[int]int) []int {
+	var out []int
+	for rank := 1; rank <= 5; rank++ {
+		for i := 0; i < plan[rank]; i++ {
+			out = append(out, rank)
+		}
+	}
+	return out
+}
+
+// Rank pools with exact sums matching the paper's averages. The survey
+// allowed ties and an "other" option, so per-respondent ranks across
+// categories need not form a permutation; each category's ranks are drawn
+// from its own pool.
+var (
+	// security 1.6, bug fix 2.2, user request 3.3, new feature 3.5.
+	poolSecurity = rankPool(map[int]int{1: 25, 2: 20, 3: 5})        // sum 80
+	poolBugFix   = rankPool(map[int]int{1: 10, 2: 20, 3: 20})       // sum 110
+	poolUserReq  = rankPool(map[int]int{2: 15, 3: 10, 4: 20, 5: 5}) // sum 165
+	poolFeature  = rankPool(map[int]int{2: 15, 3: 5, 4: 20, 5: 10}) // sum 175
+	// broken 2.5, removed 2.5, buggy 2.6, legacy 3.1, packaging 3.2.
+	poolBroken    = rankPool(map[int]int{2: 25, 3: 25})               // sum 125
+	poolRemoved   = rankPool(map[int]int{1: 10, 2: 15, 3: 15, 4: 10}) // sum 125
+	poolBuggy     = rankPool(map[int]int{1: 5, 2: 20, 3: 15, 4: 10})  // sum 130
+	poolLegacy    = rankPool(map[int]int{2: 10, 3: 25, 4: 15})        // sum 155
+	poolPackaging = rankPool(map[int]int{2: 10, 3: 20, 4: 20})        // sum 160
+)
+
+// reasonRanks draws respondent i's reason ratings from the pools, with
+// per-category offsets so the joint distribution varies across respondents.
+func reasonRanks(i int) map[Reason]int {
+	return map[Reason]int{
+		ReasonSecurity:    poolSecurity[i],
+		ReasonBugFix:      poolBugFix[(i*3)%50],
+		ReasonUserRequest: poolUserReq[(i*7)%50],
+		ReasonNewFeature:  poolFeature[(i*9)%50],
+	}
+}
+
+// causeRanks draws respondent i's cause ratings from the pools.
+func causeRanks(i int) map[Cause]int {
+	return map[Cause]int{
+		CauseBrokenDependency:  poolBroken[i],
+		CauseRemovedBehavior:   poolRemoved[(i*3)%50],
+		CauseBuggyUpgrade:      poolBuggy[(i*7)%50],
+		CauseLegacyConfig:      poolLegacy[(i*9)%50],
+		CauseImproperPackaging: poolPackaging[(i*11)%50],
+	}
+}
+
+// Figure1 returns the upgrade-frequency histogram broken down by
+// experience bucket, as charted.
+func (ds *Dataset) Figure1() map[Frequency]map[Experience]int {
+	out := make(map[Frequency]map[Experience]int)
+	for f := FreqMoreThanWeekly; f <= FreqLessThanYearly; f++ {
+		out[f] = make(map[Experience]int)
+	}
+	for _, r := range ds.Respondents {
+		out[r.Frequency][r.Experience]++
+	}
+	return out
+}
+
+// Figure2 returns the reluctance-vs-testing-strategy cross table: counts
+// of respondents by (refrains, has testing strategy).
+func (ds *Dataset) Figure2() map[bool]map[bool]int {
+	out := map[bool]map[bool]int{true: {}, false: {}}
+	for _, r := range ds.Respondents {
+		out[r.Refrains][r.TestingStrategy]++
+	}
+	return out
+}
+
+// Figure3 returns the perceived-failure-rate histogram over FailureBuckets.
+func (ds *Dataset) Figure3() map[int]int {
+	out := make(map[int]int)
+	for _, r := range ds.Respondents {
+		out[r.FailureRatePct]++
+	}
+	return out
+}
+
+// MeanFailureRate returns the average perceived failure rate.
+func (ds *Dataset) MeanFailureRate() float64 {
+	sum := 0
+	for _, r := range ds.Respondents {
+		sum += r.FailureRatePct
+	}
+	return float64(sum) / float64(len(ds.Respondents))
+}
+
+// MedianFailureRate returns the median perceived failure rate.
+func (ds *Dataset) MedianFailureRate() int {
+	rates := make([]int, len(ds.Respondents))
+	for i, r := range ds.Respondents {
+		rates[i] = r.FailureRatePct
+	}
+	sort.Ints(rates)
+	return rates[(len(rates)-1)/2]
+}
+
+// AvgReasonRank returns the average rank per upgrade reason.
+func (ds *Dataset) AvgReasonRank() map[Reason]float64 {
+	sums := make(map[Reason]int)
+	for _, r := range ds.Respondents {
+		for reason, rank := range r.ReasonRank {
+			sums[reason] += rank
+		}
+	}
+	out := make(map[Reason]float64)
+	for reason, sum := range sums {
+		out[reason] = float64(sum) / float64(len(ds.Respondents))
+	}
+	return out
+}
+
+// AvgCauseRank returns the average rank per failure cause.
+func (ds *Dataset) AvgCauseRank() map[Cause]float64 {
+	sums := make(map[Cause]int)
+	for _, r := range ds.Respondents {
+		for cause, rank := range r.CauseRank {
+			sums[cause] += rank
+		}
+	}
+	out := make(map[Cause]float64)
+	for cause, sum := range sums {
+		out[cause] = float64(sum) / float64(len(ds.Respondents))
+	}
+	return out
+}
+
+// Pct returns the share of respondents satisfying pred, in percent.
+func (ds *Dataset) Pct(pred func(Respondent) bool) float64 {
+	n := 0
+	for _, r := range ds.Respondents {
+		if pred(r) {
+			n++
+		}
+	}
+	return 100 * float64(n) / float64(len(ds.Respondents))
+}
+
+// RenderFigure1 renders Figure 1 as an ASCII table.
+func (ds *Dataset) RenderFigure1() string {
+	var sb strings.Builder
+	fig := ds.Figure1()
+	fmt.Fprintf(&sb, "%-28s %5s %5s %6s %5s  total\n", "Upgrade frequency", "0-2", "2-5", "5-10", ">10")
+	for f := FreqMoreThanWeekly; f <= FreqLessThanYearly; f++ {
+		row := fig[f]
+		total := row[Exp0to2] + row[Exp2to5] + row[Exp5to10] + row[ExpOver10]
+		fmt.Fprintf(&sb, "%-28s %5d %5d %6d %5d  %5d\n",
+			f, row[Exp0to2], row[Exp2to5], row[Exp5to10], row[ExpOver10], total)
+	}
+	return sb.String()
+}
+
+// RenderFigure2 renders Figure 2 as an ASCII table.
+func (ds *Dataset) RenderFigure2() string {
+	fig := ds.Figure2()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-20s %-18s %-18s\n", "", "testing strategy", "no strategy")
+	fmt.Fprintf(&sb, "%-20s %18d %18d\n", "refrain to install", fig[true][true], fig[true][false])
+	fmt.Fprintf(&sb, "%-20s %18d %18d\n", "does not refrain", fig[false][true], fig[false][false])
+	return sb.String()
+}
+
+// RenderFigure3 renders Figure 3 as an ASCII histogram.
+func (ds *Dataset) RenderFigure3() string {
+	fig := ds.Figure3()
+	var sb strings.Builder
+	sb.WriteString("% failures  respondents\n")
+	for _, b := range FailureBuckets {
+		fmt.Fprintf(&sb, "%9d%%  %2d %s\n", b, fig[b], strings.Repeat("#", fig[b]))
+	}
+	fmt.Fprintf(&sb, "mean %.1f%%, median %d%%\n", ds.MeanFailureRate(), ds.MedianFailureRate())
+	return sb.String()
+}

@@ -1,0 +1,203 @@
+package survey
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestFiftyRespondents(t *testing.T) {
+	ds := Load()
+	if len(ds.Respondents) != 50 {
+		t.Fatalf("respondents = %d", len(ds.Respondents))
+	}
+	ids := make(map[int]bool)
+	for _, r := range ds.Respondents {
+		if ids[r.ID] {
+			t.Fatalf("duplicate id %d", r.ID)
+		}
+		ids[r.ID] = true
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a, b := Load(), Load()
+	for i := range a.Respondents {
+		ra, rb := a.Respondents[i], b.Respondents[i]
+		if ra.Frequency != rb.Frequency || ra.FailureRatePct != rb.FailureRatePct ||
+			ra.Experience != rb.Experience {
+			t.Fatalf("respondent %d differs across loads", i)
+		}
+	}
+}
+
+func TestDemographics(t *testing.T) {
+	ds := Load()
+	if got := ds.Pct(func(r Respondent) bool { return r.Experience.MoreThanFiveYears() }); got != 82 {
+		t.Fatalf("experience >5y = %v%%, want 82", got)
+	}
+	if got := ds.Pct(func(r Respondent) bool { return r.MachinesOver20 }); got != 78 {
+		t.Fatalf("machines >20 = %v%%, want 78", got)
+	}
+	unix, win, mac := 0, 0, 0
+	for _, r := range ds.Respondents {
+		if r.UNIX {
+			unix++
+		}
+		if r.Windows {
+			win++
+		}
+		if r.MacOS {
+			mac++
+		}
+	}
+	if unix != 48 || win != 29 || mac != 12 {
+		t.Fatalf("OS counts = %d/%d/%d, want 48/29/12", unix, win, mac)
+	}
+}
+
+func TestFigure1Marginals(t *testing.T) {
+	ds := Load()
+	// 90% upgrade monthly or more often.
+	if got := ds.Pct(func(r Respondent) bool { return r.Frequency.AtLeastMonthly() }); got != 90 {
+		t.Fatalf("at least monthly = %v%%, want 90", got)
+	}
+	fig := ds.Figure1()
+	total := 0
+	for f := FreqMoreThanWeekly; f <= FreqLessThanYearly; f++ {
+		for _, n := range fig[f] {
+			total += n
+		}
+	}
+	if total != 50 {
+		t.Fatalf("figure 1 total = %d", total)
+	}
+	// Experienced administrators appear across frequency buckets.
+	if fig[FreqMoreThanWeekly][ExpOver10] == 0 || fig[FreqMoreThanWeekly][Exp5to10] == 0 {
+		t.Fatal("experienced admins missing from the most frequent bucket")
+	}
+}
+
+func TestFigure2Marginals(t *testing.T) {
+	ds := Load()
+	if got := ds.Pct(func(r Respondent) bool { return r.Refrains }); got != 70 {
+		t.Fatalf("refrains = %v%%, want 70", got)
+	}
+	if got := ds.Pct(func(r Respondent) bool { return r.TestingStrategy }); got != 70 {
+		t.Fatalf("testing strategy = %v%%, want 70", got)
+	}
+	fig := ds.Figure2()
+	if fig[true][true]+fig[true][false] != 35 {
+		t.Fatalf("refrainers = %d", fig[true][true]+fig[true][false])
+	}
+	if fig[true][true]+fig[false][true] != 35 {
+		t.Fatalf("testers = %d", fig[true][true]+fig[false][true])
+	}
+	// Both survey findings hold simultaneously: most refrainers DO have a
+	// testing strategy (they distrust upgrades anyway).
+	if fig[true][true] <= fig[true][false] {
+		t.Fatalf("refrainers with strategy %d <= without %d", fig[true][true], fig[true][false])
+	}
+}
+
+func TestFigure3Marginals(t *testing.T) {
+	ds := Load()
+	fig := ds.Figure3()
+	if got := fig[5] + fig[10]; got != 33 { // 66%
+		t.Fatalf("5-10%% respondents = %d, want 33", got)
+	}
+	if mean := ds.MeanFailureRate(); math.Abs(mean-8.6) > 0.1 {
+		t.Fatalf("mean failure rate = %v, want ~8.6", mean)
+	}
+	if med := ds.MedianFailureRate(); med != 5 {
+		t.Fatalf("median failure rate = %d, want 5", med)
+	}
+	total := 0
+	for _, n := range fig {
+		total += n
+	}
+	if total != 50 {
+		t.Fatalf("figure 3 total = %d", total)
+	}
+}
+
+func TestReasonRanks(t *testing.T) {
+	ds := Load()
+	ranks := ds.AvgReasonRank()
+	check := func(r Reason, want, tol float64) {
+		if math.Abs(ranks[r]-want) > tol {
+			t.Errorf("%v avg rank = %.2f, want %.1f±%.1f", r, ranks[r], want, tol)
+		}
+	}
+	check(ReasonSecurity, 1.6, 0.001)
+	check(ReasonBugFix, 2.2, 0.001)
+	check(ReasonUserRequest, 3.3, 0.001)
+	check(ReasonNewFeature, 3.5, 0.001)
+	// Ordering is what the paper stresses: security first, features last.
+	if !(ranks[ReasonSecurity] < ranks[ReasonBugFix] &&
+		ranks[ReasonBugFix] < ranks[ReasonUserRequest] &&
+		ranks[ReasonUserRequest] < ranks[ReasonNewFeature]) {
+		t.Fatalf("reason ordering wrong: %v", ranks)
+	}
+}
+
+func TestCauseRanks(t *testing.T) {
+	ds := Load()
+	ranks := ds.AvgCauseRank()
+	// The paper's exact averages; no single cause dominates.
+	want := map[Cause]float64{
+		CauseBrokenDependency:  2.5,
+		CauseRemovedBehavior:   2.5,
+		CauseBuggyUpgrade:      2.6,
+		CauseLegacyConfig:      3.1,
+		CauseImproperPackaging: 3.2,
+	}
+	for c, w := range want {
+		if math.Abs(ranks[c]-w) > 0.001 {
+			t.Errorf("%v avg rank = %.2f, want %.1f", c, ranks[c], w)
+		}
+	}
+	// Ratings stay within the survey's 1..5 scale.
+	for _, r := range ds.Respondents {
+		for _, rank := range r.CauseRank {
+			if rank < 1 || rank > 5 {
+				t.Fatalf("respondent %d has out-of-scale rating %v", r.ID, r.CauseRank)
+			}
+		}
+	}
+}
+
+func TestOtherAggregates(t *testing.T) {
+	ds := Load()
+	if got := ds.Pct(func(r Respondent) bool { return r.PassedTesting }); got != 48 {
+		t.Fatalf("passed-testing problems = %v%%, want 48", got)
+	}
+	if got := ds.Pct(func(r Respondent) bool { return r.Catastrophic }); got != 18 {
+		t.Fatalf("catastrophic = %v%%, want 18", got)
+	}
+	if got := ds.Pct(func(r Respondent) bool { return r.ReportsProblems }); got != 50 {
+		t.Fatalf("reports problems = %v%%, want 50", got)
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	ds := Load()
+	if s := ds.RenderFigure1(); !strings.Contains(s, "Once a month") {
+		t.Fatalf("figure 1 render:\n%s", s)
+	}
+	if s := ds.RenderFigure2(); !strings.Contains(s, "refrain to install") {
+		t.Fatalf("figure 2 render:\n%s", s)
+	}
+	if s := ds.RenderFigure3(); !strings.Contains(s, "median 5%") {
+		t.Fatalf("figure 3 render:\n%s", s)
+	}
+}
+
+func TestEnumStrings(t *testing.T) {
+	if FreqMonthly.String() != "Once a month" || Exp5to10.String() != "5-10" {
+		t.Fatal("enum strings wrong")
+	}
+	if ReasonSecurity.String() == "" || CauseBuggyUpgrade.String() == "" {
+		t.Fatal("empty enum strings")
+	}
+}

@@ -1,0 +1,201 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sort"
+
+	"repro/internal/apps"
+	"repro/internal/envid"
+	"repro/internal/machine"
+	"repro/internal/parser"
+	"repro/internal/pkgmgr"
+	"repro/internal/report"
+	"repro/internal/trace"
+	"repro/internal/vmtest"
+)
+
+// Agent runs on a user machine: it dials the vendor, registers, and then
+// serves vendor-initiated commands until the connection closes.
+type Agent struct {
+	M          *machine.Machine
+	Store      *vmtest.Store
+	Identifier *envid.Identifier
+
+	// local caches locally identified resources per application.
+	local map[string][]string
+	// vendorRefs caches the vendor-sent resource references per app.
+	vendorRefs map[string][]string
+}
+
+// NewAgent returns an agent managing machine m.
+func NewAgent(m *machine.Machine) *Agent {
+	return &Agent{
+		M:          m,
+		Store:      vmtest.NewStore(),
+		Identifier: &envid.Identifier{},
+		local:      make(map[string][]string),
+		vendorRefs: make(map[string][]string),
+	}
+}
+
+// Run dials the vendor at addr, registers, and serves commands until the
+// connection is closed by the vendor or an error occurs. It returns nil on
+// orderly shutdown (vendor closed the channel).
+func (a *Agent) Run(addr string) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("transport: dialing vendor: %w", err)
+	}
+	defer conn.Close()
+
+	enc := json.NewEncoder(conn)
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	if err := enc.Encode(Frame{Op: OpRegister, Register: &RegisterReq{Machine: a.M.Name}}); err != nil {
+		return fmt.Errorf("transport: registering: %w", err)
+	}
+
+	for {
+		var req Frame
+		if err := dec.Decode(&req); err != nil {
+			return nil // vendor closed the channel
+		}
+		resp := a.handle(req)
+		resp.ID = req.ID
+		if err := enc.Encode(resp); err != nil {
+			return fmt.Errorf("transport: replying: %w", err)
+		}
+	}
+}
+
+// handle dispatches one vendor command.
+func (a *Agent) handle(req Frame) Frame {
+	switch req.Op {
+	case OpIdentify:
+		if req.Identify == nil {
+			return errFrame("identify payload missing")
+		}
+		return a.handleIdentify(*req.Identify)
+	case OpRecord:
+		if req.Record == nil {
+			return errFrame("record payload missing")
+		}
+		return a.handleRecord(*req.Record)
+	case OpFingerprint:
+		if req.Fingerprint == nil {
+			return errFrame("fingerprint payload missing")
+		}
+		return a.handleFingerprint(*req.Fingerprint)
+	case OpTest:
+		if req.Test == nil {
+			return errFrame("test payload missing")
+		}
+		return a.handleTest(*req.Test)
+	case OpIntegrate:
+		if req.Integrate == nil {
+			return errFrame("integrate payload missing")
+		}
+		return a.handleIntegrate(*req.Integrate)
+	default:
+		return errFrame("unknown op " + req.Op)
+	}
+}
+
+func errFrame(msg string) Frame { return Frame{Err: msg} }
+
+func (a *Agent) handleIdentify(req IdentifyReq) Frame {
+	app := apps.Lookup(req.App)
+	if app == nil {
+		return errFrame("unknown application " + req.App)
+	}
+	traces := make([]*trace.Trace, 0, len(req.Workloads))
+	for _, w := range req.Workloads {
+		traces = append(traces, app.Run(a.M, w))
+	}
+	res := a.Identifier.Identify(a.M, traces, req.App)
+	a.local[req.App] = res.Resources
+	return Frame{Resources: res.Resources, OK: true}
+}
+
+func (a *Agent) handleRecord(req RecordReq) Frame {
+	app := apps.Lookup(req.App)
+	if app == nil {
+		return errFrame("unknown application " + req.App)
+	}
+	rec := a.Store.Record(app, a.M, req.Inputs)
+	return Frame{OK: true, Status: rec.Trace.ExitStatus()}
+}
+
+func (a *Agent) handleFingerprint(req FingerprintReq) Frame {
+	reg, err := BuildRegistry(req.Registry)
+	if err != nil {
+		return errFrame(err.Error())
+	}
+	a.vendorRefs[req.App] = req.Refs
+	refs := mergeRefs(req.Refs, a.local[req.App])
+	own := parser.NewFingerprinter(reg).Fingerprint(a.M, refs)
+	diff := own.Diff(ItemsFromWire(req.VendorItems))
+	return Frame{Diff: ItemsToWire(diff), AppSet: a.M.AppSetKey(), OK: true}
+}
+
+func (a *Agent) handleTest(req TestReq) Frame {
+	up := UpgradeFromWire(req.Upgrade)
+	val := vmtest.NewValidator(a.M, pkgmgr.NewRepository(), a.Store)
+	val.ResourcesByApp = a.allResources()
+	rep, err := val.Validate(up)
+	if err != nil {
+		return errFrame(err.Error())
+	}
+	out := &report.Report{UpgradeID: up.ID, Machine: a.M.Name, Success: rep.OK()}
+	for _, verdict := range rep.Verdicts {
+		if !verdict.OK {
+			out.FailedApps = append(out.FailedApps, verdict.App)
+			out.Reasons = append(out.Reasons, verdict.Reason)
+		}
+	}
+	if !out.Success {
+		out.Image = report.CaptureImage(rep.Sandbox)
+	}
+	return Frame{Report: out, OK: true}
+}
+
+func (a *Agent) handleIntegrate(req IntegrateReq) Frame {
+	up := UpgradeFromWire(req.Upgrade)
+	mgr := pkgmgr.NewManager(a.M, pkgmgr.NewRepository())
+	if _, err := mgr.Apply(up); err != nil {
+		return errFrame(err.Error())
+	}
+	return Frame{OK: true}
+}
+
+func (a *Agent) allResources() map[string][]string {
+	names := make(map[string]bool)
+	for n := range a.local {
+		names[n] = true
+	}
+	for n := range a.vendorRefs {
+		names[n] = true
+	}
+	out := make(map[string][]string, len(names))
+	for n := range names {
+		out[n] = mergeRefs(a.vendorRefs[n], a.local[n])
+	}
+	return out
+}
+
+func mergeRefs(a, b []string) []string {
+	seen := make(map[string]bool, len(a)+len(b))
+	var out []string
+	for _, refs := range [][]string{a, b} {
+		for _, r := range refs {
+			if !seen[r] {
+				seen[r] = true
+				out = append(out, r)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}

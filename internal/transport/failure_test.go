@@ -1,0 +1,132 @@
+package transport
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/deploy"
+	"repro/internal/report"
+)
+
+// Failure-injection tests for the wire layer: dead agents, bogus
+// registrations, timeouts, and mid-deployment disconnects.
+
+func TestRPCToDeadAgentFails(t *testing.T) {
+	m := userMachine("doomed", false)
+	s, _ := startFleet(t, m)
+	// Grab the connection and kill it from the agent side.
+	s.mu.Lock()
+	conn := s.agents["doomed"].conn
+	s.mu.Unlock()
+	conn.Close()
+	time.Sleep(20 * time.Millisecond)
+
+	if _, err := s.Identify("doomed", "mysql", [][]string{nil}); err == nil {
+		t.Fatal("RPC to dead agent succeeded")
+	}
+}
+
+func TestDeploymentSurfacesAgentDeath(t *testing.T) {
+	m := userMachine("victim", false)
+	s, _ := startFleet(t, m)
+	s.mu.Lock()
+	s.agents["victim"].conn.Close()
+	s.mu.Unlock()
+	time.Sleep(20 * time.Millisecond)
+
+	urr := report.New()
+	ctl := deploy.NewController(urr, nil)
+	clusters := []*deploy.Cluster{{
+		ID: "c0", Distance: 0,
+		Representatives: []deploy.Node{s.Node("victim")},
+	}}
+	_, err := ctl.Deploy(deploy.PolicyBalanced, mysql5Wire(), clusters)
+	if err == nil {
+		t.Fatal("deployment ignored a dead node")
+	}
+	if !strings.Contains(err.Error(), "victim") {
+		t.Fatalf("error does not identify the node: %v", err)
+	}
+}
+
+func TestBogusRegistrationDropped(t *testing.T) {
+	s, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write([]byte("this is not json\n")); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(30 * time.Millisecond)
+	if got := s.Agents(); len(got) != 0 {
+		t.Fatalf("bogus registration accepted: %v", got)
+	}
+	conn.Close()
+}
+
+func TestRPCTimeout(t *testing.T) {
+	s, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Timeout = 50 * time.Millisecond
+
+	// A half-agent: registers, then never answers.
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte(`{"op":"register","register":{"machine":"mute"}}` + "\n")); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.WaitForAgents(1, time.Second); got != 1 {
+		t.Fatalf("agents = %d", got)
+	}
+
+	start := time.Now()
+	_, err = s.Identify("mute", "mysql", nil)
+	if err == nil {
+		t.Fatal("RPC to mute agent succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("timeout took %v", elapsed)
+	}
+}
+
+func TestUnknownOpRejectedByAgent(t *testing.T) {
+	m := userMachine("strict", false)
+	s, _ := startFleet(t, m)
+	s.mu.Lock()
+	ac := s.agents["strict"]
+	s.mu.Unlock()
+	_, err := ac.call(Frame{Op: "format-disk"}, time.Second)
+	if err == nil || !strings.Contains(err.Error(), "unknown op") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestServerCloseTerminatesAgents(t *testing.T) {
+	m := userMachine("transient", false)
+	s, wg := startFleet(t, m)
+	s.Close()
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(3 * time.Second):
+		t.Fatal("agent did not terminate after server close")
+	}
+}

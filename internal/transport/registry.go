@@ -1,0 +1,56 @@
+package transport
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/parser"
+)
+
+// BuildRegistry reconstructs a parser registry from its wire configuration.
+func BuildRegistry(cfg RegistryConfig) (*parser.Registry, error) {
+	reg := parser.NewRegistry()
+	for _, rule := range cfg.Rules {
+		p, err := parserByName(rule.Parser, rule.IgnoreKeys)
+		if err != nil {
+			return nil, err
+		}
+		switch rule.Match {
+		case "path":
+			reg.RegisterPath(rule.Pattern, p)
+		case "glob":
+			reg.RegisterGlob(rule.Pattern, p)
+		case "type":
+			reg.RegisterType(machine.FileType(rule.Type), p)
+		default:
+			return nil, fmt.Errorf("transport: unknown registry match kind %q", rule.Match)
+		}
+	}
+	return reg, nil
+}
+
+func parserByName(name string, ignoreKeys []string) (parser.Parser, error) {
+	switch name {
+	case "executable":
+		return parser.ExecutableParser{}, nil
+	case "sharedlib":
+		return parser.SharedLibParser{}, nil
+	case "text":
+		return parser.TextParser{}, nil
+	case "config":
+		return parser.ConfigParser{IgnoreKeys: ignoreKeys}, nil
+	case "binary":
+		return parser.NewBinaryParser(), nil
+	default:
+		return nil, fmt.Errorf("transport: unknown parser %q", name)
+	}
+}
+
+// MirageRegistryConfig is the wire form of the Mirage-supplied registry.
+func MirageRegistryConfig() RegistryConfig {
+	return RegistryConfig{Rules: []RegistryRule{
+		{Match: "type", Type: int(machine.TypeExecutable), Parser: "executable"},
+		{Match: "type", Type: int(machine.TypeSharedLib), Parser: "sharedlib"},
+		{Match: "glob", Pattern: "/etc/*.conf", Parser: "config"},
+	}}
+}

@@ -1,0 +1,281 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/deploy"
+	"repro/internal/pkgmgr"
+	"repro/internal/report"
+	"repro/internal/resource"
+)
+
+// DefaultRPCTimeout bounds each vendor-initiated call; upgrade validation
+// replays traces, so it is generous.
+const DefaultRPCTimeout = 30 * time.Second
+
+// agentConn is the vendor-side handle on one connected agent.
+type agentConn struct {
+	name string
+	conn net.Conn
+	enc  *json.Encoder
+	dec  *json.Decoder
+
+	mu     sync.Mutex // serializes RPCs on the channel
+	nextID int
+}
+
+// call performs one synchronous RPC on the agent channel.
+func (ac *agentConn) call(req Frame, timeout time.Duration) (Frame, error) {
+	ac.mu.Lock()
+	defer ac.mu.Unlock()
+	ac.nextID++
+	req.ID = ac.nextID
+	deadline := time.Now().Add(timeout)
+	if err := ac.conn.SetDeadline(deadline); err != nil {
+		return Frame{}, err
+	}
+	if err := ac.enc.Encode(req); err != nil {
+		return Frame{}, fmt.Errorf("transport: sending %s to %s: %w", req.Op, ac.name, err)
+	}
+	var resp Frame
+	if err := ac.dec.Decode(&resp); err != nil {
+		return Frame{}, fmt.Errorf("transport: reading %s reply from %s: %w", req.Op, ac.name, err)
+	}
+	if resp.ID != req.ID {
+		return Frame{}, fmt.Errorf("transport: reply id %d for request %d from %s", resp.ID, req.ID, ac.name)
+	}
+	if resp.Err != "" {
+		return Frame{}, errors.New("transport: agent " + ac.name + ": " + resp.Err)
+	}
+	return resp, nil
+}
+
+// Server is the vendor-side endpoint agents register with.
+type Server struct {
+	ln net.Listener
+
+	mu      sync.Mutex
+	agents  map[string]*agentConn
+	Timeout time.Duration
+}
+
+// Listen starts the vendor server on addr (use "127.0.0.1:0" in tests) and
+// begins accepting agent registrations.
+func Listen(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen: %w", err)
+	}
+	s := &Server{ln: ln, agents: make(map[string]*agentConn), Timeout: DefaultRPCTimeout}
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the server down and closes all agent channels.
+func (s *Server) Close() error {
+	err := s.ln.Close()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, ac := range s.agents {
+		ac.conn.Close()
+	}
+	s.agents = make(map[string]*agentConn)
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		go s.register(conn)
+	}
+}
+
+// register reads the agent's registration frame and records the channel.
+func (s *Server) register(conn net.Conn) {
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	if err := conn.SetReadDeadline(time.Now().Add(10 * time.Second)); err != nil {
+		conn.Close()
+		return
+	}
+	var hello Frame
+	if err := dec.Decode(&hello); err != nil || hello.Op != OpRegister || hello.Register == nil {
+		conn.Close()
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+	ac := &agentConn{name: hello.Register.Machine, conn: conn, enc: json.NewEncoder(conn), dec: dec}
+	s.mu.Lock()
+	if old, dup := s.agents[ac.name]; dup {
+		old.conn.Close()
+	}
+	s.agents[ac.name] = ac
+	s.mu.Unlock()
+}
+
+// Agents returns the names of registered agents, sorted.
+func (s *Server) Agents() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.agents))
+	for n := range s.agents {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WaitForAgents blocks until n agents are registered or the timeout
+// elapses; it returns the registered count.
+func (s *Server) WaitForAgents(n int, timeout time.Duration) int {
+	deadline := time.Now().Add(timeout)
+	for {
+		if got := len(s.Agents()); got >= n || time.Now().After(deadline) {
+			return got
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func (s *Server) agent(name string) (*agentConn, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ac, ok := s.agents[name]
+	if !ok {
+		return nil, fmt.Errorf("transport: no agent registered as %q", name)
+	}
+	return ac, nil
+}
+
+// Identify asks the named agent to run local resource identification.
+func (s *Server) Identify(machineName, app string, workloads [][]string) ([]string, error) {
+	ac, err := s.agent(machineName)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := ac.call(Frame{Op: OpIdentify, Identify: &IdentifyReq{App: app, Workloads: workloads}}, s.Timeout)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Resources, nil
+}
+
+// Record asks the named agent to record a baseline trace.
+func (s *Server) Record(machineName, app string, inputs []string) (string, error) {
+	ac, err := s.agent(machineName)
+	if err != nil {
+		return "", err
+	}
+	resp, err := ac.call(Frame{Op: OpRecord, Record: &RecordReq{App: app, Inputs: inputs}}, s.Timeout)
+	if err != nil {
+		return "", err
+	}
+	return resp.Status, nil
+}
+
+// FingerprintAll collects item diffs from every registered agent for app.
+func (s *Server) FingerprintAll(app string, refs []string, reg RegistryConfig, vendorItems *resource.Set) ([]cluster.MachineFingerprint, error) {
+	wire := ItemsToWire(vendorItems)
+	var out []cluster.MachineFingerprint
+	for _, name := range s.Agents() {
+		ac, err := s.agent(name)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := ac.call(Frame{Op: OpFingerprint, Fingerprint: &FingerprintReq{
+			App: app, Refs: refs, Registry: reg, VendorItems: wire,
+		}}, s.Timeout)
+		if err != nil {
+			return nil, err
+		}
+		diff := ItemsFromWire(resp.Diff)
+		out = append(out, cluster.MachineFingerprint{
+			Name:        name,
+			ParsedDiff:  diff.OfKind(resource.Parsed),
+			ContentDiff: diff.OfKind(resource.Content),
+			AppSet:      resp.AppSet,
+		})
+	}
+	return out, nil
+}
+
+// RemoteNode exposes a registered agent as a deploy.Node, so the staged
+// deployment controller drives networked machines exactly like local ones.
+type RemoteNode struct {
+	s    *Server
+	name string
+}
+
+// Node returns the deploy.Node for a registered agent.
+func (s *Server) Node(name string) *RemoteNode {
+	return &RemoteNode{s: s, name: name}
+}
+
+// Name implements deploy.Node.
+func (r *RemoteNode) Name() string { return r.name }
+
+// TestUpgrade implements deploy.Node over the wire.
+func (r *RemoteNode) TestUpgrade(up *pkgmgr.Upgrade) (*report.Report, error) {
+	ac, err := r.s.agent(r.name)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := ac.call(Frame{Op: OpTest, Test: &TestReq{Upgrade: UpgradeToWire(up)}}, r.s.Timeout)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Report == nil {
+		return nil, errors.New("transport: agent returned no report")
+	}
+	return resp.Report, nil
+}
+
+// Integrate implements deploy.Node over the wire.
+func (r *RemoteNode) Integrate(up *pkgmgr.Upgrade) error {
+	ac, err := r.s.agent(r.name)
+	if err != nil {
+		return err
+	}
+	_, err = ac.call(Frame{Op: OpIntegrate, Integrate: &IntegrateReq{Upgrade: UpgradeToWire(up)}}, r.s.Timeout)
+	return err
+}
+
+// ClusterRemote fingerprints the whole registered fleet and runs the
+// clustering algorithm, returning clusters of deployment backed by remote
+// nodes plus the raw clustering for inspection.
+func (s *Server) ClusterRemote(app string, refs []string, reg RegistryConfig, vendorItems *resource.Set, cfg cluster.Config, repsPerCluster int) ([]*deploy.Cluster, []*cluster.Cluster, error) {
+	if repsPerCluster < 1 {
+		repsPerCluster = 1
+	}
+	fps, err := s.FingerprintAll(app, refs, reg, vendorItems)
+	if err != nil {
+		return nil, nil, err
+	}
+	clusters := cluster.Run(cfg, fps)
+	var out []*deploy.Cluster
+	for _, c := range clusters {
+		dc := &deploy.Cluster{ID: fmt.Sprintf("cluster%d", c.ID), Distance: c.Distance}
+		for i, name := range c.Machines {
+			if i < repsPerCluster {
+				dc.Representatives = append(dc.Representatives, s.Node(name))
+			} else {
+				dc.Others = append(dc.Others, s.Node(name))
+			}
+		}
+		out = append(out, dc)
+	}
+	return out, clusters, nil
+}

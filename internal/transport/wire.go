@@ -1,0 +1,203 @@
+// Package transport makes Mirage distributed: a vendor-side TCP server, a
+// user-machine agent, and a JSON wire protocol carrying fingerprint
+// exchanges, upgrade pushes, validation commands and problem reports.
+//
+// Agents dial the vendor and keep a persistent control channel open (the
+// usual arrangement for fleet management behind NAT); all subsequent RPCs
+// are vendor-initiated over that channel. Remote agents appear to the
+// deployment controller as deploy.Node values, so the same staged
+// protocols drive local fleets and networked ones.
+//
+// Wire format: newline-delimited JSON frames. JSON string escaping
+// guarantees no raw newline appears inside a frame.
+package transport
+
+import (
+	"repro/internal/machine"
+	"repro/internal/pkgmgr"
+	"repro/internal/report"
+	"repro/internal/resource"
+)
+
+// Frame is one message on the wire. Requests carry Op and a payload field;
+// responses echo ID and fill Err or a payload field.
+type Frame struct {
+	ID int    `json:"id"`
+	Op string `json:"op,omitempty"`
+	// Err is set on failed responses.
+	Err string `json:"err,omitempty"`
+
+	// Request payloads.
+	Register    *RegisterReq    `json:"register,omitempty"`
+	Identify    *IdentifyReq    `json:"identify,omitempty"`
+	Record      *RecordReq      `json:"record,omitempty"`
+	Fingerprint *FingerprintReq `json:"fingerprint,omitempty"`
+	Test        *TestReq        `json:"test,omitempty"`
+	Integrate   *IntegrateReq   `json:"integrate,omitempty"`
+
+	// Response payloads.
+	Resources []string       `json:"resources,omitempty"`
+	Diff      []WireItem     `json:"diff,omitempty"`
+	AppSet    string         `json:"appset,omitempty"`
+	Report    *report.Report `json:"report,omitempty"`
+	OK        bool           `json:"ok,omitempty"`
+	Status    string         `json:"status,omitempty"`
+}
+
+// Operation names.
+const (
+	OpRegister    = "register"
+	OpIdentify    = "identify"
+	OpRecord      = "record"
+	OpFingerprint = "fingerprint"
+	OpTest        = "test_upgrade"
+	OpIntegrate   = "integrate"
+)
+
+// RegisterReq is the only agent-initiated message: it announces the
+// machine to the vendor.
+type RegisterReq struct {
+	Machine string `json:"machine"`
+}
+
+// IdentifyReq asks the agent to run local resource identification for app
+// over the given workloads.
+type IdentifyReq struct {
+	App       string     `json:"app"`
+	Workloads [][]string `json:"workloads"`
+}
+
+// RecordReq asks the agent to record a baseline trace of app.
+type RecordReq struct {
+	App    string   `json:"app"`
+	Inputs []string `json:"inputs"`
+}
+
+// FingerprintReq carries the vendor's resource references, registry
+// configuration and reference item list; the agent answers with the item
+// diff and its application-set key.
+type FingerprintReq struct {
+	App         string         `json:"app"`
+	Refs        []string       `json:"refs"`
+	Registry    RegistryConfig `json:"registry"`
+	VendorItems []WireItem     `json:"vendor_items"`
+}
+
+// TestReq asks the agent to validate the upgrade in isolation.
+type TestReq struct {
+	Upgrade WireUpgrade `json:"upgrade"`
+}
+
+// IntegrateReq asks the agent to apply the validated upgrade.
+type IntegrateReq struct {
+	Upgrade WireUpgrade `json:"upgrade"`
+}
+
+// WireItem is a serialized resource item.
+type WireItem struct {
+	Key  string `json:"k"`
+	Hash uint64 `json:"h"`
+	Kind int    `json:"t"`
+}
+
+// ItemsToWire serializes an item set.
+func ItemsToWire(s *resource.Set) []WireItem {
+	items := s.Items()
+	out := make([]WireItem, len(items))
+	for i, it := range items {
+		out[i] = WireItem{Key: it.Key, Hash: it.Hash, Kind: int(it.Kind)}
+	}
+	return out
+}
+
+// ItemsFromWire rebuilds an item set.
+func ItemsFromWire(items []WireItem) *resource.Set {
+	s := resource.NewSet(len(items))
+	for _, w := range items {
+		s.Add(resource.Item{Key: w.Key, Hash: w.Hash, Kind: resource.Kind(w.Kind)})
+	}
+	return s
+}
+
+// RegistryRule is one serialized parser binding. Parsers are code shipped
+// in both binaries; the wire carries only the binding of paths/globs/types
+// to parser names plus parser options.
+type RegistryRule struct {
+	// Match is "path", "glob" or "type".
+	Match   string `json:"match"`
+	Pattern string `json:"pattern,omitempty"` // for path/glob
+	Type    int    `json:"type,omitempty"`    // for type matches
+	// Parser is "executable", "sharedlib", "text", "config" or "binary".
+	Parser     string   `json:"parser"`
+	IgnoreKeys []string `json:"ignore_keys,omitempty"` // config parser option
+}
+
+// RegistryConfig is the serialized parser registry.
+type RegistryConfig struct {
+	Rules []RegistryRule `json:"rules"`
+}
+
+// WireFile is a serialized machine file.
+type WireFile struct {
+	Path    string `json:"path"`
+	Type    int    `json:"type"`
+	Version string `json:"version,omitempty"`
+	Data    []byte `json:"data"`
+}
+
+func fileToWire(f *machine.File) WireFile {
+	return WireFile{Path: f.Path, Type: int(f.Type), Version: f.Version, Data: f.Data}
+}
+
+func fileFromWire(w WireFile) *machine.File {
+	return &machine.File{Path: w.Path, Type: machine.FileType(w.Type), Version: w.Version,
+		Data: append([]byte(nil), w.Data...)}
+}
+
+// WireUpgrade is a serialized pkgmgr.Upgrade, self-contained: the package
+// files travel with it (the "download").
+type WireUpgrade struct {
+	ID         string            `json:"id"`
+	Name       string            `json:"name"`
+	Version    string            `json:"version"`
+	Replaces   string            `json:"replaces,omitempty"`
+	Urgent     bool              `json:"urgent,omitempty"`
+	Files      []WireFile        `json:"files"`
+	Deps       []WireDependency  `json:"deps,omitempty"`
+	Migrations []pkgmgr.FileEdit `json:"migrations,omitempty"`
+}
+
+// WireDependency is a serialized package dependency.
+type WireDependency struct {
+	Name       string `json:"name"`
+	MinVersion string `json:"min_version,omitempty"`
+}
+
+// UpgradeToWire serializes an upgrade.
+func UpgradeToWire(up *pkgmgr.Upgrade) WireUpgrade {
+	w := WireUpgrade{
+		ID: up.ID, Name: up.Pkg.Name, Version: up.Pkg.Version,
+		Replaces: up.Replaces, Urgent: up.Urgent, Migrations: up.Migrations,
+	}
+	for _, f := range up.Pkg.Files {
+		w.Files = append(w.Files, fileToWire(f))
+	}
+	for _, d := range up.Pkg.Dependencies {
+		w.Deps = append(w.Deps, WireDependency{Name: d.Name, MinVersion: d.MinVersion})
+	}
+	return w
+}
+
+// UpgradeFromWire rebuilds an upgrade.
+func UpgradeFromWire(w WireUpgrade) *pkgmgr.Upgrade {
+	pkg := &pkgmgr.Package{Name: w.Name, Version: w.Version}
+	for _, f := range w.Files {
+		pkg.Files = append(pkg.Files, fileFromWire(f))
+	}
+	for _, d := range w.Deps {
+		pkg.Dependencies = append(pkg.Dependencies, pkgmgr.Dependency{Name: d.Name, MinVersion: d.MinVersion})
+	}
+	return &pkgmgr.Upgrade{
+		ID: w.ID, Pkg: pkg, Replaces: w.Replaces, Urgent: w.Urgent, Migrations: w.Migrations,
+	}
+}

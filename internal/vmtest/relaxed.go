@@ -1,0 +1,100 @@
+package vmtest
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// Relaxed output comparison: the paper's replay tolerates benign
+// non-determinism ("Mirage maps the recorded file inputs to the
+// appropriate file operations, even if they are executed in a different
+// order than in the trace"). CompareOutputsRelaxed extends the same
+// tolerance to outputs: file writes are matched as a multiset of
+// (path, content) pairs — an application that flushes its files in a
+// different order is not a failed upgrade — while network sends, whose
+// order is visible to remote peers, and the exit status remain
+// order-sensitive.
+
+// CompareOutputsRelaxed returns a bounded list of differences between the
+// baseline and replayed outputs under relaxed file-write matching; empty
+// means behaviourally identical.
+func CompareOutputsRelaxed(baseline, replayed *trace.Trace) []string {
+	var diffs []string
+
+	// Order-sensitive stream: network sends and exit.
+	var bStream, rStream []trace.Event
+	bWrites := map[string][][]byte{}
+	rWrites := map[string][][]byte{}
+	split := func(tr *trace.Trace, stream *[]trace.Event, writes map[string][][]byte) {
+		for _, e := range tr.Outputs() {
+			if e.Op == trace.OpWrite {
+				writes[e.Path] = append(writes[e.Path], e.Data)
+				continue
+			}
+			*stream = append(*stream, e)
+		}
+	}
+	split(baseline, &bStream, bWrites)
+	split(replayed, &rStream, rWrites)
+
+	n := len(bStream)
+	if len(rStream) < n {
+		n = len(rStream)
+	}
+	for i := 0; i < n; i++ {
+		if bStream[i].Op != rStream[i].Op || !bytes.Equal(bStream[i].Data, rStream[i].Data) {
+			diffs = append(diffs, fmt.Sprintf("stream output %d: %q became %q",
+				i, clip(bStream[i].Data), clip(rStream[i].Data)))
+		}
+	}
+	for i := n; i < len(bStream); i++ {
+		diffs = append(diffs, fmt.Sprintf("stream output %d (%v) missing after upgrade", i, bStream[i].Op))
+	}
+	for i := n; i < len(rStream); i++ {
+		diffs = append(diffs, fmt.Sprintf("unexpected stream output %d (%v) after upgrade", i, rStream[i].Op))
+	}
+
+	// File writes: per-path multiset comparison, order-insensitive across
+	// paths AND within a path (repeated identical writes collapse).
+	paths := make(map[string]bool)
+	for p := range bWrites {
+		paths[p] = true
+	}
+	for p := range rWrites {
+		paths[p] = true
+	}
+	sorted := make([]string, 0, len(paths))
+	for p := range paths {
+		sorted = append(sorted, p)
+	}
+	sort.Strings(sorted)
+	for _, p := range sorted {
+		if !sameWriteMultiset(bWrites[p], rWrites[p]) {
+			diffs = append(diffs, fmt.Sprintf("writes to %s differ after upgrade", p))
+		}
+	}
+	return diffs
+}
+
+func sameWriteMultiset(a, b [][]byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as := make([]string, len(a))
+	bs := make([]string, len(b))
+	for i := range a {
+		as[i] = string(a[i])
+		bs[i] = string(b[i])
+	}
+	sort.Strings(as)
+	sort.Strings(bs)
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,92 @@
+package vmtest
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func mkRelaxed(netsends []string, writes map[string]string, exit string) *trace.Trace {
+	tr := trace.New("app")
+	// Interleave: writes first half, sends, writes second half — callers
+	// of this helper control only the sets, matching relaxed semantics.
+	for p, d := range writes {
+		tr.Write(p, []byte(d))
+	}
+	for _, s := range netsends {
+		tr.NetSend([]byte(s))
+	}
+	tr.Exit(exit)
+	return tr
+}
+
+func TestRelaxedAcceptsReorderedWrites(t *testing.T) {
+	a := trace.New("app")
+	a.Write("/out/x", []byte("1"))
+	a.Write("/out/y", []byte("2"))
+	a.Exit("ok")
+	b := trace.New("app")
+	b.Write("/out/y", []byte("2"))
+	b.Write("/out/x", []byte("1"))
+	b.Exit("ok")
+
+	if diffs := CompareOutputs(a, b); len(diffs) == 0 {
+		t.Fatal("strict comparison unexpectedly tolerant")
+	}
+	if diffs := CompareOutputsRelaxed(a, b); len(diffs) != 0 {
+		t.Fatalf("relaxed comparison rejected reordered writes: %v", diffs)
+	}
+}
+
+func TestRelaxedCatchesContentChange(t *testing.T) {
+	a := mkRelaxed([]string{"r1"}, map[string]string{"/out": "good"}, "ok")
+	b := mkRelaxed([]string{"r1"}, map[string]string{"/out": "bad"}, "ok")
+	if diffs := CompareOutputsRelaxed(a, b); len(diffs) != 1 {
+		t.Fatalf("diffs = %v", diffs)
+	}
+}
+
+func TestRelaxedCatchesMissingWrite(t *testing.T) {
+	a := mkRelaxed(nil, map[string]string{"/out": "x"}, "ok")
+	b := mkRelaxed(nil, map[string]string{}, "ok")
+	if diffs := CompareOutputsRelaxed(a, b); len(diffs) == 0 {
+		t.Fatal("missing write not detected")
+	}
+}
+
+func TestRelaxedNetworkOrderStillMatters(t *testing.T) {
+	a := mkRelaxed([]string{"r1", "r2"}, nil, "ok")
+	b := mkRelaxed([]string{"r2", "r1"}, nil, "ok")
+	if diffs := CompareOutputsRelaxed(a, b); len(diffs) == 0 {
+		t.Fatal("network reorder not detected (peers observe order)")
+	}
+}
+
+func TestRelaxedExitStatusMatters(t *testing.T) {
+	a := mkRelaxed(nil, nil, "ok")
+	b := mkRelaxed(nil, nil, "crash")
+	if diffs := CompareOutputsRelaxed(a, b); len(diffs) == 0 {
+		t.Fatal("exit change not detected")
+	}
+}
+
+func TestRelaxedRepeatedWrites(t *testing.T) {
+	a := trace.New("app")
+	a.Write("/log", []byte("line"))
+	a.Write("/log", []byte("line"))
+	a.Exit("ok")
+	b := trace.New("app")
+	b.Write("/log", []byte("line"))
+	b.Exit("ok")
+	if diffs := CompareOutputsRelaxed(a, b); len(diffs) == 0 {
+		t.Fatal("dropped repeated write not detected")
+	}
+}
+
+func TestRelaxedIdenticalTraces(t *testing.T) {
+	a := mkRelaxed([]string{"r"}, map[string]string{"/f": "d"}, "ok")
+	b := mkRelaxed([]string{"r"}, map[string]string{"/f": "d"}, "ok")
+	if diffs := CompareOutputsRelaxed(a, b); len(diffs) != 0 {
+		t.Fatalf("identical traces diff: %v", diffs)
+	}
+}
