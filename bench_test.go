@@ -7,14 +7,19 @@ package repro
 // `go test -bench=. -benchmem` doubles as a reproduction run.
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/cluster"
+	"repro/internal/deploy"
 	"repro/internal/fingerprint"
 	"repro/internal/machine"
 	"repro/internal/parser"
+	"repro/internal/pkgmgr"
+	"repro/internal/report"
 	"repro/internal/scenario"
 	"repro/internal/simulator"
+	"repro/internal/staging"
 	"repro/internal/survey"
 )
 
@@ -276,6 +281,90 @@ func BenchmarkIdentifyResources(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		scenario.EvaluateTable1(p)
+	}
+}
+
+// BenchmarkStagingPlan measures the shared planner at paper scale: the
+// cost of computing the wave schedule both executors run.
+func BenchmarkStagingPlan(b *testing.B) {
+	refs := simulator.Refs(scenario.PaperDeployment(scenario.ProblemsLast))
+	for _, pol := range staging.Policies() {
+		b.Run(pol.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if plan := staging.BuildPlan(pol, refs, 42); len(plan.Stages) == 0 {
+					b.Fatal("empty plan")
+				}
+			}
+		})
+	}
+}
+
+// spinNode is a deploy.Node whose validation burns a fixed amount of CPU,
+// standing in for the sandboxed replay of a real user machine.
+type spinNode struct {
+	name string
+	work int
+}
+
+func (n *spinNode) Name() string { return n.name }
+
+func (n *spinNode) TestUpgrade(up *pkgmgr.Upgrade) (*report.Report, error) {
+	h := uint64(14695981039346656037)
+	for i := 0; i < n.work; i++ {
+		h = (h ^ uint64(i)) * 1099511628211
+	}
+	_ = h
+	return &report.Report{UpgradeID: up.ID, Machine: n.name, Success: true}, nil
+}
+
+func (n *spinNode) Integrate(*pkgmgr.Upgrade) error { return nil }
+
+// BenchmarkDeployWave compares serial and pooled per-wave node testing in
+// the live controller — the speedup future PRs must not regress. One
+// NoStaging deployment = one merged wave over the whole fleet.
+func BenchmarkDeployWave(b *testing.B) {
+	mkFleet := func() []*deploy.Cluster {
+		var clusters []*deploy.Cluster
+		for c := 0; c < 4; c++ {
+			cl := &deploy.Cluster{ID: fmt.Sprintf("c%02d", c), Distance: c + 1}
+			for n := 0; n < 16; n++ {
+				node := &spinNode{name: fmt.Sprintf("c%02d-n%02d", c, n), work: 200_000}
+				if n == 0 {
+					cl.Representatives = append(cl.Representatives, node)
+				} else {
+					cl.Others = append(cl.Others, node)
+				}
+			}
+			clusters = append(clusters, cl)
+		}
+		return clusters
+	}
+	up := &pkgmgr.Upgrade{ID: "bench-v1", Pkg: &pkgmgr.Package{Name: "app", Version: "1"}}
+	for _, par := range []int{1, deploy.DefaultParallelism, 16} {
+		b.Run(fmt.Sprintf("workers%d", par), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ctl := deploy.NewController(report.New(), nil)
+				ctl.Parallelism = par
+				out, err := ctl.Deploy(deploy.PolicyNoStaging, up, mkFleet())
+				if err != nil || out.Integrated() != 64 {
+					b.Fatalf("integrated=%d err=%v", out.Integrated(), err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSimulatorAdaptive regenerates the headline property of the new
+// policy: Balanced's overhead with a strictly shorter makespan.
+func BenchmarkSimulatorAdaptive(b *testing.B) {
+	p := simulator.DefaultParams()
+	for i := 0; i < b.N; i++ {
+		ada := simulator.Adaptive(p, scenario.PaperDeployment(scenario.ProblemsLast))
+		bal := simulator.Balanced(p, scenario.PaperDeployment(scenario.ProblemsLast))
+		if ada.Overhead != bal.Overhead || ada.Makespan >= bal.Makespan {
+			b.Fatalf("adaptive overhead=%d makespan=%v vs balanced %d/%v",
+				ada.Overhead, ada.Makespan, bal.Overhead, bal.Makespan)
+		}
 	}
 }
 

@@ -18,7 +18,9 @@ import (
 	"strings"
 
 	"repro/internal/cluster"
+	"repro/internal/deploy"
 	"repro/internal/scenario"
+	"repro/internal/staging"
 )
 
 func main() {
@@ -26,6 +28,7 @@ func main() {
 	parsers := flag.String("parsers", "full", "parser coverage: full (vendor parsers) or mirage (Mirage-supplied only)")
 	diameter := flag.Int("d", 3, "QT diameter for content-fingerprinted resources")
 	discard := flag.String("discard", "", "comma-separated item-key prefixes the vendor discards")
+	plan := flag.String("plan", "", "also print the staged wave schedule the clusters would deploy under: balanced, frontloading, nostaging, random or adaptive")
 	flag.Parse()
 
 	var fps []cluster.MachineFingerprint
@@ -69,4 +72,22 @@ func main() {
 	}
 	fmt.Println()
 	fmt.Print(scenario.FormatClusters(clusters, behavior))
+
+	if *plan != "" {
+		policy, ok := staging.ParsePolicy(*plan)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown policy %q\n", *plan)
+			os.Exit(2)
+		}
+		// The clustering result feeds the same planner both executors use:
+		// this is the schedule a deployment of these clusters would follow.
+		// Seed 0 matches deploy.NewController's default, so the preview is
+		// exactly what an unseeded live deployment would run.
+		refs := make([]staging.ClusterRef, len(clusters))
+		for i, c := range clusters {
+			refs[i] = staging.ClusterRef{Name: deploy.ClusterName(c.ID), Distance: c.Distance}
+		}
+		fmt.Println()
+		fmt.Print(staging.BuildPlan(policy, refs, 0).Describe())
+	}
 }

@@ -6,7 +6,7 @@
 //
 //	mirage-sim [-machines 100000] [-clusters 20] [-prevalent 15]
 //	           [-clustering sound|imperfect] [-misplaced first|last]
-//	           [-seed 42]
+//	           [-seed 42] [-plan balanced|frontloading|nostaging|random|adaptive]
 package main
 
 import (
@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/scenario"
 	"repro/internal/simulator"
+	"repro/internal/staging"
 )
 
 func main() {
@@ -25,6 +26,7 @@ func main() {
 	clustering := flag.String("clustering", "sound", "clustering quality: sound or imperfect")
 	misplaced := flag.String("misplaced", "first", "imperfect clustering: misplaced machine in first or last clean cluster")
 	seed := flag.Uint64("seed", 42, "RandomStaging shuffle seed")
+	plan := flag.String("plan", "", "print the staged wave schedule for this policy and exit")
 	flag.Parse()
 
 	p := simulator.DefaultParams()
@@ -36,11 +38,22 @@ func main() {
 		return specs
 	}
 
+	if *plan != "" {
+		policy, ok := staging.ParsePolicy(*plan)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown policy %q\n", *plan)
+			os.Exit(2)
+		}
+		fmt.Print(scenario.DeploymentPlan(policy, build(scenario.ProblemsLast), *seed).Describe())
+		return
+	}
+
 	results := []*simulator.Result{
 		simulator.NoStaging(p, build(scenario.ProblemsLast)),
 		simulator.Balanced(p, build(scenario.ProblemsLast)),
 		simulator.RandomStaging(p, build(scenario.ProblemsUniform), *seed),
 		simulator.FrontLoading(p, build(scenario.ProblemsLast)),
+		simulator.Adaptive(p, build(scenario.ProblemsLast)),
 	}
 	worst := simulator.Balanced(p, build(scenario.ProblemsFirst))
 	worst.Protocol = "Balanced(worst)"

@@ -27,6 +27,7 @@ import (
 	"repro/internal/pkgmgr"
 	"repro/internal/report"
 	"repro/internal/scenario"
+	"repro/internal/staging"
 	"repro/internal/transport"
 )
 
@@ -34,10 +35,13 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:7033", "address to listen on")
 	agents := flag.Int("agents", 1, "number of agents to wait for")
 	wait := flag.Duration("wait", 30*time.Second, "how long to wait for agents")
-	policy := flag.String("policy", "balanced", "deployment policy: balanced, frontloading or nostaging")
+	policy := flag.String("policy", "balanced", "deployment policy: balanced, frontloading, nostaging, random or adaptive")
 	diameter := flag.Int("d", 3, "QT clustering diameter")
+	parallel := flag.Int("parallel", deploy.DefaultParallelism, "worker-pool size for node testing within a wave")
+	showPlan := flag.Bool("plan", false, "print the staged wave schedule before deploying")
 	urrFile := flag.String("urr", "", "save the report repository to this file after deployment")
 	flag.Parse()
+	pol := parsePolicy(*policy) // validate before waiting on agents
 
 	srv, err := transport.Listen(*listen)
 	if err != nil {
@@ -89,7 +93,11 @@ func main() {
 	// Stage the upgrade.
 	urr := report.New()
 	ctl := deploy.NewController(urr, fixer(urr))
-	out, err := ctl.Deploy(parsePolicy(*policy), mysql5(), dcs)
+	ctl.Parallelism = *parallel
+	if *showPlan {
+		fmt.Print(ctl.PlanFor(pol, dcs).Describe())
+	}
+	out, err := ctl.Deploy(pol, mysql5(), dcs)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -115,14 +123,12 @@ func main() {
 }
 
 func parsePolicy(s string) deploy.Policy {
-	switch s {
-	case "frontloading":
-		return deploy.PolicyFrontLoading
-	case "nostaging":
-		return deploy.PolicyNoStaging
-	default:
-		return deploy.PolicyBalanced
+	policy, ok := staging.ParsePolicy(s)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown policy %q\n", s)
+		os.Exit(2)
 	}
+	return policy
 }
 
 func mysql5() *pkgmgr.Upgrade {

@@ -5,12 +5,15 @@
 // The library lives under internal/: environment fingerprinting
 // (internal/fingerprint, internal/parser), the identification heuristic
 // (internal/envid), the two-phase clustering algorithm (internal/cluster),
-// staged deployment protocols over both an event-driven simulator
-// (internal/simulator) and real networked machines (internal/deploy,
-// internal/transport), the user-machine testing subsystem
-// (internal/vmtest) and the Upgrade Report Repository (internal/report).
+// and the unified staging engine (internal/staging) that computes one
+// wave-schedule Plan per deployment policy and drives it through two
+// executors — the event-driven simulator (internal/simulator) and the live
+// deployment controller over real networked machines (internal/deploy,
+// internal/transport). The user-machine testing subsystem is
+// internal/vmtest and the Upgrade Report Repository is internal/report.
 // The top-level orchestration API is internal/core; the paper's evaluation
 // scenarios are reconstructed in internal/scenario and internal/survey.
+// ARCHITECTURE.md diagrams the plan-versus-executor layering.
 //
 // The benchmarks in bench_test.go regenerate every table and figure of the
 // paper's evaluation; see EXPERIMENTS.md for the comparison against the

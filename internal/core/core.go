@@ -24,6 +24,7 @@ import (
 	"repro/internal/pkgmgr"
 	"repro/internal/report"
 	"repro/internal/resource"
+	"repro/internal/staging"
 	"repro/internal/trace"
 	"repro/internal/vmtest"
 )
@@ -249,7 +250,7 @@ func (v *Vendor) ClusterFleet(f *Fleet, app string, cfg cluster.Config, repsPerC
 	out := &Clustering{App: app, Clusters: clusters}
 	for _, c := range clusters {
 		dc := &deploy.Cluster{
-			ID:       fmt.Sprintf("cluster%d", c.ID),
+			ID:       deploy.ClusterName(c.ID),
 			Distance: c.Distance,
 		}
 		names := append([]string(nil), c.Machines...)
@@ -271,10 +272,22 @@ func (v *Vendor) ClusterFleet(f *Fleet, app string, cfg cluster.Config, repsPerC
 }
 
 // StageDeployment runs the upgrade across the clustered fleet under the
-// given policy, debugging failures with fix.
+// given policy, debugging failures with fix. The wave schedule comes from
+// the shared staging planner, so it is exactly the schedule the simulator
+// predicts for this fleet; within each wave, nodes validate the upgrade
+// concurrently on the controller's worker pool.
 func (v *Vendor) StageDeployment(policy deploy.Policy, up *pkgmgr.Upgrade, cl *Clustering, fix deploy.Fixer) (*deploy.Outcome, error) {
 	ctl := deploy.NewController(v.URR, fix)
 	return ctl.Deploy(policy, up, cl.Deploy)
+}
+
+// DeploymentPlan returns the wave schedule StageDeployment would execute
+// for the clustering — useful for dry-run inspection and for
+// cross-checking a live rollout against its simulation. StageDeployment
+// constructs its controller with the default shuffle seed, so the plan
+// here is built with the same seed to keep the preview exact.
+func (v *Vendor) DeploymentPlan(policy deploy.Policy, cl *Clustering) *staging.Plan {
+	return staging.BuildPlan(policy, deploy.Refs(cl.Deploy), 0)
 }
 
 // Reproduce materializes the report image of a failed report into a local

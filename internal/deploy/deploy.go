@@ -1,22 +1,26 @@
 // Package deploy implements Mirage's deployment subsystem over real
 // (simulated) machines: the three abstractions of §3.2.1 — clusters of
 // deployment, representatives, and vendor-to-cluster distance — plus a
-// controller that executes staged deployment protocols end to end,
+// controller that executes staged deployment plans end to end,
 // coordinating user-machine testing and reporting.
 //
-// The simulator package answers "what latency/overhead would a protocol
-// have at scale"; this package actually performs deployments: nodes
-// download upgrades, validate them in isolation, deposit reports in the
-// URR, and integrate on success, while the vendor debugs reported failures
-// and re-releases corrected upgrades.
+// The protocol semantics (which group of which cluster tests when) live
+// in internal/staging; this package is the live executor of those plans.
+// The simulator package runs the identical plans on its event engine to
+// answer "what latency/overhead would this schedule have at scale"; this
+// package actually performs the waves: nodes download upgrades, validate
+// them in isolation — concurrently within a wave, on a bounded worker
+// pool — deposit reports in the URR, and integrate on success, while the
+// vendor debugs reported failures and re-releases corrected upgrades.
 package deploy
 
 import (
 	"fmt"
-	"sort"
+	"sync"
 
 	"repro/internal/pkgmgr"
 	"repro/internal/report"
+	"repro/internal/staging"
 )
 
 // Node is one managed user machine.
@@ -25,9 +29,11 @@ type Node interface {
 	Name() string
 	// TestUpgrade downloads the upgrade, validates it in an isolated
 	// environment, and returns the resulting report (not yet deposited).
+	// The controller may call TestUpgrade on different nodes concurrently;
+	// implementations must not share mutable state across nodes.
 	TestUpgrade(up *pkgmgr.Upgrade) (*report.Report, error)
 	// Integrate applies the upgrade to the production system. Called only
-	// after the node's own validation succeeded.
+	// after the node's own validation succeeded, never concurrently.
 	Integrate(up *pkgmgr.Upgrade) error
 }
 
@@ -47,39 +53,33 @@ func (c *Cluster) Size() int { return len(c.Representatives) + len(c.Others) }
 // not produce a fix and deployment of the upgrade is abandoned.
 type Fixer func(up *pkgmgr.Upgrade, failures []*report.Report) (fixed *pkgmgr.Upgrade, ok bool)
 
-// Policy selects the staged deployment protocol.
-type Policy int
+// Policy selects the staged deployment protocol. It is an alias for the
+// shared staging.Policy, so plans, the simulator and the live controller
+// all speak the same vocabulary.
+type Policy = staging.Policy
 
 const (
 	// PolicyBalanced deploys nearest cluster first, representatives before
 	// non-representatives (paper §4.3, "Balanced").
-	PolicyBalanced Policy = iota
+	PolicyBalanced = staging.PolicyBalanced
 	// PolicyFrontLoading tests all representatives in parallel and debugs
 	// everything up front, then deploys non-representatives farthest
 	// cluster first (paper §4.3, "FrontLoading").
-	PolicyFrontLoading
+	PolicyFrontLoading = staging.PolicyFrontLoading
 	// PolicyNoStaging deploys to every node at once; for urgent upgrades.
-	PolicyNoStaging
+	PolicyNoStaging = staging.PolicyNoStaging
 	// PolicyRandomStaging is Balanced with a randomized cluster order; the
 	// paper uses it to isolate the benefit of staging from that of
 	// distance-based ordering. Seeded deterministically via Controller.Seed.
-	PolicyRandomStaging
+	PolicyRandomStaging = staging.PolicyRandomStaging
+	// PolicyAdaptive is Balanced with early promotion: clusters whose
+	// representatives pass without failures release their
+	// non-representatives from the barrier; the promoted waves run as one
+	// merged parallel wave at the end of the plan, by which time any
+	// problems found downstream have been debugged — so promoted nodes
+	// usually test the corrected upgrade directly.
+	PolicyAdaptive = staging.PolicyAdaptive
 )
-
-func (p Policy) String() string {
-	switch p {
-	case PolicyBalanced:
-		return "Balanced"
-	case PolicyFrontLoading:
-		return "FrontLoading"
-	case PolicyNoStaging:
-		return "NoStaging"
-	case PolicyRandomStaging:
-		return "RandomStaging"
-	default:
-		return fmt.Sprintf("Policy(%d)", int(p))
-	}
-}
 
 // NodeStatus records the final state of one node.
 type NodeStatus struct {
@@ -111,6 +111,10 @@ func (o *Outcome) Integrated() int {
 	return n
 }
 
+// DefaultParallelism is the worker-pool size NewController configures for
+// node testing within a wave.
+const DefaultParallelism = 4
+
 // Controller executes deployments.
 type Controller struct {
 	URR *report.URR
@@ -119,20 +123,49 @@ type Controller struct {
 	MaxRounds int
 	// Seed drives the PolicyRandomStaging shuffle, for reproducibility.
 	Seed uint64
+	// Parallelism bounds how many nodes of a wave test concurrently
+	// (<= 1 means serial). Outcomes and URR contents are identical at any
+	// pool size: reports are deposited and nodes integrated in
+	// deterministic wave order after the pool drains.
+	Parallelism int
 }
 
 // NewController returns a controller depositing into urr and debugging
 // with fix.
 func NewController(urr *report.URR, fix Fixer) *Controller {
-	return &Controller{URR: urr, Fix: fix, MaxRounds: 10}
+	return &Controller{URR: urr, Fix: fix, MaxRounds: 10, Parallelism: DefaultParallelism}
+}
+
+// ClusterName is the canonical deployment-cluster name for a clustering
+// ID. Plan ordering breaks distance ties lexicographically by name, so
+// every producer of Cluster values must use this one scheme.
+func ClusterName(id int) string { return fmt.Sprintf("cluster%d", id) }
+
+// Refs converts deploy clusters into the planner's cluster refs.
+func Refs(clusters []*Cluster) []staging.ClusterRef {
+	refs := make([]staging.ClusterRef, len(clusters))
+	for i, c := range clusters {
+		refs[i] = staging.ClusterRef{Name: c.ID, Distance: c.Distance}
+	}
+	return refs
+}
+
+// PlanFor returns the wave schedule Deploy would execute for policy over
+// the clusters — the very plan internal/simulator runs on its event
+// engine, which is what makes simulated and live rollouts of the same
+// fleet follow the same schedule.
+func (ctl *Controller) PlanFor(policy Policy, clusters []*Cluster) *staging.Plan {
+	return staging.BuildPlan(policy, Refs(clusters), ctl.Seed)
 }
 
 // Deploy runs the upgrade across the clusters under the given policy and
 // returns the outcome. Urgent upgrades bypass staging regardless of policy,
 // as the paper allows ("it may bypass the entire cluster infrastructure").
 func (ctl *Controller) Deploy(policy Policy, up *pkgmgr.Upgrade, clusters []*Cluster) (*Outcome, error) {
-	out := &Outcome{Policy: policy, Nodes: make(map[string]*NodeStatus)}
+	out := &Outcome{Policy: policy, Nodes: make(map[string]*NodeStatus), FinalID: up.ID}
+	byID := make(map[string]*Cluster, len(clusters))
 	for _, c := range clusters {
+		byID[c.ID] = c
 		for _, n := range append(append([]Node(nil), c.Representatives...), c.Others...) {
 			out.Nodes[n.Name()] = &NodeStatus{Node: n.Name(), Cluster: c.ID}
 		}
@@ -142,279 +175,253 @@ func (ctl *Controller) Deploy(policy Policy, up *pkgmgr.Upgrade, clusters []*Clu
 		out.Policy = PolicyNoStaging
 	}
 
-	var final *pkgmgr.Upgrade
-	var err error
-	switch policy {
-	case PolicyNoStaging:
-		final, err = ctl.deployNoStaging(up, clusters, out)
-	case PolicyFrontLoading:
-		final, err = ctl.deployFrontLoading(up, clusters, out)
-	case PolicyRandomStaging:
-		final, err = ctl.deployRandom(up, clusters, out)
-	default:
-		final, err = ctl.deployBalanced(up, clusters, out)
+	r := &waveRunner{ctl: ctl, up: up, out: out, clusters: byID, clean: make(map[string]bool)}
+	staging.Execute(ctl.PlanFor(policy, clusters), r)
+	if r.err == nil && !out.Abandoned {
+		r.flushPromoted()
 	}
-	if err != nil || out.Abandoned {
-		return out, err
+	if r.err != nil || out.Abandoned {
+		return out, r.err
 	}
 	// Nodes that integrated an earlier version of the upgrade before a
 	// problem elsewhere forced a correction are "later notified of a new
 	// upgrade fixing the problems" (§4.3): validate and integrate the
 	// final version on them now.
-	err = ctl.notifyFinal(final, clusters, out)
-	return out, err
+	return out, ctl.notifyFinal(r.up, clusters, out)
 }
 
-// notifyFinal brings nodes that integrated a superseded version up to the
-// final corrected upgrade. Each such node re-validates before integrating.
-func (ctl *Controller) notifyFinal(final *pkgmgr.Upgrade, clusters []*Cluster, out *Outcome) error {
-	for _, c := range clusters {
-		for _, n := range append(append([]Node(nil), c.Representatives...), c.Others...) {
-			st := out.Nodes[n.Name()]
-			if st.UpgradeID == "" || st.UpgradeID == final.ID {
-				continue
+// waveRunner is the live executor of staging plans: within a stage all
+// waves merge into one test group, and within a group node tests run on
+// the controller's bounded worker pool.
+type waveRunner struct {
+	ctl      *Controller
+	up       *pkgmgr.Upgrade // current upgrade version; advances as fixes ship
+	out      *Outcome
+	clusters map[string]*Cluster
+	// clean records whether a cluster has seen zero failures so far —
+	// PolicyAdaptive's promotion signal.
+	clean map[string]bool
+	// promoted holds elastic waves released past their barrier; they run
+	// as one merged parallel wave at the end of the plan.
+	promoted []staging.Wave
+	err      error
+}
+
+// member pairs a node with the cluster it deploys under, so merged waves
+// keep per-cluster report attribution.
+type member struct {
+	node    Node
+	cluster string
+}
+
+func (r *waveRunner) members(waves []staging.Wave) []member {
+	var ms []member
+	for _, w := range waves {
+		c := r.clusters[w.Cluster]
+		if c == nil {
+			continue
+		}
+		if w.Group != staging.GroupOthers {
+			for _, n := range c.Representatives {
+				ms = append(ms, member{n, c.ID})
 			}
-			ok, err := ctl.testNode(n, c.ID, final, out)
-			if err != nil {
-				return err
-			}
-			if ok {
-				if err := ctl.integrate(n, final, out); err != nil {
-					return err
-				}
+		}
+		if w.Group != staging.GroupReps {
+			for _, n := range c.Others {
+				ms = append(ms, member{n, c.ID})
 			}
 		}
 	}
-	return nil
+	return ms
 }
 
-// testNode validates up on node n, deposits the report, updates bookkeeping
-// and returns whether validation passed.
-func (ctl *Controller) testNode(n Node, cluster string, up *pkgmgr.Upgrade, out *Outcome) (bool, error) {
-	rep, err := n.TestUpgrade(up)
-	if err != nil {
-		return false, fmt.Errorf("deploy: testing %s on %s: %w", up.ID, n.Name(), err)
+// RunStage implements staging.Executor. A stage that fails terminally —
+// vendor abandonment or a node error — does not release its gate, which
+// halts the plan.
+func (r *waveRunner) RunStage(st staging.Stage, done func()) {
+	if r.err != nil || r.out.Abandoned {
+		return
 	}
-	rep.Cluster = cluster
-	ctl.URR.Deposit(rep)
-	st := out.Nodes[n.Name()]
-	st.Tests++
-	if !rep.Success {
-		st.Failures++
-		out.Overhead++
-		return false, nil
+	var waves []staging.Wave
+	for _, w := range st.Waves {
+		if st.Promote(w, r.clean) {
+			// Zero failures at the representatives: promote this
+			// cluster's non-representatives past the barrier.
+			r.promoted = append(r.promoted, w)
+			continue
+		}
+		waves = append(waves, w)
 	}
-	return true, nil
+	r.converge(waves, st.RetryAll)
+	if r.err != nil || r.out.Abandoned {
+		return
+	}
+	done()
 }
 
-// integrate applies the validated upgrade on the node.
-func (ctl *Controller) integrate(n Node, up *pkgmgr.Upgrade, out *Outcome) error {
-	if err := n.Integrate(up); err != nil {
-		return fmt.Errorf("deploy: integrating %s on %s: %w", up.ID, n.Name(), err)
+// flushPromoted runs the waves promoted past their barriers as one merged
+// parallel wave.
+func (r *waveRunner) flushPromoted() {
+	if len(r.promoted) == 0 {
+		return
 	}
-	out.Nodes[n.Name()].UpgradeID = up.ID
-	return nil
+	waves := r.promoted
+	r.promoted = nil
+	r.converge(waves, false)
 }
 
-// debug invokes the vendor fixer on the current failures and returns the
-// corrected upgrade, or ok=false when the vendor gives up or rounds are
-// exhausted.
-func (ctl *Controller) debug(up *pkgmgr.Upgrade, out *Outcome) (*pkgmgr.Upgrade, bool) {
+// converge repeatedly tests-and-debugs until every member of the waves
+// passes, the vendor abandons the upgrade, or an error occurs. Normally
+// only the previously failing members re-test after a fix; with retryAll
+// (FrontLoading's phase-1 regime) every member re-tests each round until
+// a full round passes without failures.
+func (r *waveRunner) converge(waves []staging.Wave, retryAll bool) {
+	for _, w := range waves {
+		if w.Group != staging.GroupOthers {
+			r.clean[w.Cluster] = true
+		}
+	}
+	all := r.members(waves)
+	pending := all
+	for len(pending) > 0 {
+		failed := r.testMembers(pending)
+		if r.err != nil || len(failed) == 0 {
+			return
+		}
+		if !r.debug() {
+			return
+		}
+		if retryAll {
+			pending = all
+		} else {
+			pending = failed
+		}
+	}
+}
+
+// debug invokes the vendor fixer on the current failures and advances the
+// runner to the corrected upgrade, or marks the outcome abandoned when
+// the vendor gives up or rounds are exhausted.
+func (r *waveRunner) debug() bool {
+	ctl, out := r.ctl, r.out
 	max := ctl.MaxRounds
 	if max == 0 {
 		max = 10
 	}
 	if out.Rounds >= max || ctl.Fix == nil {
 		out.Abandoned = true
-		return nil, false
+		return false
 	}
 	out.Rounds++
-	fixed, ok := ctl.Fix(up, ctl.URR.Failures(up.ID))
+	fixed, ok := ctl.Fix(r.up, ctl.URR.Failures(r.up.ID))
 	if !ok {
 		out.Abandoned = true
-		return nil, false
+		return false
 	}
-	return fixed, true
+	r.up = fixed
+	return true
 }
 
-// testGroup tests the upgrade on every node of the group; nodes that pass
-// integrate immediately. It returns the names of failing nodes.
-func (ctl *Controller) testGroup(nodes []Node, cluster string, up *pkgmgr.Upgrade, out *Outcome) ([]Node, error) {
-	var failed []Node
-	for _, n := range nodes {
-		ok, err := ctl.testNode(n, cluster, up, out)
-		if err != nil {
-			return nil, err
+// testMembers validates the current upgrade on every member. Node tests
+// run concurrently on the worker pool bounded by Controller.Parallelism;
+// reports are then deposited and passing nodes integrated strictly in
+// member order, so URR contents and the outcome are identical at any
+// pool size. It returns the members that failed validation.
+func (r *waveRunner) testMembers(ms []member) []member {
+	reports := make([]*report.Report, len(ms))
+	errs := make([]error, len(ms))
+	workers := r.ctl.Parallelism
+	if workers > len(ms) {
+		workers = len(ms)
+	}
+	if workers <= 1 {
+		for i, m := range ms {
+			reports[i], errs[i] = m.node.TestUpgrade(r.up)
 		}
-		if !ok {
-			failed = append(failed, n)
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					reports[i], errs[i] = ms[i].node.TestUpgrade(r.up)
+				}
+			}()
+		}
+		for i := range ms {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+
+	// Even when a node errors, every report the pool already produced is
+	// deposited and booked in member order — evidence of validation work
+	// performed on real machines must not be discarded. The first error
+	// (in member order) halts the plan after this accounting pass.
+	var failed []member
+	for i, m := range ms {
+		if errs[i] != nil {
+			if r.err == nil {
+				r.err = fmt.Errorf("deploy: testing %s on %s: %w", r.up.ID, m.node.Name(), errs[i])
+			}
 			continue
 		}
-		if err := ctl.integrate(n, up, out); err != nil {
-			return nil, err
+		rep := reports[i]
+		rep.Cluster = m.cluster
+		r.ctl.URR.Deposit(rep)
+		st := r.out.Nodes[m.node.Name()]
+		st.Tests++
+		if !rep.Success {
+			st.Failures++
+			r.out.Overhead++
+			r.clean[m.cluster] = false
+			failed = append(failed, m)
+			continue
 		}
-	}
-	return failed, nil
-}
-
-// convergeGroup repeatedly tests-and-debugs until every node of the group
-// passes, the vendor abandons the upgrade, or an error occurs. It returns
-// the (possibly corrected) upgrade in force afterwards.
-func (ctl *Controller) convergeGroup(nodes []Node, cluster string, up *pkgmgr.Upgrade, out *Outcome) (*pkgmgr.Upgrade, error) {
-	pending := nodes
-	for len(pending) > 0 {
-		failed, err := ctl.testGroup(pending, cluster, up, out)
-		if err != nil {
-			return up, err
-		}
-		if len(failed) == 0 {
-			break
-		}
-		fixed, ok := ctl.debug(up, out)
-		if !ok {
-			return up, nil
-		}
-		up = fixed
-		pending = failed
-	}
-	return up, nil
-}
-
-func byDistance(clusters []*Cluster, descending bool) []*Cluster {
-	out := append([]*Cluster(nil), clusters...)
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Distance != out[j].Distance {
-			if descending {
-				return out[i].Distance > out[j].Distance
-			}
-			return out[i].Distance < out[j].Distance
-		}
-		return out[i].ID < out[j].ID
-	})
-	return out
-}
-
-func (ctl *Controller) deployNoStaging(up *pkgmgr.Upgrade, clusters []*Cluster, out *Outcome) (*pkgmgr.Upgrade, error) {
-	out.FinalID = up.ID
-	for _, c := range byDistance(clusters, false) {
-		all := append(append([]Node(nil), c.Representatives...), c.Others...)
-		final, err := ctl.convergeGroup(all, c.ID, up, out)
-		if err != nil {
-			return up, err
-		}
-		if out.Abandoned {
-			return up, nil
-		}
-		up = final
-		out.FinalID = up.ID
-	}
-	return up, nil
-}
-
-func (ctl *Controller) deployBalanced(up *pkgmgr.Upgrade, clusters []*Cluster, out *Outcome) (*pkgmgr.Upgrade, error) {
-	out.FinalID = up.ID
-	for _, c := range byDistance(clusters, false) {
-		// Representatives first, then the rest of the cluster.
-		final, err := ctl.convergeGroup(c.Representatives, c.ID, up, out)
-		if err != nil {
-			return up, err
-		}
-		if out.Abandoned {
-			return up, nil
-		}
-		final, err = ctl.convergeGroup(c.Others, c.ID, final, out)
-		if err != nil {
-			return up, err
-		}
-		if out.Abandoned {
-			return up, nil
-		}
-		up = final
-		out.FinalID = up.ID
-	}
-	return up, nil
-}
-
-// deployRandom is Balanced over a deterministically shuffled order.
-func (ctl *Controller) deployRandom(up *pkgmgr.Upgrade, clusters []*Cluster, out *Outcome) (*pkgmgr.Upgrade, error) {
-	order := byDistance(clusters, false)
-	state := ctl.Seed
-	if state == 0 {
-		state = 0x9E3779B97F4A7C15
-	}
-	next := func() uint64 {
-		state ^= state << 13
-		state ^= state >> 7
-		state ^= state << 17
-		return state
-	}
-	for i := len(order) - 1; i > 0; i-- {
-		j := int(next() % uint64(i+1))
-		order[i], order[j] = order[j], order[i]
-	}
-	out.FinalID = up.ID
-	for _, c := range order {
-		final, err := ctl.convergeGroup(c.Representatives, c.ID, up, out)
-		if err != nil {
-			return up, err
-		}
-		if out.Abandoned {
-			return up, nil
-		}
-		final, err = ctl.convergeGroup(c.Others, c.ID, final, out)
-		if err != nil {
-			return up, err
-		}
-		if out.Abandoned {
-			return up, nil
-		}
-		up = final
-		out.FinalID = up.ID
-	}
-	return up, nil
-}
-
-func (ctl *Controller) deployFrontLoading(up *pkgmgr.Upgrade, clusters []*Cluster, out *Outcome) (*pkgmgr.Upgrade, error) {
-	out.FinalID = up.ID
-	order := byDistance(clusters, true)
-
-	// Phase 1: all representatives of all clusters, repeatedly, until no
-	// representative reports a problem.
-	for {
-		anyFailed := false
-		for _, c := range order {
-			failed, err := ctl.testGroup(c.Representatives, c.ID, up, out)
-			if err != nil {
-				return up, err
-			}
-			if len(failed) > 0 {
-				anyFailed = true
+		if err := r.ctl.integrate(m.node, r.up, r.out); err != nil {
+			if r.err == nil {
+				r.err = err
 			}
 		}
-		if !anyFailed {
-			break
-		}
-		fixed, ok := ctl.debug(up, out)
-		if !ok {
-			return up, nil
-		}
-		up = fixed
-		out.FinalID = up.ID
 	}
+	return failed
+}
 
-	// Phase 2: non-representatives, one cluster at a time, most dissimilar
-	// first. Problems here mean imperfect clustering or testing; they are
-	// debugged before moving on.
-	for _, c := range order {
-		final, err := ctl.convergeGroup(c.Others, c.ID, up, out)
-		if err != nil {
-			return up, err
+// notifyFinal brings nodes that integrated a superseded version up to the
+// final corrected upgrade. Each such node re-validates before integrating;
+// the re-validations run on the same worker pool as wave testing. Nodes
+// that fail the final version keep their earlier working upgrade.
+func (ctl *Controller) notifyFinal(final *pkgmgr.Upgrade, clusters []*Cluster, out *Outcome) error {
+	var ms []member
+	for _, c := range clusters {
+		for _, n := range append(append([]Node(nil), c.Representatives...), c.Others...) {
+			st := out.Nodes[n.Name()]
+			if st.UpgradeID == "" || st.UpgradeID == final.ID {
+				continue
+			}
+			ms = append(ms, member{n, c.ID})
 		}
-		if out.Abandoned {
-			return up, nil
-		}
-		up = final
-		out.FinalID = up.ID
 	}
-	return up, nil
+	if len(ms) == 0 {
+		return nil
+	}
+	r := &waveRunner{ctl: ctl, up: final, out: out, clean: make(map[string]bool)}
+	r.testMembers(ms)
+	return r.err
+}
+
+// integrate applies the validated upgrade on the node. FinalID advances
+// here — when a version actually reaches a node — so that on abandonment
+// the outcome names the last version that deployed, never a fix that no
+// node integrated.
+func (ctl *Controller) integrate(n Node, up *pkgmgr.Upgrade, out *Outcome) error {
+	if err := n.Integrate(up); err != nil {
+		return fmt.Errorf("deploy: integrating %s on %s: %w", up.ID, n.Name(), err)
+	}
+	out.Nodes[n.Name()].UpgradeID = up.ID
+	out.FinalID = up.ID
+	return nil
 }

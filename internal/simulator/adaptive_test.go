@@ -1,0 +1,109 @@
+package simulator
+
+import "testing"
+
+// PolicyAdaptive: Balanced's ordering and overhead guarantees, but a
+// cluster whose representatives pass without failures releases its
+// non-representatives from the barrier — deployment advances while they
+// test in the background.
+
+func TestAdaptiveCleanFleetHalvesMakespan(t *testing.T) {
+	p := DefaultParams()
+	specs := testScenario(20, 5000, 0, true)
+	for i := range specs {
+		specs[i].Problem = "" // fully clean fleet
+	}
+	bal := Balanced(p, specs)
+	ada := Adaptive(p, specs)
+	// Balanced: each cluster costs two gated round trips (reps, others).
+	if want := 2 * p.RoundTrip() * 20; bal.Makespan != want {
+		t.Fatalf("balanced makespan = %v, want %v", bal.Makespan, want)
+	}
+	// Adaptive: only the reps chain gates; the last others wave finishes
+	// one round trip after the last reps wave.
+	if want := p.RoundTrip() * 21; ada.Makespan != want {
+		t.Fatalf("adaptive makespan = %v, want %v", ada.Makespan, want)
+	}
+	if ada.Overhead != 0 || bal.Overhead != 0 {
+		t.Fatalf("clean fleet produced overhead %d/%d", ada.Overhead, bal.Overhead)
+	}
+}
+
+func TestAdaptiveKeepsBalancedOverhead(t *testing.T) {
+	p := DefaultParams()
+	bal := Balanced(p, testScenario(20, 5000, 3, true))
+	ada := Adaptive(p, testScenario(20, 5000, 3, true))
+	// Problem clusters are not promoted, so representatives still shield
+	// non-representatives: overhead = p, exactly as Balanced.
+	if ada.Overhead != bal.Overhead {
+		t.Fatalf("adaptive overhead = %d, balanced = %d", ada.Overhead, bal.Overhead)
+	}
+	if ada.Fixes != bal.Fixes {
+		t.Fatalf("adaptive fixes = %d, balanced = %d", ada.Fixes, bal.Fixes)
+	}
+	if ada.Makespan >= bal.Makespan {
+		t.Fatalf("adaptive makespan %v not better than balanced %v", ada.Makespan, bal.Makespan)
+	}
+	// Every cluster still completes exactly once (MarkDone panics on
+	// duplicates), and the CDF is complete.
+	if len(ada.Latency) != 20 {
+		t.Fatalf("completed clusters = %d", len(ada.Latency))
+	}
+}
+
+func TestAdaptiveDirtyClusterStillGates(t *testing.T) {
+	p := DefaultParams()
+	// Problems in the FIRST clusters: the dirty clusters must hold the
+	// plan back exactly like Balanced (no promotion on failures).
+	bal := Balanced(p, testScenario(10, 100, 2, false))
+	ada := Adaptive(p, testScenario(10, 100, 2, false))
+	if ada.Overhead != bal.Overhead {
+		t.Fatalf("overhead %d != %d", ada.Overhead, bal.Overhead)
+	}
+	// The first (dirty) cluster's completion time is identical: its
+	// non-representatives waited for the fix either way.
+	specs := testScenario(10, 100, 2, false)
+	if ada.Latency[specs[0].Name] != bal.Latency[specs[0].Name] {
+		t.Fatalf("dirty cluster latency %v != %v", ada.Latency[specs[0].Name], bal.Latency[specs[0].Name])
+	}
+}
+
+func TestAdaptiveWithMisplacedMachineConverges(t *testing.T) {
+	p := DefaultParams()
+	// A promoted others wave can still fail (misplaced machine). The
+	// deployment must converge in the background without gating, and the
+	// misplaced machine's test still counts as overhead.
+	specs := testScenario(10, 100, 0, true)
+	for i := range specs {
+		specs[i].Problem = ""
+	}
+	specs[0].Misplaced = []string{"misplaced-problem"}
+	res := Adaptive(p, specs)
+	if res.Overhead != 1 {
+		t.Fatalf("overhead = %d, want 1 (the misplaced machine)", res.Overhead)
+	}
+	if len(res.Latency) != 10 {
+		t.Fatalf("completed clusters = %d", len(res.Latency))
+	}
+	// Promotion means the clean clusters behind it were not delayed by
+	// the misplaced machine's debug cycle.
+	if res.Latency[specs[1].Name] >= p.FixTime {
+		t.Fatalf("cluster 1 delayed to %v by a promoted wave's failure", res.Latency[specs[1].Name])
+	}
+}
+
+func TestAdaptiveThresholdGatePreserved(t *testing.T) {
+	// A promoted cluster below the online threshold still completes only
+	// after its late arrivals return — the threshold is mechanism, shared
+	// by every policy.
+	p, specs := offlineScenario(0.5, 60, 2_000)
+	res := Adaptive(p, specs)
+	if res.Latency[specs[0].Name] < 2_000 {
+		t.Fatalf("below-threshold cluster completed at %v", res.Latency[specs[0].Name])
+	}
+	// But — unlike Balanced — the NEXT cluster was not held behind the
+	// late-arrival gate: promotion released it.
+	if res.Latency[specs[1].Name] >= 2_000 {
+		t.Fatalf("adaptive still gated the next cluster: %v", res.Latency[specs[1].Name])
+	}
+}

@@ -1,59 +1,273 @@
 package simulator
 
-import "sort"
+import "repro/internal/staging"
 
-// This file implements the deployment protocols of §4.3 on top of the
-// event engine: the two Mirage staged protocols (FrontLoading and
-// Balanced) and the two baselines (NoStaging and RandomStaging).
+// This file is the event-driven executor for the shared staged-deployment
+// plans of internal/staging. The protocol semantics of §4.3 — which
+// cluster group tests when, what gates what — live in the plan; this
+// executor owns only the mechanism: scheduling download+test round trips
+// on the event engine, retrying after fixes ship, honoring the
+// non-representative threshold, and handling offline machines as late
+// arrivals.
 //
-// Common structure: representatives of a cluster always test before the
-// cluster's non-representatives; the vendor's debugging pipeline is
-// serial; machines that fail testing retry one download+test round-trip
-// after the relevant fix ships.
+// Common structure preserved from the paper: representatives of a cluster
+// always test before the cluster's non-representatives; the vendor's
+// debugging pipeline is serial; machines that fail testing retry one
+// download+test round-trip after the relevant fix ships.
 
-// orderByDistance returns the clusters sorted by ascending (or descending)
-// distance to the vendor, ties broken by name for determinism.
-func orderByDistance(clusters []ClusterSpec, descending bool) []*ClusterSpec {
-	out := make([]*ClusterSpec, len(clusters))
-	for i := range clusters {
-		out[i] = &clusters[i]
+// Refs converts simulator cluster specs into the planner's cluster refs.
+func Refs(clusters []ClusterSpec) []staging.ClusterRef {
+	refs := make([]staging.ClusterRef, len(clusters))
+	for i, c := range clusters {
+		refs[i] = staging.ClusterRef{Name: c.Name, Distance: c.Distance}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Distance != out[j].Distance {
-			if descending {
-				return out[i].Distance > out[j].Distance
-			}
-			return out[i].Distance < out[j].Distance
-		}
-		return out[i].Name < out[j].Name
-	})
-	return out
+	return refs
 }
 
-// NoStaging places all machines into a single cluster and treats them all
-// as representatives: everyone downloads and tests immediately. Fast, with
-// upgrade overhead equal to the total number of problematic machines. The
-// paper positions it for simple, urgent upgrades such as security patches.
+// PlanFor returns the deployment plan the simulator executes for policy
+// over the given clusters — the very plan internal/deploy runs against
+// real nodes, which is what makes simulated and live rollouts of the same
+// fleet follow the same schedule.
+func PlanFor(policy staging.Policy, clusters []ClusterSpec, seed uint64) *staging.Plan {
+	return staging.BuildPlan(policy, Refs(clusters), seed)
+}
+
+// Run simulates policy over the clusters with the given parameters.
+func Run(p Params, policy staging.Policy, clusters []ClusterSpec, seed uint64) *Result {
+	s := NewSim(p, policy.String())
+	ex := &simExecutor{s: s, specs: make(map[string]*ClusterSpec, len(clusters)), clean: make(map[string]bool)}
+	for i := range clusters {
+		ex.specs[clusters[i].Name] = &clusters[i]
+	}
+	staging.Execute(PlanFor(policy, clusters, seed), ex)
+	return s.Finish()
+}
+
+// NoStaging places all machines into a single concurrent stage and treats
+// them all as representatives: everyone downloads and tests immediately.
+// Fast, with upgrade overhead equal to the total number of problematic
+// machines. The paper positions it for simple, urgent upgrades such as
+// security patches.
 func NoStaging(p Params, clusters []ClusterSpec) *Result {
-	s := NewSim(p, "NoStaging")
-	specs := orderByDistance(clusters, false)
-	for _, c := range specs {
-		c := c
-		var attempt func()
-		attempt = func() {
-			out := s.TestGroup(c, c.Size-c.Offline, false)
-			if out.Failed == 0 {
-				s.MarkDone(c)
-				scheduleLateArrivals(s, c)
+	return Run(p, staging.PolicyNoStaging, clusters, 0)
+}
+
+// Balanced deploys cluster by cluster, starting from the cluster most
+// similar to the vendor's installation: representatives of the cluster
+// test first, then its non-representatives, then deployment advances.
+// It reduces upgrade overhead to (roughly) the number of problems while
+// letting many machines upgrade before all debugging completes.
+func Balanced(p Params, clusters []ClusterSpec) *Result {
+	return Run(p, staging.PolicyBalanced, clusters, 0)
+}
+
+// RandomStaging is Balanced with a random deployment order; the paper uses
+// it to isolate the benefit of staging itself from that of intelligent
+// cluster ordering. The shuffle is seeded for reproducibility.
+func RandomStaging(p Params, clusters []ClusterSpec, seed uint64) *Result {
+	return Run(p, staging.PolicyRandomStaging, clusters, seed)
+}
+
+// FrontLoading front-loads the vendor's debugging effort: phase 1 notifies
+// the representatives of all clusters in parallel and repeats
+// test-and-debug rounds until no representative reports a problem; phase 2
+// then deploys to non-representatives one cluster at a time, most
+// dissimilar cluster first. Per-cluster latency is dominated by the
+// debug cycles of phase 1, but phase 2 needs no representative step, so
+// the last cluster finishes earlier than under the other staged protocols.
+func FrontLoading(p Params, clusters []ClusterSpec) *Result {
+	return Run(p, staging.PolicyFrontLoading, clusters, 0)
+}
+
+// Adaptive is Balanced with early promotion: when a cluster's
+// representatives pass without a single failure, its non-representatives
+// test in the background while deployment advances to the next cluster
+// immediately. Problem clusters still gate exactly like Balanced, so the
+// overhead guarantee is unchanged while clean fleets finish in roughly
+// half the time.
+func Adaptive(p Params, clusters []ClusterSpec) *Result {
+	return Run(p, staging.PolicyAdaptive, clusters, 0)
+}
+
+// simExecutor implements staging.Executor on the discrete-event engine.
+type simExecutor struct {
+	s     *Sim
+	specs map[string]*ClusterSpec
+	// clean records whether a cluster's representative wave has converged
+	// without observing any failure — PolicyAdaptive's promotion signal.
+	clean map[string]bool
+}
+
+func (e *simExecutor) RunStage(st staging.Stage, done func()) {
+	if st.RetryAll {
+		e.runJointRepsStage(st, done)
+		return
+	}
+	remaining := len(st.Waves)
+	if remaining == 0 {
+		done()
+		return
+	}
+	converged := func() {
+		remaining--
+		if remaining == 0 {
+			done()
+		}
+	}
+	for _, w := range st.Waves {
+		c := e.specs[w.Cluster]
+		switch w.Group {
+		case staging.GroupAll:
+			e.runAllWave(c, converged)
+		case staging.GroupReps:
+			e.runRepsWave(c, converged)
+		default: // staging.GroupOthers
+			if st.Promote(w, e.clean) {
+				// Zero failures at the representatives: promote the
+				// non-representatives — their wave proceeds in the
+				// background while the plan advances.
+				e.runOthersWave(c, func() {})
+				converged()
+			} else {
+				e.runOthersWave(c, converged)
+			}
+		}
+	}
+}
+
+// runAllWave deploys to the whole cluster at once (NoStaging): the online
+// machines download and test immediately, failing machines retry one
+// round-trip after the fix ships, and the cluster completes when its last
+// online machine passes.
+func (e *simExecutor) runAllWave(c *ClusterSpec, done func()) {
+	s := e.s
+	var attempt func()
+	attempt = func() {
+		out := s.TestGroup(c, c.Size-c.Offline, false)
+		if out.Failed == 0 {
+			s.MarkDone(c)
+			scheduleLateArrivals(s, c)
+			done()
+			return
+		}
+		s.At(out.FixReady+s.P.RoundTrip(), "all-retry:"+c.Name, attempt)
+	}
+	s.After(s.P.RoundTrip(), "all-test:"+c.Name, attempt)
+}
+
+// runRepsWave tests the cluster's representatives, retrying after fixes
+// until no failures remain.
+func (e *simExecutor) runRepsWave(c *ClusterSpec, done func()) {
+	s := e.s
+	e.clean[c.Name] = true
+	var attempt func()
+	attempt = func() {
+		out := s.TestGroup(c, c.Reps, true)
+		if out.Failed > 0 {
+			e.clean[c.Name] = false
+			s.At(out.FixReady+s.P.RoundTrip(), "rep-retry:"+c.Name, attempt)
+			return
+		}
+		done()
+	}
+	s.After(s.P.RoundTrip(), "rep-test:"+c.Name, attempt)
+}
+
+// runOthersWave deploys to the cluster's non-representatives. Only the
+// online non-representatives test now; the cluster advances once the
+// threshold fraction of non-representatives has passed and no failures
+// are outstanding. Offline machines are handled as late arrivals and
+// never gate deployment progress (provided the online fraction meets the
+// threshold; otherwise deployment must wait for them to return).
+func (e *simExecutor) runOthersWave(c *ClusterSpec, done func()) {
+	s := e.s
+	online := c.NonReps() - c.Offline
+	onlineFraction := 1.0
+	if c.NonReps() > 0 {
+		onlineFraction = float64(online) / float64(c.NonReps())
+	}
+
+	complete := func() {
+		if onlineFraction >= s.P.Threshold {
+			s.MarkDone(c)
+			scheduleLateArrivals(s, c)
+			done()
+			return
+		}
+		// Below threshold: the cluster cannot advance until the late
+		// arrivals return and pass.
+		ret := c.ReturnTime
+		if ret < s.Now() {
+			ret = s.Now()
+		}
+		var lateGate func()
+		lateGate = func() {
+			s.Res.LateTests += c.Offline
+			out := s.TestGroup(c, c.Offline, false)
+			if out.Failed > 0 {
+				s.At(out.FixReady+s.P.RoundTrip(), "late-gate-retry:"+c.Name, lateGate)
 				return
 			}
-			// Failed machines retry one round-trip after the fix ships;
-			// the cluster completes when its last machine passes.
-			s.At(out.FixReady+p.RoundTrip(), "nostaging-retry:"+c.Name, attempt)
+			s.MarkDone(c)
+			done()
 		}
-		s.At(p.RoundTrip(), "nostaging-test:"+c.Name, attempt)
+		s.At(ret+s.P.RoundTrip(), "late-gate:"+c.Name, lateGate)
 	}
-	return s.Finish()
+
+	var retry func()
+	first := func() {
+		out := s.TestGroup(c, online, false)
+		if out.Failed == 0 {
+			complete()
+			return
+		}
+		// Machines that passed integrate the upgrade now (they may later
+		// be notified of a corrected version); the failing machines —
+		// misplaced ones, or the whole group when clustering let an
+		// unfixed problem through — retry after the fix.
+		s.At(out.FixReady+s.P.RoundTrip(), "nonrep-retry:"+c.Name, retry)
+	}
+	retry = func() {
+		// Only the previously failing machines re-test: passing n=0
+		// re-evaluates the cluster problem and the misplaced machines.
+		out := s.TestGroup(c, 0, false)
+		if out.Failed == 0 {
+			complete()
+			return
+		}
+		s.At(out.FixReady+s.P.RoundTrip(), "nonrep-retry:"+c.Name, retry)
+	}
+	s.After(s.P.RoundTrip(), "nonrep-test:"+c.Name, first)
+}
+
+// runJointRepsStage executes a RetryAll stage (FrontLoading phase 1):
+// all representatives of all clusters test concurrently; whenever any
+// fail, every representative is re-notified once the vendor has corrected
+// every reported problem, until a full round passes cleanly.
+func (e *simExecutor) runJointRepsStage(st staging.Stage, done func()) {
+	s := e.s
+	var round func()
+	round = func() {
+		anyFailed := false
+		var latestFix float64
+		for _, w := range st.Waves {
+			c := e.specs[w.Cluster]
+			out := s.TestGroup(c, c.Reps, true)
+			if out.Failed > 0 {
+				anyFailed = true
+				e.clean[c.Name] = false
+				if out.FixReady > latestFix {
+					latestFix = out.FixReady
+				}
+			}
+		}
+		if anyFailed {
+			s.At(latestFix+s.P.RoundTrip(), "phase1-round", round)
+			return
+		}
+		done()
+	}
+	s.After(s.P.RoundTrip(), "phase1-round", round)
 }
 
 // scheduleLateArrivals handles the machines that were offline when their
@@ -79,175 +293,4 @@ func scheduleLateArrivals(s *Sim, c *ClusterSpec) {
 		}
 	}
 	s.At(ret+s.P.RoundTrip(), "late-arrival:"+c.Name, attempt)
-}
-
-// runCluster deploys one cluster: representatives first (unless skipReps),
-// then non-representatives, retrying after fixes until no failures remain,
-// then calls next. It is shared by Balanced, RandomStaging and
-// FrontLoading's second phase.
-func runCluster(s *Sim, c *ClusterSpec, skipReps bool, next func()) {
-	var repPhase, nonRepPhase, nonRepRetry func()
-
-	repPhase = func() {
-		out := s.TestGroup(c, c.Reps, true)
-		if out.Failed > 0 {
-			s.At(out.FixReady+s.P.RoundTrip(), "rep-retry:"+c.Name, repPhase)
-			return
-		}
-		s.After(s.P.RoundTrip(), "nonrep-test:"+c.Name, nonRepPhase)
-	}
-
-	// Only the online non-representatives test now; the cluster advances
-	// once the threshold fraction of non-representatives has passed and no
-	// failures are outstanding. Offline machines are handled as late
-	// arrivals and never gate deployment progress (provided the online
-	// fraction meets the threshold; otherwise deployment must wait for
-	// them to return).
-	online := c.NonReps() - c.Offline
-	onlineFraction := 1.0
-	if c.NonReps() > 0 {
-		onlineFraction = float64(online) / float64(c.NonReps())
-	}
-
-	complete := func() {
-		if onlineFraction >= s.P.Threshold {
-			s.MarkDone(c)
-			scheduleLateArrivals(s, c)
-			next()
-			return
-		}
-		// Below threshold: the cluster cannot advance until the late
-		// arrivals return and pass.
-		ret := c.ReturnTime
-		if ret < s.Now() {
-			ret = s.Now()
-		}
-		var lateGate func()
-		lateGate = func() {
-			s.Res.LateTests += c.Offline
-			out := s.TestGroup(c, c.Offline, false)
-			if out.Failed > 0 {
-				s.At(out.FixReady+s.P.RoundTrip(), "late-gate-retry:"+c.Name, lateGate)
-				return
-			}
-			s.MarkDone(c)
-			next()
-		}
-		s.At(ret+s.P.RoundTrip(), "late-gate:"+c.Name, lateGate)
-	}
-
-	nonRepPhase = func() {
-		out := s.TestGroup(c, online, false)
-		if out.Failed == 0 {
-			complete()
-			return
-		}
-		// Machines that passed integrate the upgrade now (they may later
-		// be notified of a corrected version); the failing machines —
-		// misplaced ones, or the whole group when clustering let an
-		// unfixed problem through — retry after the fix.
-		s.At(out.FixReady+s.P.RoundTrip(), "nonrep-retry:"+c.Name, nonRepRetry)
-	}
-
-	nonRepRetry = func() {
-		// Only the previously failing machines re-test: passing n=0
-		// re-evaluates the cluster problem and the misplaced machines.
-		out := s.TestGroup(c, 0, false)
-		if out.Failed == 0 {
-			complete()
-			return
-		}
-		s.At(out.FixReady+s.P.RoundTrip(), "nonrep-retry:"+c.Name, nonRepRetry)
-	}
-
-	if skipReps {
-		s.After(s.P.RoundTrip(), "nonrep-test:"+c.Name, nonRepPhase)
-	} else {
-		s.After(s.P.RoundTrip(), "rep-test:"+c.Name, repPhase)
-	}
-}
-
-// runSequential deploys the given clusters one after another.
-func runSequential(s *Sim, order []*ClusterSpec, skipReps bool) {
-	var deploy func(i int)
-	deploy = func(i int) {
-		if i >= len(order) {
-			return
-		}
-		runCluster(s, order[i], skipReps, func() { deploy(i + 1) })
-	}
-	deploy(0)
-}
-
-// Balanced deploys cluster by cluster, starting from the cluster most
-// similar to the vendor's installation: representatives of the cluster
-// test first, then its non-representatives, then deployment advances.
-// It reduces upgrade overhead to (roughly) the number of problems while
-// letting many machines upgrade before all debugging completes.
-func Balanced(p Params, clusters []ClusterSpec) *Result {
-	s := NewSim(p, "Balanced")
-	runSequential(s, orderByDistance(clusters, false), false)
-	return s.Finish()
-}
-
-// RandomStaging is Balanced with a random deployment order; the paper uses
-// it to isolate the benefit of staging itself from that of intelligent
-// cluster ordering. The shuffle is seeded for reproducibility.
-func RandomStaging(p Params, clusters []ClusterSpec, seed uint64) *Result {
-	s := NewSim(p, "RandomStaging")
-	order := orderByDistance(clusters, false)
-	// Deterministic Fisher-Yates using an xorshift generator, so results
-	// are stable across runs and platforms.
-	state := seed
-	if state == 0 {
-		state = 0x9E3779B97F4A7C15
-	}
-	next := func() uint64 {
-		state ^= state << 13
-		state ^= state >> 7
-		state ^= state << 17
-		return state
-	}
-	for i := len(order) - 1; i > 0; i-- {
-		j := int(next() % uint64(i+1))
-		order[i], order[j] = order[j], order[i]
-	}
-	runSequential(s, order, false)
-	return s.Finish()
-}
-
-// FrontLoading front-loads the vendor's debugging effort: phase 1 notifies
-// the representatives of all clusters in parallel and repeats
-// test-and-debug rounds until no representative reports a problem; phase 2
-// then deploys to non-representatives one cluster at a time, most
-// dissimilar cluster first. Per-cluster latency is dominated by the
-// debug cycles of phase 1, but phase 2 needs no representative step, so
-// the last cluster finishes earlier than under the other staged protocols.
-func FrontLoading(p Params, clusters []ClusterSpec) *Result {
-	s := NewSim(p, "FrontLoading")
-	specs := orderByDistance(clusters, true) // farthest first for phase 2
-
-	var phase1 func()
-	phase1 = func() {
-		anyFailed := false
-		var latestFix float64
-		for _, c := range specs {
-			out := s.TestGroup(c, c.Reps, true)
-			if out.Failed > 0 {
-				anyFailed = true
-				if out.FixReady > latestFix {
-					latestFix = out.FixReady
-				}
-			}
-		}
-		if anyFailed {
-			// All representatives are re-notified once the vendor has
-			// corrected every reported problem.
-			s.At(latestFix+p.RoundTrip(), "phase1-round", phase1)
-			return
-		}
-		runSequential(s, specs, true)
-	}
-	s.At(p.RoundTrip(), "phase1-round", phase1)
-	return s.Finish()
 }

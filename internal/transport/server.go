@@ -267,7 +267,7 @@ func (s *Server) ClusterRemote(app string, refs []string, reg RegistryConfig, ve
 	clusters := cluster.Run(cfg, fps)
 	var out []*deploy.Cluster
 	for _, c := range clusters {
-		dc := &deploy.Cluster{ID: fmt.Sprintf("cluster%d", c.ID), Distance: c.Distance}
+		dc := &deploy.Cluster{ID: deploy.ClusterName(c.ID), Distance: c.Distance}
 		for i, name := range c.Machines {
 			if i < repsPerCluster {
 				dc.Representatives = append(dc.Representatives, s.Node(name))
