@@ -8,6 +8,7 @@ package repro
 
 import (
 	"fmt"
+	"os"
 	"testing"
 
 	"repro/internal/cluster"
@@ -17,6 +18,7 @@ import (
 	"repro/internal/parser"
 	"repro/internal/pkgmgr"
 	"repro/internal/report"
+	"repro/internal/resource"
 	"repro/internal/scenario"
 	"repro/internal/simulator"
 	"repro/internal/staging"
@@ -271,6 +273,68 @@ func BenchmarkQTClustering(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cluster.Run(cluster.Config{Diameter: 3}, fps)
+	}
+}
+
+// highDupFleet builds n machine fingerprints drawn from a small pool of
+// distinct profiles (parsedGroups phase-1 groups × contentVariants content
+// profiles each), the shape of a production fleet: thousands of machines,
+// few genuinely distinct environments. Content variants use overlapping
+// chunk windows, so pairwise Manhattan distances spread from 2 upward and
+// the QT phase does real merging work. Deterministic (LCG-assigned).
+func highDupFleet(n, parsedGroups, contentVariants int) []cluster.MachineFingerprint {
+	var pool []cluster.MachineFingerprint
+	for p := 0; p < parsedGroups; p++ {
+		parsed := resource.NewSet(0)
+		for k := 0; k <= p; k++ {
+			parsed.Add(resource.Item{Key: fmt.Sprintf("pkg.p%d.v%d", p, k), Hash: uint64(p*31 + k), Kind: resource.Parsed})
+		}
+		for c := 0; c < contentVariants; c++ {
+			content := resource.NewSet(0)
+			for k := 0; k < 4; k++ {
+				content.Add(resource.Item{Key: fmt.Sprintf("blob.chunk%d", c+k), Hash: uint64(c + k), Kind: resource.Content})
+			}
+			pool = append(pool, cluster.MachineFingerprint{ParsedDiff: parsed, ContentDiff: content, AppSet: "apps"})
+		}
+	}
+	ms := make([]cluster.MachineFingerprint, n)
+	seed := uint64(1)
+	for i := range ms {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		fp := pool[seed%uint64(len(pool))]
+		fp.Name = fmt.Sprintf("m%06d", i)
+		ms[i] = fp
+	}
+	return ms
+}
+
+// BenchmarkClusterHighDuplication measures the multiplicity-aware
+// clustering front-end on fleets with realistic duplication against the
+// pre-refactor naive QT path (Config.NaiveQT). The weighted phase 2
+// scales with distinct profiles — 48 here — so the 10k fleet clusters in
+// roughly the time of the 1k fleet, while the naive path is cubic in the
+// members of the largest original cluster. The naive 10k reference is not
+// run by default (its runtime is measured in hours, which is the point);
+// set MIRAGE_BENCH_NAIVE_10K=1 to run it anyway.
+func BenchmarkClusterHighDuplication(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		fleet := highDupFleet(n, 4, 12)
+		for _, mode := range []string{"weighted", "naive"} {
+			b.Run(fmt.Sprintf("n%d/%s", n, mode), func(b *testing.B) {
+				naive := mode == "naive"
+				if naive && n > 1000 && os.Getenv("MIRAGE_BENCH_NAIVE_10K") == "" {
+					b.Skip("naive QT at 10k machines is cubic in fleet size; set MIRAGE_BENCH_NAIVE_10K=1 to run")
+				}
+				want := len(cluster.Run(cluster.Config{Diameter: 3}, fleet))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					cs := cluster.Run(cluster.Config{Diameter: 3, NaiveQT: naive}, fleet)
+					if len(cs) != want {
+						b.Fatalf("clusters = %d, want %d", len(cs), want)
+					}
+				}
+			})
+		}
 	}
 }
 

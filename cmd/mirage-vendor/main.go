@@ -25,6 +25,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/parser"
 	"repro/internal/pkgmgr"
+	"repro/internal/profile"
 	"repro/internal/report"
 	"repro/internal/scenario"
 	"repro/internal/staging"
@@ -38,6 +39,7 @@ func main() {
 	policy := flag.String("policy", "balanced", "deployment policy: balanced, frontloading, nostaging, random or adaptive")
 	diameter := flag.Int("d", 3, "QT clustering diameter")
 	parallel := flag.Int("parallel", deploy.DefaultParallelism, "worker-pool size for node testing within a wave")
+	profilePar := flag.Int("profile-parallel", 0, "concurrent agent fingerprint RPCs while profiling the fleet (0 = default)")
 	showPlan := flag.Bool("plan", false, "print the staged wave schedule before deploying")
 	urrFile := flag.String("urr", "", "save the report repository to this file after deployment")
 	flag.Parse()
@@ -73,7 +75,9 @@ func main() {
 		}
 	}
 
-	// Fingerprint against the vendor reference and cluster.
+	// Fingerprint against the vendor reference and cluster, on the shared
+	// profile pipeline: collect agent profiles concurrently, cluster the
+	// distinct profiles, assemble clusters of deployment over remote nodes.
 	refCfg := transport.MirageRegistryConfig()
 	reg, err := transport.BuildRegistry(refCfg)
 	if err != nil {
@@ -81,12 +85,15 @@ func main() {
 	}
 	refs := scenario.MySQLResourceRefs()
 	vendorItems := parser.NewFingerprinter(reg).Fingerprint(scenario.MySQLVendorReference(), refs)
-	dcs, raw, err := srv.ClusterRemote("mysql", refs, refCfg, vendorItems, cluster.Config{Diameter: *diameter}, 1)
+	srv.ProfileParallelism = *profilePar
+	rc, err := srv.ClusterRemote("mysql", refs, refCfg, vendorItems, cluster.Config{Diameter: *diameter}, 1)
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("clustered %d agents into %d clusters", len(names), len(raw))
-	for _, c := range raw {
+	dcs := rc.Deploy
+	log.Printf("profiled %d agents (%d distinct profiles) into %d clusters",
+		len(rc.Profiles), profile.Distinct(rc.Profiles), len(rc.Clusters))
+	for _, c := range rc.Clusters {
 		log.Printf("  %s", c)
 	}
 

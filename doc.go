@@ -5,7 +5,10 @@
 // The library lives under internal/: environment fingerprinting
 // (internal/fingerprint, internal/parser), the identification heuristic
 // (internal/envid), the two-phase clustering algorithm (internal/cluster),
-// and the unified staging engine (internal/staging) that computes one
+// the fleet-profiling pipeline (internal/profile) that collects machine
+// profiles concurrently and assembles clusters of deployment for local
+// and remote fleets alike, and the unified staging engine
+// (internal/staging) that computes one
 // wave-schedule Plan per deployment policy and drives it through two
 // executors — the event-driven simulator (internal/simulator) and the live
 // deployment controller over real networked machines (internal/deploy,

@@ -87,12 +87,13 @@ func main() {
 	}
 	refs := scenario.MySQLResourceRefs()
 	vendorItems := parser.NewFingerprinter(reg).Fingerprint(scenario.MySQLVendorReference(), refs)
-	dcs, raw, err := srv.ClusterRemote("mysql", refs, regCfg, vendorItems, cluster.Config{Diameter: 3}, 1)
+	rc, err := srv.ClusterRemote("mysql", refs, regCfg, vendorItems, cluster.Config{Diameter: 3}, 1)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("clustered into %d clusters:\n", len(raw))
-	for _, c := range raw {
+	dcs := rc.Deploy
+	fmt.Printf("clustered into %d clusters:\n", len(rc.Clusters))
+	for _, c := range rc.Clusters {
 		fmt.Printf("  distance %2d: %v\n", c.Distance, c.Machines)
 	}
 	fmt.Println()

@@ -77,6 +77,14 @@ type Config struct {
 	// have different application sets with overlapping resources. It
 	// defaults to true in Run; set DisableAppSetSplit to turn it off.
 	DisableAppSetSplit bool
+	// NaiveQT disables the multiplicity-aware collapse of identical
+	// machine profiles before phase 2, running the QT variation over raw
+	// machines instead of weighted distinct profiles. The two paths
+	// produce identical clusterings (the weighted path is an exact
+	// optimization, asserted by the equivalence property test); the naive
+	// path is kept as the reference implementation for cross-checking and
+	// as the pre-refactor baseline in benchmarks.
+	NaiveQT bool
 }
 
 // Run clusters the machines deterministically and returns clusters sorted
@@ -99,10 +107,18 @@ func Run(cfg Config, machines []MachineFingerprint) []*Cluster {
 	// Phase 1: original clusters = identical parsed diffs.
 	originals := phase1(ms)
 
-	// Phase 2: QT diameter clustering inside each original cluster.
+	// Phase 2: QT diameter clustering inside each original cluster. The
+	// default path collapses machines with identical (content, app-set)
+	// profiles — parsed diffs are already identical within an original
+	// cluster — into one weighted candidate each, so the cubic QT phase
+	// scales with distinct profiles rather than fleet size.
+	qt := qtCluster
+	if cfg.NaiveQT {
+		qt = qtClusterNaive
+	}
 	var groups [][]MachineFingerprint
 	for _, orig := range originals {
-		groups = append(groups, qtCluster(orig, cfg.Diameter)...)
+		groups = append(groups, qt(orig, cfg.Diameter)...)
 	}
 
 	// Final split by application set.
@@ -141,27 +157,31 @@ func Run(cfg Config, machines []MachineFingerprint) []*Cluster {
 
 // phase1 groups machines by identical parsed diffs. Groups are emitted in
 // order of their first member's name, members already name-sorted.
+// Placement is one signature-keyed map lookup per machine; each signature
+// keeps a collision bucket scanned with exact set equality, so a hash
+// collision degrades performance, never correctness.
 func phase1(ms []MachineFingerprint) [][]MachineFingerprint {
 	type group struct {
-		sig   uint64
 		first *resource.Set
 		mems  []MachineFingerprint
 	}
+	bySig := make(map[uint64][]*group, len(ms))
 	var groups []*group
 	for _, m := range ms {
-		placed := false
-		for _, g := range groups {
-			// Signature comparison fast-path, then exact set equality to
-			// rule out hash collisions.
-			if g.sig == m.ParsedDiff.Signature() && g.first.Equal(m.ParsedDiff) {
-				g.mems = append(g.mems, m)
-				placed = true
+		sig := m.ParsedDiff.Signature()
+		var g *group
+		for _, cand := range bySig[sig] {
+			if cand.first.Equal(m.ParsedDiff) {
+				g = cand
 				break
 			}
 		}
-		if !placed {
-			groups = append(groups, &group{sig: m.ParsedDiff.Signature(), first: m.ParsedDiff, mems: []MachineFingerprint{m}})
+		if g == nil {
+			g = &group{first: m.ParsedDiff}
+			bySig[sig] = append(bySig[sig], g)
+			groups = append(groups, g)
 		}
+		g.mems = append(g.mems, m)
 	}
 	out := make([][]MachineFingerprint, len(groups))
 	for i, g := range groups {
@@ -170,13 +190,187 @@ func phase1(ms []MachineFingerprint) [][]MachineFingerprint {
 	return out
 }
 
-// qtCluster subdivides one original cluster with the diameter-bounded QT
-// variation: repeatedly grow a candidate cluster around every remaining
-// machine by greedily adding the machine that minimizes the average
-// pairwise distance while keeping the diameter within d; keep the largest
-// candidate; remove its members; repeat. Deterministic: candidates are
-// seeded and grown in name order, ties broken by name.
+// qtCandidate is one distinct content profile within an original cluster:
+// every machine whose (content diff, app set) pair is identical, collapsed
+// into a single weighted QT candidate. members keeps input (name) order.
+type qtCandidate struct {
+	content *resource.Set
+	appSet  string
+	weight  int
+	members []MachineFingerprint
+}
+
+// collapse groups the machines of one original cluster by identical
+// (content diff, app set) profile, emitting candidates in order of first
+// appearance (= min member name, since ms is name-sorted). Like phase1 it
+// is signature-keyed with an exact-equality collision bucket.
+func collapse(ms []MachineFingerprint) []*qtCandidate {
+	type candKey struct {
+		sig    uint64
+		appSet string
+	}
+	byKey := make(map[candKey][]*qtCandidate, len(ms))
+	var cands []*qtCandidate
+	for _, m := range ms {
+		key := candKey{m.ContentDiff.Signature(), m.AppSet}
+		var c *qtCandidate
+		for _, b := range byKey[key] {
+			if b.content.Equal(m.ContentDiff) {
+				c = b
+				break
+			}
+		}
+		if c == nil {
+			c = &qtCandidate{content: m.ContentDiff, appSet: m.AppSet}
+			byKey[key] = append(byKey[key], c)
+			cands = append(cands, c)
+		}
+		c.weight++
+		c.members = append(c.members, m)
+	}
+	return cands
+}
+
+// qtCluster subdivides one original cluster with the multiplicity-aware
+// diameter-bounded QT variation. Machines with identical profiles are
+// collapsed into one weighted candidate first, so the cubic greedy search
+// runs over distinct profiles only; candidate sizes, growth sums and
+// average-distance tie-breaks are all weighted by multiplicity, which
+// makes the result exactly the clustering qtClusterNaive computes over
+// the raw machines (duplicates are at distance zero from their original,
+// so naive greedy growth always absorbs a member's duplicates before any
+// strictly more distant machine, and a duplicate of a member can never
+// violate the diameter bound).
 func qtCluster(ms []MachineFingerprint, diameter int) [][]MachineFingerprint {
+	if len(ms) <= 1 {
+		if len(ms) == 0 {
+			return nil
+		}
+		return [][]MachineFingerprint{ms}
+	}
+
+	cands := collapse(ms)
+
+	// Pairwise distances between distinct profiles.
+	dist := make([][]int, len(cands))
+	for i := range cands {
+		dist[i] = make([]int, len(cands))
+		for j := range cands {
+			if j < i {
+				dist[i][j] = dist[j][i]
+			} else if j > i {
+				dist[i][j] = resource.ManhattanDistance(cands[i].content, cands[j].content)
+			}
+		}
+	}
+
+	remaining := make([]int, len(cands))
+	for i := range remaining {
+		remaining[i] = i
+	}
+
+	var result [][]MachineFingerprint
+	for len(remaining) > 0 {
+		best := growFromWeighted(remaining[0], remaining, dist, cands, diameter)
+		bestW, bestAvg := weightOf(best, cands), avgDistWeighted(best, dist, cands)
+		for _, seed := range remaining[1:] {
+			cand := growFromWeighted(seed, remaining, dist, cands, diameter)
+			w, avg := weightOf(cand, cands), avgDistWeighted(cand, dist, cands)
+			if w > bestW || (w == bestW && avg < bestAvg) {
+				best, bestW, bestAvg = cand, w, avg
+			}
+		}
+		members := make([]MachineFingerprint, 0, bestW)
+		inBest := make(map[int]bool, len(best))
+		for _, idx := range best {
+			inBest[idx] = true
+			members = append(members, cands[idx].members...)
+		}
+		sort.Slice(members, func(i, j int) bool { return members[i].Name < members[j].Name })
+		result = append(result, members)
+
+		var next []int
+		for _, idx := range remaining {
+			if !inBest[idx] {
+				next = append(next, idx)
+			}
+		}
+		remaining = next
+	}
+	return result
+}
+
+// growFromWeighted mirrors growFrom over distinct candidates: distance
+// sums weight each member by its multiplicity, reproducing the sums naive
+// greedy growth sees once a member's duplicates have all joined.
+func growFromWeighted(seed int, remaining []int, dist [][]int, cands []*qtCandidate, diameter int) []int {
+	cluster := []int{seed}
+	in := map[int]bool{seed: true}
+	for {
+		bestIdx, bestSum := -1, 0
+		for _, cand := range remaining {
+			if in[cand] {
+				continue
+			}
+			ok, sum := true, 0
+			for _, member := range cluster {
+				d := dist[cand][member]
+				if d > diameter {
+					ok = false
+					break
+				}
+				sum += cands[member].weight * d
+			}
+			if !ok {
+				continue
+			}
+			if bestIdx == -1 || sum < bestSum {
+				bestIdx, bestSum = cand, sum
+			}
+		}
+		if bestIdx == -1 {
+			return cluster
+		}
+		cluster = append(cluster, bestIdx)
+		in[bestIdx] = true
+	}
+}
+
+// weightOf is the machine count of a candidate cluster.
+func weightOf(cluster []int, cands []*qtCandidate) int {
+	w := 0
+	for _, idx := range cluster {
+		w += cands[idx].weight
+	}
+	return w
+}
+
+// avgDistWeighted is the average pairwise machine distance of a candidate
+// cluster: pairs inside one collapsed candidate are at distance zero but
+// still count toward the pair total, so the value equals avgDist over the
+// expanded machines exactly.
+func avgDistWeighted(cluster []int, dist [][]int, cands []*qtCandidate) float64 {
+	w := weightOf(cluster, cands)
+	if w < 2 {
+		return 0
+	}
+	sum := 0
+	for i := 0; i < len(cluster); i++ {
+		for j := i + 1; j < len(cluster); j++ {
+			sum += cands[cluster[i]].weight * cands[cluster[j]].weight * dist[cluster[i]][cluster[j]]
+		}
+	}
+	return float64(sum) / float64(w*(w-1)/2)
+}
+
+// qtClusterNaive subdivides one original cluster with the diameter-bounded
+// QT variation over raw machines: repeatedly grow a candidate cluster
+// around every remaining machine by greedily adding the machine that
+// minimizes the average pairwise distance while keeping the diameter
+// within d; keep the largest candidate; remove its members; repeat.
+// Deterministic: candidates are seeded and grown in name order, ties
+// broken by name. Reference implementation for qtCluster (Config.NaiveQT).
+func qtClusterNaive(ms []MachineFingerprint, diameter int) [][]MachineFingerprint {
 	if len(ms) <= 1 {
 		if len(ms) == 0 {
 			return nil

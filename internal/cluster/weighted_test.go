@@ -1,0 +1,129 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/resource"
+)
+
+// Property test for the multiplicity-aware QT phase: on randomized fleets
+// with heavy machine duplication, the weighted (deduplicated) clustering
+// must equal the naive clustering over raw machines, cluster for cluster.
+
+// duplicatedFleet builds n machines drawn from a small pool of distinct
+// profiles, so duplication is heavy and phase 2 gets real work: several
+// parsed-diff groups, several content variants per group at mixed
+// distances, and a couple of app sets.
+func duplicatedFleet(rng *rand.Rand, n int) []MachineFingerprint {
+	type distinct struct {
+		parsed  *resource.Set
+		content *resource.Set
+		appSet  string
+	}
+	nParsed := 1 + rng.Intn(3)
+	nContent := 2 + rng.Intn(5)
+	nApps := 1 + rng.Intn(2)
+	var pool []distinct
+	for p := 0; p < nParsed; p++ {
+		parsed := resource.NewSet(0)
+		for k := 0; k <= p; k++ {
+			parsed.Add(resource.Item{Key: fmt.Sprintf("cfg.opt%d", k), Hash: uint64(100 + k), Kind: resource.Parsed})
+		}
+		for c := 0; c < nContent; c++ {
+			content := resource.NewSet(0)
+			// Overlapping item ranges give a spread of pairwise
+			// Manhattan distances, including ties.
+			lo, hi := rng.Intn(4), 0
+			hi = lo + 1 + rng.Intn(5)
+			for k := lo; k < hi; k++ {
+				content.Add(resource.Item{Key: fmt.Sprintf("blob.chunk%d", k), Hash: uint64(k), Kind: resource.Content})
+			}
+			for a := 0; a < nApps; a++ {
+				pool = append(pool, distinct{parsed, content, fmt.Sprintf("apps%d", a)})
+			}
+		}
+	}
+	ms := make([]MachineFingerprint, n)
+	for i := range ms {
+		d := pool[rng.Intn(len(pool))]
+		ms[i] = MachineFingerprint{
+			Name:        fmt.Sprintf("m%04d", i),
+			ParsedDiff:  d.parsed,
+			ContentDiff: d.content,
+			AppSet:      d.appSet,
+		}
+	}
+	return ms
+}
+
+func clustersEqual(t *testing.T, seed int64, got, want []*Cluster) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("seed %d: %d clusters, naive %d", seed, len(got), len(want))
+	}
+	for i := range got {
+		g, w := got[i], want[i]
+		if g.ID != w.ID || g.Distance != w.Distance {
+			t.Fatalf("seed %d cluster %d: id/distance %d/%d, naive %d/%d",
+				seed, i, g.ID, g.Distance, w.ID, w.Distance)
+		}
+		if len(g.Machines) != len(w.Machines) {
+			t.Fatalf("seed %d cluster %d: members %v, naive %v", seed, i, g.Machines, w.Machines)
+		}
+		for j := range g.Machines {
+			if g.Machines[j] != w.Machines[j] {
+				t.Fatalf("seed %d cluster %d: members %v, naive %v", seed, i, g.Machines, w.Machines)
+			}
+		}
+		if !g.Label.Equal(w.Label) {
+			t.Fatalf("seed %d cluster %d: labels differ", seed, i)
+		}
+	}
+}
+
+func TestWeightedQTEqualsNaiveOnDuplicatedFleets(t *testing.T) {
+	for seed := int64(0); seed < 18; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		ms := duplicatedFleet(rng, 40+rng.Intn(120))
+		for _, diameter := range []int{0, 2, 5} {
+			weighted := Run(Config{Diameter: diameter}, ms)
+			naive := Run(Config{Diameter: diameter, NaiveQT: true}, ms)
+			clustersEqual(t, seed, weighted, naive)
+		}
+	}
+}
+
+// The collapse must also be exact when duplication is total (one distinct
+// profile) and when absent (all profiles distinct).
+func TestWeightedQTDegenerateFleets(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	ms := duplicatedFleet(rng, 50)
+	uniform := make([]MachineFingerprint, len(ms))
+	for i := range uniform {
+		uniform[i] = ms[0]
+		uniform[i].Name = fmt.Sprintf("u%04d", i)
+	}
+	clustersEqual(t, 99,
+		Run(Config{Diameter: 3}, uniform),
+		Run(Config{Diameter: 3, NaiveQT: true}, uniform))
+	if got := Run(Config{Diameter: 3}, uniform); len(got) != 1 || got[0].Size() != len(uniform) {
+		t.Fatalf("uniform fleet clustered into %v", got)
+	}
+
+	var all []MachineFingerprint
+	for i := 0; i < 30; i++ {
+		content := resource.NewSet(0)
+		content.Add(resource.Item{Key: fmt.Sprintf("only%d", i), Hash: uint64(i), Kind: resource.Content})
+		all = append(all, MachineFingerprint{
+			Name:        fmt.Sprintf("d%04d", i),
+			ParsedDiff:  resource.NewSet(0),
+			ContentDiff: content,
+			AppSet:      "apps",
+		})
+	}
+	clustersEqual(t, -1,
+		Run(Config{Diameter: 2}, all),
+		Run(Config{Diameter: 2, NaiveQT: true}, all))
+}

@@ -14,6 +14,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/apps"
 	"repro/internal/cluster"
@@ -22,6 +23,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/parser"
 	"repro/internal/pkgmgr"
+	"repro/internal/profile"
 	"repro/internal/report"
 	"repro/internal/resource"
 	"repro/internal/staging"
@@ -41,6 +43,11 @@ type Vendor struct {
 	// Resources caches the identified environmental resource references
 	// per application name.
 	Resources map[string][]string
+
+	// ProfileParallelism bounds how many machines ClusterFleet profiles
+	// concurrently (0 means profile.DefaultParallelism, 1 means serial).
+	// The clustering result is identical at any setting.
+	ProfileParallelism int
 }
 
 // NewVendor returns a vendor around the given reference machine, with the
@@ -162,6 +169,14 @@ func (u *UserMachine) Fingerprint(app string) *resource.Set {
 	return fp.Fingerprint(u.M, u.resourcesFor(app))
 }
 
+// Profile implements profile.Source: the machine's diff profile against
+// the vendor reference set for app, computed in-process. Safe to call
+// concurrently across different machines (profile.Collect does), since it
+// only reads the vendor's registry and resource caches.
+func (u *UserMachine) Profile(app string, vendor *resource.Set) (profile.Machine, error) {
+	return profile.New(u.Name(), u.Fingerprint(app), vendor, u.M.AppSetKey()), nil
+}
+
 // TestUpgrade implements deploy.Node: validate the upgrade in an isolated
 // snapshot, returning the report (with a report image attached on failure).
 func (u *UserMachine) TestUpgrade(up *pkgmgr.Upgrade) (*report.Report, error) {
@@ -199,6 +214,20 @@ func (u *UserMachine) Integrate(up *pkgmgr.Upgrade) error {
 // Fleet is the set of machines Mirage manages for a vendor.
 type Fleet struct {
 	Machines []*UserMachine
+
+	// mu guards the name index: Lookup may be called concurrently (the
+	// old linear scan was read-only; the index is not).
+	mu sync.Mutex
+	// byName indexes Machines for Lookup; indexed records the machine
+	// count at build time. The index is rebuilt whenever the count
+	// changed, a hit's name no longer matches (rename), or the name is
+	// absent (append, rename, miss) — so hits are O(1) and a miss costs
+	// one rebuild, the price of the old linear scan. The one mutation a
+	// rebuild-on-miss cannot see: an entry of Machines swapped for a
+	// different machine of the same name keeps resolving to the removed
+	// machine until some other rebuild happens.
+	byName  map[string]*UserMachine
+	indexed int
 }
 
 // NewFleet wraps raw machines into user machines of vendor v.
@@ -212,12 +241,18 @@ func NewFleet(v *Vendor, machines ...*machine.Machine) *Fleet {
 
 // Lookup returns the user machine with the given name, or nil.
 func (f *Fleet) Lookup(name string) *UserMachine {
-	for _, u := range f.Machines {
-		if u.M.Name == name {
-			return u
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	u := f.byName[name]
+	if f.indexed != len(f.Machines) || u == nil || u.M.Name != name {
+		f.byName = make(map[string]*UserMachine, len(f.Machines))
+		for _, m := range f.Machines {
+			f.byName[m.M.Name] = m
 		}
+		f.indexed = len(f.Machines)
+		u = f.byName[name]
 	}
-	return nil
+	return u
 }
 
 // Clustering is the result of clustering a fleet for one application.
@@ -229,46 +264,39 @@ type Clustering struct {
 	Deploy []*deploy.Cluster
 }
 
-// ClusterFleet fingerprints every machine of the fleet against the vendor
-// reference for app, runs the two-phase clustering algorithm with cfg, and
-// selects repsPerCluster representatives per cluster (at least one).
+// ClusterFleet profiles every machine of the fleet against the vendor
+// reference for app — concurrently, on the shared profile pipeline — runs
+// the two-phase clustering algorithm with cfg, and selects repsPerCluster
+// representatives per cluster (at least one). The remote clustering path
+// (transport.Server.ClusterRemote) routes through the identical
+// Collect → cluster.Run → Assemble pipeline, so local and networked
+// fleets with the same fingerprints produce the same clusters.
 func (v *Vendor) ClusterFleet(f *Fleet, app string, cfg cluster.Config, repsPerCluster int) (*Clustering, error) {
 	if _, ok := v.Resources[app]; !ok {
 		return nil, fmt.Errorf("core: no identified resources for application %q", app)
 	}
-	if repsPerCluster < 1 {
-		repsPerCluster = 1
-	}
 	vendorSet := v.ReferenceFingerprint(app)
 
-	fps := make([]cluster.MachineFingerprint, 0, len(f.Machines))
-	for _, u := range f.Machines {
-		fps = append(fps, cluster.NewMachineFingerprint(u.Name(), u.Fingerprint(app), vendorSet, u.M.AppSetKey()))
+	sources := make([]profile.Source, len(f.Machines))
+	for i, u := range f.Machines {
+		sources[i] = u
 	}
-	clusters := cluster.Run(cfg, fps)
+	profiles, err := profile.Collect(sources, app, vendorSet, v.ProfileParallelism)
+	if err != nil {
+		return nil, err
+	}
+	clusters := cluster.Run(cfg, profile.Fingerprints(profiles))
 
-	out := &Clustering{App: app, Clusters: clusters}
-	for _, c := range clusters {
-		dc := &deploy.Cluster{
-			ID:       deploy.ClusterName(c.ID),
-			Distance: c.Distance,
+	dcs, err := profile.Assemble(clusters, repsPerCluster, func(name string) deploy.Node {
+		if u := f.Lookup(name); u != nil {
+			return u
 		}
-		names := append([]string(nil), c.Machines...)
-		sort.Strings(names)
-		for i, name := range names {
-			u := f.Lookup(name)
-			if u == nil {
-				return nil, fmt.Errorf("core: clustered machine %q not in fleet", name)
-			}
-			if i < repsPerCluster {
-				dc.Representatives = append(dc.Representatives, u)
-			} else {
-				dc.Others = append(dc.Others, u)
-			}
-		}
-		out.Deploy = append(out.Deploy, dc)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return &Clustering{App: app, Clusters: clusters, Deploy: dcs}, nil
 }
 
 // StageDeployment runs the upgrade across the clustered fleet under the

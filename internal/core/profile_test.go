@@ -1,0 +1,73 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+// Tests for the profile-pipeline integration: the fleet name index and
+// the parallelism-independence of ClusterFleet.
+
+func TestFleetLookupTracksAppends(t *testing.T) {
+	v, fleet := setupVendorAndFleet(t)
+	if u := fleet.Lookup("u-php4-1"); u == nil || u.Name() != "u-php4-1" {
+		t.Fatalf("Lookup(u-php4-1) = %v", u)
+	}
+	if fleet.Lookup("nobody") != nil {
+		t.Fatal("Lookup invented a machine")
+	}
+	// Appending to Machines directly must be visible to Lookup: the index
+	// is rebuilt when the machine count changes.
+	fleet.Machines = append(fleet.Machines, NewUserMachine(v, userMachineVariant("u-late", "plain")))
+	if u := fleet.Lookup("u-late"); u == nil || u.Name() != "u-late" {
+		t.Fatalf("Lookup(u-late) after append = %v", u)
+	}
+	// Renaming a machine in place (count unchanged) must be visible too:
+	// the old name no longer resolves, the new one does.
+	fleet.Machines[0].M.Name = "u-renamed"
+	if u := fleet.Lookup("u-renamed"); u == nil || u != fleet.Machines[0] {
+		t.Fatalf("Lookup(u-renamed) = %v", u)
+	}
+	if fleet.Lookup("u-plain-1") != nil {
+		t.Fatal("Lookup still resolves the pre-rename name")
+	}
+}
+
+func TestClusterFleetIdenticalAtAnyProfileParallelism(t *testing.T) {
+	v, fleet := setupVendorAndFleet(t)
+	var want *Clustering
+	for _, par := range []int{1, 2, 16} {
+		v.ProfileParallelism = par
+		cl, err := v.ClusterFleet(fleet, "mysql", cluster.Config{Diameter: 3}, 2)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		if want == nil {
+			want = cl
+			continue
+		}
+		if len(cl.Clusters) != len(want.Clusters) || len(cl.Deploy) != len(want.Deploy) {
+			t.Fatalf("parallelism %d: shape %d/%d, want %d/%d",
+				par, len(cl.Clusters), len(cl.Deploy), len(want.Clusters), len(want.Deploy))
+		}
+		for i := range cl.Clusters {
+			a, b := cl.Clusters[i], want.Clusters[i]
+			if a.ID != b.ID || a.Distance != b.Distance || a.String() != b.String() {
+				t.Fatalf("parallelism %d: cluster %d = %s, want %s", par, i, a, b)
+			}
+		}
+		for i := range cl.Deploy {
+			a, b := cl.Deploy[i], want.Deploy[i]
+			if a.ID != b.ID || len(a.Representatives) != len(b.Representatives) || len(a.Others) != len(b.Others) {
+				t.Fatalf("parallelism %d: deploy cluster %d differs", par, i)
+			}
+			for j := range a.Representatives {
+				if a.Representatives[j].Name() != b.Representatives[j].Name() {
+					t.Fatalf("parallelism %d: rep %d of %s = %s, want %s",
+						par, j, a.ID, a.Representatives[j].Name(), b.Representatives[j].Name())
+				}
+			}
+		}
+	}
+}

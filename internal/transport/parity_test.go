@@ -1,0 +1,135 @@
+package transport
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/deploy"
+	"repro/internal/machine"
+)
+
+// Local-vs-remote parity: core.Vendor.ClusterFleet over an in-process
+// fleet and Server.ClusterRemote over the same machines behind agents run
+// the same profile pipeline, so they must produce identical clusters,
+// representative selections, and distances.
+
+// parityMachine builds one fleet machine; flavor varies the parsed diff
+// (libc version) and the app set (php4) so the clustering exercises both
+// phase 1 and the app-set split.
+func parityMachine(name string, libcVersion string, php4 bool) *machine.Machine {
+	m := machine.New(name)
+	m.SetEnv("HOME", "/home/user")
+	m.WriteFile(lib("/lib/libc.so", libcVersion, ""))
+	m.WriteFile(exe(apps.MySQLExec, "4.1.22"))
+	m.WriteFile(lib(apps.LibMySQLPath, "4.1", ""))
+	m.InstallPackage(machine.PackageRef{Name: "mysql", Version: "4.1.22"},
+		[]string{apps.MySQLExec, apps.LibMySQLPath})
+	if php4 {
+		m.WriteFile(exe(apps.PHPExec, "4.4.6"))
+		m.InstallPackage(machine.PackageRef{Name: "php", Version: "4.4.6"}, []string{apps.PHPExec})
+	}
+	return m
+}
+
+func nodeNames(nodes []deploy.Node) []string {
+	out := make([]string, len(nodes))
+	for i, n := range nodes {
+		out[i] = n.Name()
+	}
+	return out
+}
+
+func sameNames(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestLocalAndRemoteClusteringParity(t *testing.T) {
+	type flavor struct {
+		libc string
+		php4 bool
+	}
+	flavors := []flavor{
+		{"2.4", false}, {"2.4", false}, {"2.4", true}, {"2.4", true},
+		{"2.5", false}, {"2.5", false}, {"2.5", true},
+	}
+	names := []string{"pm-00", "pm-01", "pm-02", "pm-03", "pm-04", "pm-05", "pm-06"}
+
+	// Two identical copies of the fleet: one wrapped as local user
+	// machines, one served by agents over the wire.
+	var localMachines, remoteMachines []*machine.Machine
+	for i, f := range flavors {
+		localMachines = append(localMachines, parityMachine(names[i], f.libc, f.php4))
+		remoteMachines = append(remoteMachines, parityMachine(names[i], f.libc, f.php4))
+	}
+
+	refs, regCfg, vendorItems := mysqlVendorItems(t)
+	cfg := cluster.Config{Diameter: 3}
+	const reps = 2
+
+	// Remote path.
+	s, _ := startFleet(t, remoteMachines...)
+	rc, err := s.ClusterRemote("mysql", refs, regCfg, vendorItems, cfg, reps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remoteDeploy, remoteRaw := rc.Deploy, rc.Clusters
+
+	// Local path: same reference machine, resource references and (Mirage)
+	// registry as the wire configuration describes.
+	v := core.NewVendor(userMachine("vendor-ref", false))
+	v.Resources["mysql"] = refs
+	fleet := core.NewFleet(v, localMachines...)
+	cl, err := v.ClusterFleet(fleet, "mysql", cfg, reps)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(cl.Clusters) != len(remoteRaw) {
+		t.Fatalf("local %d clusters, remote %d", len(cl.Clusters), len(remoteRaw))
+	}
+	if len(cl.Clusters) < 3 {
+		t.Fatalf("fixture too weak: only %d clusters", len(cl.Clusters))
+	}
+	for i := range cl.Clusters {
+		lc, rc := cl.Clusters[i], remoteRaw[i]
+		if lc.ID != rc.ID || lc.Distance != rc.Distance {
+			t.Fatalf("cluster %d: local id/distance %d/%d, remote %d/%d",
+				i, lc.ID, lc.Distance, rc.ID, rc.Distance)
+		}
+		if !sameNames(lc.Machines, rc.Machines) {
+			t.Fatalf("cluster %d: local members %v, remote %v", i, lc.Machines, rc.Machines)
+		}
+		if !lc.Label.Equal(rc.Label) {
+			t.Fatalf("cluster %d: labels differ", i)
+		}
+	}
+
+	if len(cl.Deploy) != len(remoteDeploy) {
+		t.Fatalf("local %d deploy clusters, remote %d", len(cl.Deploy), len(remoteDeploy))
+	}
+	for i := range cl.Deploy {
+		ld, rd := cl.Deploy[i], remoteDeploy[i]
+		if ld.ID != rd.ID || ld.Distance != rd.Distance {
+			t.Fatalf("deploy cluster %d: local %s/%d, remote %s/%d",
+				i, ld.ID, ld.Distance, rd.ID, rd.Distance)
+		}
+		if !sameNames(nodeNames(ld.Representatives), nodeNames(rd.Representatives)) {
+			t.Fatalf("deploy cluster %s: local reps %v, remote %v",
+				ld.ID, nodeNames(ld.Representatives), nodeNames(rd.Representatives))
+		}
+		if !sameNames(nodeNames(ld.Others), nodeNames(rd.Others)) {
+			t.Fatalf("deploy cluster %s: local others %v, remote %v",
+				ld.ID, nodeNames(ld.Others), nodeNames(rd.Others))
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/deploy"
 	"repro/internal/pkgmgr"
+	"repro/internal/profile"
 	"repro/internal/report"
 	"repro/internal/resource"
 )
@@ -55,6 +56,9 @@ func (ac *agentConn) call(req Frame, timeout time.Duration) (Frame, error) {
 	if resp.Err != "" {
 		return Frame{}, errors.New("transport: agent " + ac.name + ": " + resp.Err)
 	}
+	if !resp.OK {
+		return Frame{}, fmt.Errorf("transport: agent %s sent unacknowledged %s reply", ac.name, req.Op)
+	}
 	return resp, nil
 }
 
@@ -65,6 +69,14 @@ type Server struct {
 	mu      sync.Mutex
 	agents  map[string]*agentConn
 	Timeout time.Duration
+
+	// ProfileParallelism bounds how many agents are fingerprinted
+	// concurrently during fleet profiling (0 means
+	// profile.DefaultParallelism, 1 means serial). Each agent has its own
+	// channel, so fan-out never interleaves frames on one connection; the
+	// collected order — and therefore the clustering — is identical at
+	// any setting.
+	ProfileParallelism int
 }
 
 // Listen starts the vendor server on addr (use "127.0.0.1:0" in tests) and
@@ -186,30 +198,67 @@ func (s *Server) Record(machineName, app string, inputs []string) (string, error
 	return resp.Status, nil
 }
 
-// FingerprintAll collects item diffs from every registered agent for app.
-func (s *Server) FingerprintAll(app string, refs []string, reg RegistryConfig, vendorItems *resource.Set) ([]cluster.MachineFingerprint, error) {
-	wire := ItemsToWire(vendorItems)
-	var out []cluster.MachineFingerprint
-	for _, name := range s.Agents() {
-		ac, err := s.agent(name)
-		if err != nil {
-			return nil, err
-		}
-		resp, err := ac.call(Frame{Op: OpFingerprint, Fingerprint: &FingerprintReq{
-			App: app, Refs: refs, Registry: reg, VendorItems: wire,
-		}}, s.Timeout)
-		if err != nil {
-			return nil, err
-		}
-		diff := ItemsFromWire(resp.Diff)
-		out = append(out, cluster.MachineFingerprint{
-			Name:        name,
-			ParsedDiff:  diff.OfKind(resource.Parsed),
-			ContentDiff: diff.OfKind(resource.Content),
-			AppSet:      resp.AppSet,
-		})
+// agentSource exposes one registered agent as a profile.Source: Profile
+// performs a fingerprint RPC on the agent's channel. The resource
+// references and registry configuration are fixed per collection.
+type agentSource struct {
+	s    *Server
+	name string
+	refs []string
+	reg  RegistryConfig
+}
+
+// Name implements profile.Source.
+func (as *agentSource) Name() string { return as.name }
+
+// Profile implements profile.Source over the wire.
+func (as *agentSource) Profile(app string, vendor *resource.Set) (profile.Machine, error) {
+	ac, err := as.s.agent(as.name)
+	if err != nil {
+		return profile.Machine{}, err
 	}
-	return out, nil
+	resp, err := ac.call(Frame{Op: OpFingerprint, Fingerprint: &FingerprintReq{
+		App: app, Refs: as.refs, Registry: as.reg, VendorItems: ItemsToWire(vendor),
+	}}, as.s.Timeout)
+	if err != nil {
+		return profile.Machine{}, err
+	}
+	diff := ItemsFromWire(resp.Diff)
+	return profile.Machine{
+		Name:        as.name,
+		ParsedDiff:  diff.OfKind(resource.Parsed),
+		ContentDiff: diff.OfKind(resource.Content),
+		AppSet:      resp.AppSet,
+	}, nil
+}
+
+// ProfileSources returns one profile.Source per registered agent, in
+// sorted name order — the remote half of the shared profiling pipeline.
+func (s *Server) ProfileSources(refs []string, reg RegistryConfig) []profile.Source {
+	names := s.Agents()
+	out := make([]profile.Source, len(names))
+	for i, n := range names {
+		out[i] = &agentSource{s: s, name: n, refs: refs, reg: reg}
+	}
+	return out
+}
+
+// CollectProfiles gathers every registered agent's diff profile for app.
+// The per-agent fingerprint RPCs fan out concurrently on the shared
+// profile pipeline (bounded by s.ProfileParallelism), with deterministic
+// sorted-name output order; a failure names the failing agent.
+func (s *Server) CollectProfiles(app string, refs []string, reg RegistryConfig, vendorItems *resource.Set) ([]profile.Machine, error) {
+	return profile.Collect(s.ProfileSources(refs, reg), app, vendorItems, s.ProfileParallelism)
+}
+
+// FingerprintAll collects item diffs from every registered agent for app,
+// as clustering inputs. See CollectProfiles for concurrency and ordering.
+func (s *Server) FingerprintAll(app string, refs []string, reg RegistryConfig, vendorItems *resource.Set) ([]cluster.MachineFingerprint, error) {
+	ms, err := s.CollectProfiles(app, refs, reg, vendorItems)
+	if err != nil {
+		return nil, err
+	}
+	return profile.Fingerprints(ms), nil
 }
 
 // RemoteNode exposes a registered agent as a deploy.Node, so the staged
@@ -253,29 +302,31 @@ func (r *RemoteNode) Integrate(up *pkgmgr.Upgrade) error {
 	return err
 }
 
-// ClusterRemote fingerprints the whole registered fleet and runs the
-// clustering algorithm, returning clusters of deployment backed by remote
-// nodes plus the raw clustering for inspection.
-func (s *Server) ClusterRemote(app string, refs []string, reg RegistryConfig, vendorItems *resource.Set, cfg cluster.Config, repsPerCluster int) ([]*deploy.Cluster, []*cluster.Cluster, error) {
-	if repsPerCluster < 1 {
-		repsPerCluster = 1
-	}
-	fps, err := s.FingerprintAll(app, refs, reg, vendorItems)
+// RemoteClustering is the result of clustering a registered fleet: the
+// collected profiles, the raw clustering, and the clusters of deployment
+// backed by remote nodes.
+type RemoteClustering struct {
+	Profiles []profile.Machine
+	Clusters []*cluster.Cluster
+	Deploy   []*deploy.Cluster
+}
+
+// ClusterRemote fingerprints the whole registered fleet concurrently and
+// runs the clustering algorithm. It is the same Collect → cluster.Run →
+// Assemble pipeline core.Vendor.ClusterFleet runs over a local fleet, so
+// a local and a networked fleet with identical fingerprints cluster
+// identically.
+func (s *Server) ClusterRemote(app string, refs []string, reg RegistryConfig, vendorItems *resource.Set, cfg cluster.Config, repsPerCluster int) (*RemoteClustering, error) {
+	ms, err := s.CollectProfiles(app, refs, reg, vendorItems)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	clusters := cluster.Run(cfg, fps)
-	var out []*deploy.Cluster
-	for _, c := range clusters {
-		dc := &deploy.Cluster{ID: deploy.ClusterName(c.ID), Distance: c.Distance}
-		for i, name := range c.Machines {
-			if i < repsPerCluster {
-				dc.Representatives = append(dc.Representatives, s.Node(name))
-			} else {
-				dc.Others = append(dc.Others, s.Node(name))
-			}
-		}
-		out = append(out, dc)
+	clusters := cluster.Run(cfg, profile.Fingerprints(ms))
+	dcs, err := profile.Assemble(clusters, repsPerCluster, func(name string) deploy.Node {
+		return s.Node(name)
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out, clusters, nil
+	return &RemoteClustering{Profiles: ms, Clusters: clusters, Deploy: dcs}, nil
 }

@@ -238,13 +238,17 @@ func TestClusterRemoteAndStagedDeployment(t *testing.T) {
 	}
 	vendorItems := parser.NewFingerprinter(reg).Fingerprint(ref, refs)
 
-	dcs, raw, err := s.ClusterRemote("mysql", refs, regCfg, vendorItems, cluster.Config{Diameter: 3}, 1)
+	rc, err := s.ClusterRemote("mysql", refs, regCfg, vendorItems, cluster.Config{Diameter: 3}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(raw) != 2 {
-		t.Fatalf("clusters = %d, want 2 (plain vs php4 app sets)", len(raw))
+	if len(rc.Clusters) != 2 {
+		t.Fatalf("clusters = %d, want 2 (plain vs php4 app sets)", len(rc.Clusters))
 	}
+	if len(rc.Profiles) != 4 {
+		t.Fatalf("profiles = %d, want 4", len(rc.Profiles))
+	}
+	dcs := rc.Deploy
 
 	urr := report.New()
 	fixed := mysql5Wire()

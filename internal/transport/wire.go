@@ -40,8 +40,13 @@ type Frame struct {
 	Diff      []WireItem     `json:"diff,omitempty"`
 	AppSet    string         `json:"appset,omitempty"`
 	Report    *report.Report `json:"report,omitempty"`
-	OK        bool           `json:"ok,omitempty"`
-	Status    string         `json:"status,omitempty"`
+	// OK acknowledges a successful response. Deliberately NOT omitempty:
+	// with omitempty a false value serialized identically to an absent
+	// one, so a handler that forgot to acknowledge was indistinguishable
+	// from a malformed or truncated reply. The vendor rejects replies
+	// with neither Err nor OK set.
+	OK     bool   `json:"ok"`
+	Status string `json:"status,omitempty"`
 }
 
 // Operation names.
