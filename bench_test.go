@@ -7,10 +7,13 @@ package repro
 // `go test -bench=. -benchmem` doubles as a reproduction run.
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"testing"
+	"time"
 
+	"repro/internal/apps"
 	"repro/internal/cluster"
 	"repro/internal/deploy"
 	"repro/internal/fingerprint"
@@ -23,6 +26,7 @@ import (
 	"repro/internal/simulator"
 	"repro/internal/staging"
 	"repro/internal/survey"
+	"repro/internal/transport"
 )
 
 // BenchmarkFigure1 regenerates the upgrade-frequency histogram.
@@ -428,6 +432,156 @@ func BenchmarkSimulatorAdaptive(b *testing.B) {
 		if ada.Overhead != bal.Overhead || ada.Makespan >= bal.Makespan {
 			b.Fatalf("adaptive overhead=%d makespan=%v vs balanced %d/%v",
 				ada.Overhead, ada.Makespan, bal.Overhead, bal.Makespan)
+		}
+	}
+}
+
+// --- Distribution layer (content-addressed chunked transfer) ---
+
+// distribPayload returns deterministic pseudo-random bytes. Varied content
+// matters: content-defined chunking of repetitive data degenerates into
+// max-size chunks whose boundaries a single edit would shift globally.
+func distribPayload(seed byte, n int) []byte {
+	data := make([]byte, n)
+	x := uint32(seed) + 17
+	for i := range data {
+		x = x*1664525 + 1013904223
+		data[i] = byte(x >> 16)
+	}
+	return data
+}
+
+const (
+	distribMachines = 50
+	distribClusters = 5
+	distribFileSize = 512 * 1024
+)
+
+// distribUpgrade is version N+1 of the fleet's installed package: the big
+// binary with a small edit (a true CDC delta from what agents hold) plus a
+// fresh small library.
+func distribUpgrade() *pkgmgr.Upgrade {
+	v2 := distribPayload(1, distribFileSize)
+	copy(v2[distribFileSize/2:], []byte("the 5.0.22 release changes a handful of bytes in the middle"))
+	return &pkgmgr.Upgrade{
+		ID: "mysql-dist-5.0.22",
+		Pkg: &pkgmgr.Package{Name: "mysql", Version: "5.0.22", Files: []*machine.File{
+			{Path: apps.MySQLExec, Type: machine.TypeExecutable, Data: v2, Version: "5.0.22"},
+			{Path: apps.LibMySQLPath, Type: machine.TypeSharedLib, Data: distribPayload(2, 16*1024), Version: "5.0"},
+		}},
+		Replaces: "4.1.22",
+	}
+}
+
+// runDistributionDeployment spins a vendor server and a 50-agent fleet on
+// loopback TCP, stages the upgrade across 5 clusters under Balanced, and
+// returns the deployment's wire-byte delta.
+func runDistributionDeployment(b *testing.B, inline bool) deploy.TransferStats {
+	b.Helper()
+	s, err := transport.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	s.InlinePayloads = inline
+
+	v1 := distribPayload(1, distribFileSize)
+	for i := 0; i < distribMachines; i++ {
+		m := machine.New(fmt.Sprintf("dist-%02d", i))
+		m.SetEnv("HOME", "/home/user")
+		m.WriteFile(&machine.File{Path: apps.MySQLExec, Type: machine.TypeExecutable, Data: v1, Version: "4.1.22"})
+		m.InstallPackage(machine.PackageRef{Name: "mysql", Version: "4.1.22"}, []string{apps.MySQLExec})
+		go transport.NewAgent(m).Run(s.Addr())
+	}
+	if got := s.WaitForAgents(distribMachines, 10*time.Second); got != distribMachines {
+		b.Fatalf("only %d/%d agents registered", got, distribMachines)
+	}
+
+	names := s.Agents()
+	var clusters []*deploy.Cluster
+	perCluster := distribMachines / distribClusters
+	for c := 0; c < distribClusters; c++ {
+		cl := &deploy.Cluster{ID: deploy.ClusterName(c), Distance: c + 1}
+		for n, name := range names[c*perCluster : (c+1)*perCluster] {
+			if n == 0 {
+				cl.Representatives = append(cl.Representatives, s.Node(name))
+			} else {
+				cl.Others = append(cl.Others, s.Node(name))
+			}
+		}
+		clusters = append(clusters, cl)
+	}
+
+	ctl := deploy.NewController(report.New(), nil)
+	ctl.Transfer = s.TransferSnapshot
+	out, err := ctl.Deploy(deploy.PolicyBalanced, distribUpgrade(), clusters)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if out.Integrated() != distribMachines {
+		b.Fatalf("integrated = %d/%d", out.Integrated(), distribMachines)
+	}
+	return out.Transfer
+}
+
+// BenchmarkDistribution measures the bytes-on-wire and wall clock of a
+// 50-machine staged deployment under the legacy inline transport versus
+// content-addressed chunked distribution, and re-asserts the headline
+// property: chunked distribution moves at least 10x fewer bytes, because
+// agents seed their chunk caches from the installed version and fetch
+// only the CDC delta. Set MIRAGE_BENCH_DISTRIB_JSON to a path to emit a
+// machine-readable summary (the CI perf-trajectory artifact).
+func BenchmarkDistribution(b *testing.B) {
+	type modeResult struct {
+		WireBytes  int64   `json:"wire_bytes"`
+		ChunkBytes int64   `json:"chunk_bytes"`
+		Frames     int64   `json:"frames"`
+		NsPerOp    float64 `json:"ns_per_op"`
+	}
+	results := make(map[string]*modeResult)
+	for _, mode := range []string{"inline", "chunked"} {
+		mode := mode
+		b.Run(mode, func(b *testing.B) {
+			var last deploy.TransferStats
+			for i := 0; i < b.N; i++ {
+				last = runDistributionDeployment(b, mode == "inline")
+			}
+			b.ReportMetric(float64(last.Bytes), "wirebytes/op")
+			b.ReportMetric(float64(last.ChunkBytes), "chunkbytes/op")
+			results[mode] = &modeResult{
+				WireBytes:  last.Bytes,
+				ChunkBytes: last.ChunkBytes,
+				Frames:     last.Frames,
+				NsPerOp:    float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+			}
+		})
+	}
+	inline, chunked := results["inline"], results["chunked"]
+	if inline == nil || chunked == nil || chunked.WireBytes == 0 {
+		b.Fatal("benchmark sub-runs missing")
+	}
+	reduction := float64(inline.WireBytes) / float64(chunked.WireBytes)
+	if reduction < 10 {
+		b.Fatalf("chunked distribution saves only %.1fx bytes-on-wire (inline %d, chunked %d), want >= 10x",
+			reduction, inline.WireBytes, chunked.WireBytes)
+	}
+	b.Logf("bytes-on-wire: inline %d, chunked %d (%.1fx reduction)",
+		inline.WireBytes, chunked.WireBytes, reduction)
+	if path := os.Getenv("MIRAGE_BENCH_DISTRIB_JSON"); path != "" {
+		blob, err := json.MarshalIndent(map[string]interface{}{
+			"benchmark": "BenchmarkDistribution",
+			"machines":  distribMachines,
+			"clusters":  distribClusters,
+			"payload":   distribFileSize + 16*1024,
+			"inline":    inline,
+			"chunked":   chunked,
+			"reduction": reduction,
+		}, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

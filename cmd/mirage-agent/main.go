@@ -18,6 +18,7 @@ import (
 func main() {
 	connect := flag.String("connect", "127.0.0.1:7033", "vendor address")
 	machineName := flag.String("machine", "ubt-ms4", "Table 2 machine configuration to impersonate (or 'list')")
+	seedCache := flag.Bool("seed-cache", true, "prime the chunk cache from installed files, so version upgrades transfer only changed chunks")
 	flag.Parse()
 
 	specs := scenario.MySQLTable2()
@@ -44,10 +45,14 @@ func main() {
 
 	m := scenario.BuildMySQLMachine(*found)
 	agent := transport.NewAgent(m)
+	agent.SeedCache = *seedCache
 	log.Printf("agent %s connecting to %s", m.Name, *connect)
 	if err := agent.Run(*connect); err != nil {
 		log.Fatal(err)
 	}
 	ref, _ := m.Package("mysql")
 	log.Printf("agent %s: vendor closed the channel; final mysql version: %s", m.Name, ref.Version)
+	cs := agent.Cache.Stats()
+	log.Printf("agent %s: chunk cache: %d chunks / %d bytes, %d hits / %d misses",
+		m.Name, cs.Chunks, cs.Bytes, cs.Hits, cs.Misses)
 }

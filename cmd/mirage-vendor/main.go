@@ -40,6 +40,7 @@ func main() {
 	diameter := flag.Int("d", 3, "QT clustering diameter")
 	parallel := flag.Int("parallel", deploy.DefaultParallelism, "worker-pool size for node testing within a wave")
 	profilePar := flag.Int("profile-parallel", 0, "concurrent agent fingerprint RPCs while profiling the fleet (0 = default)")
+	inline := flag.Bool("inline", false, "legacy distribution: ship the full upgrade payload inline in every test/integrate frame instead of content-addressed chunk manifests")
 	showPlan := flag.Bool("plan", false, "print the staged wave schedule before deploying")
 	urrFile := flag.String("urr", "", "save the report repository to this file after deployment")
 	flag.Parse()
@@ -50,6 +51,7 @@ func main() {
 		log.Fatal(err)
 	}
 	defer srv.Close()
+	srv.InlinePayloads = *inline
 	log.Printf("vendor listening on %s, waiting for %d agent(s)", srv.Addr(), *agents)
 	if got := srv.WaitForAgents(*agents, *wait); got < *agents {
 		log.Fatalf("only %d/%d agents registered", got, *agents)
@@ -101,6 +103,7 @@ func main() {
 	urr := report.New()
 	ctl := deploy.NewController(urr, fixer(urr))
 	ctl.Parallelism = *parallel
+	ctl.Transfer = srv.TransferSnapshot
 	if *showPlan {
 		fmt.Print(ctl.PlanFor(pol, dcs).Describe())
 	}
@@ -110,6 +113,13 @@ func main() {
 	}
 	fmt.Printf("policy=%v integrated=%d/%d overhead=%d rounds=%d abandoned=%v final=%s\n",
 		out.Policy, out.Integrated(), len(out.Nodes), out.Overhead, out.Rounds, out.Abandoned, out.FinalID)
+	mode := "chunked"
+	if *inline {
+		mode = "inline"
+	}
+	fmt.Printf("transfer mode=%s frames=%d bytes=%d chunk_bytes=%d chunk_hits=%d chunk_misses=%d\n",
+		mode, out.Transfer.Frames, out.Transfer.Bytes, out.Transfer.ChunkBytes,
+		out.Transfer.ChunkHits, out.Transfer.ChunkMisses)
 	for _, g := range urr.GroupFailures("mysql-5.0.22") {
 		fmt.Printf("failure mode %q: %d report(s) from clusters %v\n",
 			g.Signature, len(g.Reports), g.Clusters)

@@ -12,7 +12,11 @@
 // wave-schedule Plan per deployment policy and drives it through two
 // executors — the event-driven simulator (internal/simulator) and the live
 // deployment controller over real networked machines (internal/deploy,
-// internal/transport). The user-machine testing subsystem is
+// internal/transport). Upgrade bytes reach machines through the
+// content-addressed distribution layer (internal/distrib): chunk
+// manifests in place of inline payloads, persistent agent-side chunk
+// caches seeded from installed files, and batched fetches of only the
+// missing chunks. The user-machine testing subsystem is
 // internal/vmtest and the Upgrade Report Repository is internal/report.
 // The top-level orchestration API is internal/core; the paper's evaluation
 // scenarios are reconstructed in internal/scenario and internal/survey.

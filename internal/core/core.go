@@ -48,6 +48,12 @@ type Vendor struct {
 	// concurrently (0 means profile.DefaultParallelism, 1 means serial).
 	// The clustering result is identical at any setting.
 	ProfileParallelism int
+
+	// Transfer, when set, is installed on the deployment controller so
+	// StageDeployment records the rollout's wire traffic in the Outcome.
+	// Local in-process fleets move no bytes; a vendor driving a networked
+	// fleet plugs in transport.Server.TransferSnapshot here.
+	Transfer func() deploy.TransferStats
 }
 
 // NewVendor returns a vendor around the given reference machine, with the
@@ -306,6 +312,7 @@ func (v *Vendor) ClusterFleet(f *Fleet, app string, cfg cluster.Config, repsPerC
 // concurrently on the controller's worker pool.
 func (v *Vendor) StageDeployment(policy deploy.Policy, up *pkgmgr.Upgrade, cl *Clustering, fix deploy.Fixer) (*deploy.Outcome, error) {
 	ctl := deploy.NewController(v.URR, fix)
+	ctl.Transfer = v.Transfer
 	return ctl.Deploy(policy, up, cl.Deploy)
 }
 

@@ -81,6 +81,29 @@ const (
 	PolicyAdaptive = staging.PolicyAdaptive
 )
 
+// TransferStats summarises the bytes a deployment moved over the node
+// transport. The live controller has no opinion about how nodes receive
+// their payloads — it records whatever cumulative counters the configured
+// Transfer source reports, as a before/after delta.
+type TransferStats struct {
+	Frames      int64 // request frames sent
+	Bytes       int64 // total bytes on the wire
+	ChunkBytes  int64 // content-addressed chunk payload bytes
+	ChunkHits   int64 // manifest chunks already held by agents
+	ChunkMisses int64 // manifest chunks that had to be transferred
+}
+
+// Sub returns the counter delta t−o.
+func (t TransferStats) Sub(o TransferStats) TransferStats {
+	return TransferStats{
+		Frames:      t.Frames - o.Frames,
+		Bytes:       t.Bytes - o.Bytes,
+		ChunkBytes:  t.ChunkBytes - o.ChunkBytes,
+		ChunkHits:   t.ChunkHits - o.ChunkHits,
+		ChunkMisses: t.ChunkMisses - o.ChunkMisses,
+	}
+}
+
 // NodeStatus records the final state of one node.
 type NodeStatus struct {
 	Node      string
@@ -98,6 +121,9 @@ type Outcome struct {
 	Overhead  int    // nodes that tested a faulty upgrade (paper's metric)
 	Nodes     map[string]*NodeStatus
 	Abandoned bool // vendor gave up fixing
+	// Transfer is the wire traffic this deployment caused, when the
+	// controller has a Transfer source configured (zero otherwise).
+	Transfer TransferStats
 }
 
 // Integrated counts nodes that integrated some version of the upgrade.
@@ -128,6 +154,10 @@ type Controller struct {
 	// pool size: reports are deposited and nodes integrated in
 	// deterministic wave order after the pool drains.
 	Parallelism int
+	// Transfer, when set, reports the transport's cumulative transfer
+	// counters (e.g. transport.Server.TransferSnapshot). Deploy snapshots
+	// it around the rollout and records the delta in Outcome.Transfer.
+	Transfer func() TransferStats
 }
 
 // NewController returns a controller depositing into urr and debugging
@@ -163,6 +193,10 @@ func (ctl *Controller) PlanFor(policy Policy, clusters []*Cluster) *staging.Plan
 // as the paper allows ("it may bypass the entire cluster infrastructure").
 func (ctl *Controller) Deploy(policy Policy, up *pkgmgr.Upgrade, clusters []*Cluster) (*Outcome, error) {
 	out := &Outcome{Policy: policy, Nodes: make(map[string]*NodeStatus), FinalID: up.ID}
+	if ctl.Transfer != nil {
+		before := ctl.Transfer()
+		defer func() { out.Transfer = ctl.Transfer().Sub(before) }()
+	}
 	byID := make(map[string]*Cluster, len(clusters))
 	for _, c := range clusters {
 		byID[c.ID] = c

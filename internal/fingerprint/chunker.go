@@ -94,6 +94,29 @@ func (c *Chunker) makeChunk(data []byte, start, end int) Chunk {
 	return Chunk{Offset: start, Length: end - start, Hash: c.hasher.Sum()}
 }
 
+// AddressedChunk is a content-defined chunk plus its content address: the
+// strong HashBytes digest of the chunk contents. The rolling Rabin hash is
+// what *finds* boundaries (and what clustering compares); the address is
+// what the distribution layer stores and transfers chunks under, where a
+// weak-hash collision would silently corrupt a reassembled file.
+type AddressedChunk struct {
+	Chunk
+	Address uint64
+}
+
+// SplitAddressed divides data into content-defined chunks and computes
+// each chunk's content address. Identical content always produces the same
+// (boundary, address) sequence, which is what makes addresses shareable
+// across machines and across versions of a file.
+func (c *Chunker) SplitAddressed(data []byte) []AddressedChunk {
+	chunks := c.Split(data)
+	out := make([]AddressedChunk, len(chunks))
+	for i, ch := range chunks {
+		out[i] = AddressedChunk{Chunk: ch, Address: HashBytes(data[ch.Offset : ch.Offset+ch.Length])}
+	}
+	return out
+}
+
 // HashChunks returns only the chunk hashes of data, in order. This is the
 // form Mirage stores as the content-based fingerprint of a resource:
 // Filename.CHUNK_HASH items, one per chunk.

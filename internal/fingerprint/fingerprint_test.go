@@ -252,3 +252,41 @@ func TestIdenticalContentSameChunks(t *testing.T) {
 		}
 	}
 }
+
+func TestSplitAddressedCoversDataWithStrongAddresses(t *testing.T) {
+	data := make([]byte, 100_000)
+	x := uint32(7)
+	for i := range data {
+		x = x*1664525 + 1013904223
+		data[i] = byte(x >> 16)
+	}
+	c := NewChunker(0, 0, 0)
+	chunks := c.SplitAddressed(data)
+	if len(chunks) < 2 {
+		t.Fatalf("chunks = %d, want several", len(chunks))
+	}
+	offset := 0
+	for i, ch := range chunks {
+		if ch.Offset != offset {
+			t.Fatalf("chunk %d offset = %d, want %d", i, ch.Offset, offset)
+		}
+		if want := HashBytes(data[ch.Offset : ch.Offset+ch.Length]); ch.Address != want {
+			t.Fatalf("chunk %d address = %x, want HashBytes %x", i, ch.Address, want)
+		}
+		offset += ch.Length
+	}
+	if offset != len(data) {
+		t.Fatalf("chunks cover %d of %d bytes", offset, len(data))
+	}
+	// Boundaries and addresses are identical to a plain Split of the same
+	// data: the address is an annotation, not a different chunking.
+	plain := NewChunker(0, 0, 0).Split(data)
+	if len(plain) != len(chunks) {
+		t.Fatalf("addressed split has %d chunks, plain %d", len(chunks), len(plain))
+	}
+	for i := range plain {
+		if plain[i] != chunks[i].Chunk {
+			t.Fatalf("chunk %d differs between Split and SplitAddressed", i)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"sort"
 
 	"repro/internal/apps"
+	"repro/internal/distrib"
 	"repro/internal/envid"
 	"repro/internal/machine"
 	"repro/internal/parser"
@@ -24,6 +25,18 @@ type Agent struct {
 	Store      *vmtest.Store
 	Identifier *envid.Identifier
 
+	// Cache is the persistent chunk cache backing content-addressed
+	// upgrade distribution. It outlives individual RPCs, so the chunks
+	// fetched to test an upgrade also serve its integration and any later
+	// wave. Several agents may share one cache (machines on a common LAN
+	// segment); Cache is safe for that.
+	Cache *distrib.Cache
+	// SeedCache controls whether the agent primes Cache by chunking its
+	// currently installed files before resolving a manifest. Seeding is
+	// what makes a version N→N+1 push a content-defined delta; disable it
+	// only to measure the unseeded transfer cost.
+	SeedCache bool
+
 	// local caches locally identified resources per application.
 	local map[string][]string
 	// vendorRefs caches the vendor-sent resource references per app.
@@ -36,6 +49,8 @@ func NewAgent(m *machine.Machine) *Agent {
 		M:          m,
 		Store:      vmtest.NewStore(),
 		Identifier: &envid.Identifier{},
+		Cache:      distrib.NewCache(),
+		SeedCache:  true,
 		local:      make(map[string][]string),
 		vendorRefs: make(map[string][]string),
 	}
@@ -51,9 +66,15 @@ func (a *Agent) Run(addr string) error {
 	}
 	defer conn.Close()
 
-	enc := json.NewEncoder(conn)
+	// Buffer frame writes: one reply is one flushed burst, not a stream
+	// of small unbuffered writes straight to the socket.
+	bw := bufio.NewWriter(conn)
+	enc := json.NewEncoder(bw)
 	dec := json.NewDecoder(bufio.NewReader(conn))
 	if err := enc.Encode(Frame{Op: OpRegister, Register: &RegisterReq{Machine: a.M.Name}}); err != nil {
+		return fmt.Errorf("transport: registering: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
 		return fmt.Errorf("transport: registering: %w", err)
 	}
 
@@ -65,6 +86,9 @@ func (a *Agent) Run(addr string) error {
 		resp := a.handle(req)
 		resp.ID = req.ID
 		if err := enc.Encode(resp); err != nil {
+			return fmt.Errorf("transport: replying: %w", err)
+		}
+		if err := bw.Flush(); err != nil {
 			return fmt.Errorf("transport: replying: %w", err)
 		}
 	}
@@ -87,7 +111,7 @@ func (a *Agent) handle(req Frame) Frame {
 		if req.Fingerprint == nil {
 			return errFrame("fingerprint payload missing")
 		}
-		return a.handleFingerprint(*req.Fingerprint)
+		return a.handleFingerprint(req.Fingerprint)
 	case OpTest:
 		if req.Test == nil {
 			return errFrame("test payload missing")
@@ -98,6 +122,11 @@ func (a *Agent) handle(req Frame) Frame {
 			return errFrame("integrate payload missing")
 		}
 		return a.handleIntegrate(*req.Integrate)
+	case OpFetchChunks:
+		if req.FetchChunks == nil {
+			return errFrame("fetch_chunks payload missing")
+		}
+		return a.handleFetchChunks(*req.FetchChunks)
 	default:
 		return errFrame("unknown op " + req.Op)
 	}
@@ -128,7 +157,43 @@ func (a *Agent) handleRecord(req RecordReq) Frame {
 	return Frame{OK: true, Status: rec.Trace.ExitStatus()}
 }
 
-func (a *Agent) handleFingerprint(req FingerprintReq) Frame {
+// resolveUpgrade produces the full upgrade from a test/integrate request.
+// Inline requests decode directly. Manifest requests resolve against the
+// chunk cache: the agent first seeds the cache from its installed files
+// (so the unchanged bulk of a version upgrade is already local), then
+// either assembles the upgrade entirely from cache or returns the missing
+// chunk set for the vendor to push.
+func (a *Agent) resolveUpgrade(up *WireUpgrade, man *WireManifest) (*pkgmgr.Upgrade, []uint64, error) {
+	if man != nil {
+		if a.SeedCache {
+			a.Cache.SeedMachine(a.M)
+		}
+		if need := a.Cache.Missing(man); len(need) > 0 {
+			return nil, need, nil
+		}
+		u, err := a.Cache.Assemble(man)
+		return u, nil, err
+	}
+	if up != nil {
+		return UpgradeFromWire(*up), nil, nil
+	}
+	return nil, nil, fmt.Errorf("neither upgrade nor manifest present")
+}
+
+func (a *Agent) handleFetchChunks(req FetchChunksReq) Frame {
+	for _, ch := range req.Chunks {
+		if err := a.Cache.Add(ch.Hash, ch.Data); err != nil {
+			return errFrame(err.Error())
+		}
+	}
+	return Frame{OK: true}
+}
+
+func (a *Agent) handleFingerprint(raw json.RawMessage) Frame {
+	var req FingerprintReq
+	if err := json.Unmarshal(raw, &req); err != nil {
+		return errFrame("fingerprint payload malformed: " + err.Error())
+	}
 	reg, err := BuildRegistry(req.Registry)
 	if err != nil {
 		return errFrame(err.Error())
@@ -141,12 +206,18 @@ func (a *Agent) handleFingerprint(req FingerprintReq) Frame {
 }
 
 func (a *Agent) handleTest(req TestReq) Frame {
-	up := UpgradeFromWire(req.Upgrade)
-	val := vmtest.NewValidator(a.M, pkgmgr.NewRepository(), a.Store)
-	val.ResourcesByApp = a.allResources()
-	rep, err := val.Validate(up)
+	up, need, err := a.resolveUpgrade(req.Upgrade, req.Manifest)
 	if err != nil {
 		return errFrame(err.Error())
+	}
+	if len(need) > 0 {
+		return Frame{OK: true, NeedChunks: need}
+	}
+	val := vmtest.NewValidator(a.M, pkgmgr.NewRepository(), a.Store)
+	val.ResourcesByApp = a.allResources()
+	rep, verr := val.Validate(up)
+	if verr != nil {
+		return errFrame(verr.Error())
 	}
 	out := &report.Report{UpgradeID: up.ID, Machine: a.M.Name, Success: rep.OK()}
 	for _, verdict := range rep.Verdicts {
@@ -162,7 +233,13 @@ func (a *Agent) handleTest(req TestReq) Frame {
 }
 
 func (a *Agent) handleIntegrate(req IntegrateReq) Frame {
-	up := UpgradeFromWire(req.Upgrade)
+	up, need, err := a.resolveUpgrade(req.Upgrade, req.Manifest)
+	if err != nil {
+		return errFrame(err.Error())
+	}
+	if len(need) > 0 {
+		return Frame{OK: true, NeedChunks: need}
+	}
 	mgr := pkgmgr.NewManager(a.M, pkgmgr.NewRepository())
 	if _, err := mgr.Apply(up); err != nil {
 		return errFrame(err.Error())

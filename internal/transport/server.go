@@ -5,13 +5,16 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/deploy"
+	"repro/internal/distrib"
 	"repro/internal/pkgmgr"
 	"repro/internal/profile"
 	"repro/internal/report"
@@ -22,12 +25,59 @@ import (
 // replays traces, so it is generous.
 const DefaultRPCTimeout = 30 * time.Second
 
+// Stats is a snapshot of the vendor-side transfer counters, kept per
+// connection and aggregated per server. It is what makes the distribution
+// layer's savings measurable instead of anecdotal.
+type Stats struct {
+	FramesSent     int64 // request frames written
+	BytesSent      int64 // total bytes written to agent sockets
+	ChunkBytesSent int64 // bytes of chunk payload inside OpFetchChunks pushes
+	ChunkHits      int64 // manifest chunks the agent already held
+	ChunkMisses    int64 // manifest chunks that had to be pushed
+}
+
+// statsCounters is the mutable (atomic) form behind Stats snapshots.
+type statsCounters struct {
+	frames, bytes, chunkBytes, hits, misses atomic.Int64
+}
+
+func (c *statsCounters) snapshot() Stats {
+	return Stats{
+		FramesSent:     c.frames.Load(),
+		BytesSent:      c.bytes.Load(),
+		ChunkBytesSent: c.chunkBytes.Load(),
+		ChunkHits:      c.hits.Load(),
+		ChunkMisses:    c.misses.Load(),
+	}
+}
+
+// countingWriter counts every byte written to the socket into the
+// connection's and the server's counters.
+type countingWriter struct {
+	w           io.Writer
+	conn, total *statsCounters
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.conn.bytes.Add(int64(n))
+	cw.total.bytes.Add(int64(n))
+	return n, err
+}
+
 // agentConn is the vendor-side handle on one connected agent.
 type agentConn struct {
 	name string
 	conn net.Conn
-	enc  *json.Encoder
-	dec  *json.Decoder
+	// bw buffers frame writes so one frame is one buffered write burst
+	// with an explicit flush, not a stream of tiny unbuffered socket
+	// writes from the JSON encoder.
+	bw  *bufio.Writer
+	enc *json.Encoder
+	dec *json.Decoder
+
+	stats *statsCounters // this connection's counters
+	total *statsCounters // the server-wide counters
 
 	mu     sync.Mutex // serializes RPCs on the channel
 	nextID int
@@ -46,6 +96,11 @@ func (ac *agentConn) call(req Frame, timeout time.Duration) (Frame, error) {
 	if err := ac.enc.Encode(req); err != nil {
 		return Frame{}, fmt.Errorf("transport: sending %s to %s: %w", req.Op, ac.name, err)
 	}
+	if err := ac.bw.Flush(); err != nil {
+		return Frame{}, fmt.Errorf("transport: sending %s to %s: %w", req.Op, ac.name, err)
+	}
+	ac.stats.frames.Add(1)
+	ac.total.frames.Add(1)
 	var resp Frame
 	if err := ac.dec.Decode(&resp); err != nil {
 		return Frame{}, fmt.Errorf("transport: reading %s reply from %s: %w", req.Op, ac.name, err)
@@ -60,6 +115,14 @@ func (ac *agentConn) call(req Frame, timeout time.Duration) (Frame, error) {
 		return Frame{}, fmt.Errorf("transport: agent %s sent unacknowledged %s reply", ac.name, req.Op)
 	}
 	return resp, nil
+}
+
+// addChunkAccounting books one manifest negotiation's hit/miss split.
+func (ac *agentConn) addChunkAccounting(hits, misses int64) {
+	ac.stats.hits.Add(hits)
+	ac.total.hits.Add(hits)
+	ac.stats.misses.Add(misses)
+	ac.total.misses.Add(misses)
 }
 
 // Server is the vendor-side endpoint agents register with.
@@ -77,6 +140,22 @@ type Server struct {
 	// collected order — and therefore the clustering — is identical at
 	// any setting.
 	ProfileParallelism int
+
+	// InlinePayloads restores the legacy wire format: test and integrate
+	// requests carry the complete upgrade (all file data, base64 inside
+	// JSON) in every frame. The default is content-addressed chunked
+	// distribution, where frames carry a manifest and only cache-missed
+	// chunk bytes ever cross the wire.
+	InlinePayloads bool
+
+	// dist is the vendor-side chunk store backing manifest distribution;
+	// it accumulates across upgrades, so a corrected re-release shares
+	// every chunk with the version it fixes.
+	dist *distrib.Store
+
+	// stats aggregates transfer counters across all agent connections,
+	// surviving reconnects and replacements.
+	stats statsCounters
 }
 
 // Listen starts the vendor server on addr (use "127.0.0.1:0" in tests) and
@@ -86,9 +165,47 @@ func Listen(addr string) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen: %w", err)
 	}
-	s := &Server{ln: ln, agents: make(map[string]*agentConn), Timeout: DefaultRPCTimeout}
+	s := &Server{
+		ln:      ln,
+		agents:  make(map[string]*agentConn),
+		Timeout: DefaultRPCTimeout,
+		dist:    distrib.NewStore(),
+	}
 	go s.acceptLoop()
 	return s, nil
+}
+
+// ChunkStore returns the vendor-side chunk store.
+func (s *Server) ChunkStore() *distrib.Store { return s.dist }
+
+// Stats returns the server-wide transfer counters, aggregated across all
+// agent connections past and present.
+func (s *Server) Stats() Stats { return s.stats.snapshot() }
+
+// AgentStats returns the transfer counters of the named agent's current
+// connection.
+func (s *Server) AgentStats(name string) (Stats, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ac, ok := s.agents[name]
+	if !ok {
+		return Stats{}, false
+	}
+	return ac.stats.snapshot(), true
+}
+
+// TransferSnapshot exposes the server-wide counters in the deployment
+// controller's vocabulary, so Controller.Transfer can record per-rollout
+// deltas in the Outcome.
+func (s *Server) TransferSnapshot() deploy.TransferStats {
+	st := s.Stats()
+	return deploy.TransferStats{
+		Frames:      st.FramesSent,
+		Bytes:       st.BytesSent,
+		ChunkBytes:  st.ChunkBytesSent,
+		ChunkHits:   st.ChunkHits,
+		ChunkMisses: st.ChunkMisses,
+	}
 }
 
 // Addr returns the server's listen address.
@@ -129,7 +246,13 @@ func (s *Server) register(conn net.Conn) {
 		return
 	}
 	conn.SetReadDeadline(time.Time{})
-	ac := &agentConn{name: hello.Register.Machine, conn: conn, enc: json.NewEncoder(conn), dec: dec}
+	st := &statsCounters{}
+	bw := bufio.NewWriter(&countingWriter{w: conn, conn: st, total: &s.stats})
+	ac := &agentConn{
+		name: hello.Register.Machine, conn: conn,
+		bw: bw, enc: json.NewEncoder(bw), dec: dec,
+		stats: st, total: &s.stats,
+	}
 	s.mu.Lock()
 	if old, dup := s.agents[ac.name]; dup {
 		old.conn.Close()
@@ -198,14 +321,45 @@ func (s *Server) Record(machineName, app string, inputs []string) (string, error
 	return resp.Status, nil
 }
 
-// agentSource exposes one registered agent as a profile.Source: Profile
-// performs a fingerprint RPC on the agent's channel. The resource
-// references and registry configuration are fixed per collection.
-type agentSource struct {
-	s    *Server
-	name string
+// fpPayload memoizes the serialized fingerprint request body shared by
+// every agent of one profiling fan-out. The body — resource references,
+// registry configuration, and above all the vendor item list — is
+// identical across agents, so it is marshalled once per (app, vendor set)
+// and the raw bytes are reused across the whole fleet instead of being
+// re-serialized per connection.
+type fpPayload struct {
 	refs []string
 	reg  RegistryConfig
+
+	mu     sync.Mutex
+	app    string
+	vendor *resource.Set
+	raw    json.RawMessage
+}
+
+func (p *fpPayload) rawFor(app string, vendor *resource.Set) (json.RawMessage, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.raw == nil || p.app != app || p.vendor != vendor {
+		b, err := json.Marshal(&FingerprintReq{
+			App: app, Refs: p.refs, Registry: p.reg, VendorItems: ItemsToWire(vendor),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("transport: encoding fingerprint request: %w", err)
+		}
+		p.app, p.vendor, p.raw = app, vendor, b
+	}
+	return p.raw, nil
+}
+
+// agentSource exposes one registered agent as a profile.Source: Profile
+// performs a fingerprint RPC on the agent's channel. The resource
+// references and registry configuration are fixed per collection, and the
+// request body is shared with every sibling source of the same fan-out.
+type agentSource struct {
+	s       *Server
+	name    string
+	payload *fpPayload
 }
 
 // Name implements profile.Source.
@@ -217,9 +371,11 @@ func (as *agentSource) Profile(app string, vendor *resource.Set) (profile.Machin
 	if err != nil {
 		return profile.Machine{}, err
 	}
-	resp, err := ac.call(Frame{Op: OpFingerprint, Fingerprint: &FingerprintReq{
-		App: app, Refs: as.refs, Registry: as.reg, VendorItems: ItemsToWire(vendor),
-	}}, as.s.Timeout)
+	raw, err := as.payload.rawFor(app, vendor)
+	if err != nil {
+		return profile.Machine{}, err
+	}
+	resp, err := ac.call(Frame{Op: OpFingerprint, Fingerprint: raw}, as.s.Timeout)
 	if err != nil {
 		return profile.Machine{}, err
 	}
@@ -234,11 +390,13 @@ func (as *agentSource) Profile(app string, vendor *resource.Set) (profile.Machin
 
 // ProfileSources returns one profile.Source per registered agent, in
 // sorted name order — the remote half of the shared profiling pipeline.
+// All sources share one lazily serialized request payload.
 func (s *Server) ProfileSources(refs []string, reg RegistryConfig) []profile.Source {
+	payload := &fpPayload{refs: refs, reg: reg}
 	names := s.Agents()
 	out := make([]profile.Source, len(names))
 	for i, n := range names {
-		out[i] = &agentSource{s: s, name: n, refs: refs, reg: reg}
+		out[i] = &agentSource{s: s, name: n, payload: payload}
 	}
 	return out
 }
@@ -276,13 +434,86 @@ func (s *Server) Node(name string) *RemoteNode {
 // Name implements deploy.Node.
 func (r *RemoteNode) Name() string { return r.name }
 
+// upgradeFrame builds the test/integrate request frame for the chosen
+// distribution mode.
+func upgradeFrame(op string, up *WireUpgrade, man *WireManifest) Frame {
+	req := Frame{Op: op}
+	switch op {
+	case OpTest:
+		req.Test = &TestReq{Upgrade: up, Manifest: man}
+	case OpIntegrate:
+		req.Integrate = &IntegrateReq{Upgrade: up, Manifest: man}
+	}
+	return req
+}
+
+// pushUpgrade performs one test or integrate RPC on the agent. In inline
+// mode the complete upgrade travels in the frame. In chunked mode the
+// frame carries only the manifest; if the agent reports missing chunks,
+// exactly those chunks are pushed with OpFetchChunks and the request is
+// re-issued — the manifest is small, so the retry costs a few hundred
+// bytes, never a payload re-send.
+func (s *Server) pushUpgrade(name, op string, up *pkgmgr.Upgrade) (Frame, error) {
+	ac, err := s.agent(name)
+	if err != nil {
+		return Frame{}, err
+	}
+	if s.InlinePayloads {
+		w := UpgradeToWire(up)
+		return ac.call(upgradeFrame(op, &w, nil), s.Timeout)
+	}
+	man := s.dist.Manifest(up)
+	first := true
+	for attempt := 0; attempt < 3; attempt++ {
+		resp, err := ac.call(upgradeFrame(op, nil, man), s.Timeout)
+		if err != nil {
+			return Frame{}, err
+		}
+		if first {
+			// The first response fixes the hit/miss split for this push;
+			// the post-fetch retry re-resolves the same chunks and must
+			// not be double-counted. NeedChunks is deduplicated, so count
+			// misses per manifest *reference*: an address the agent lacks
+			// that appears twice is two missed lookups, not one miss and
+			// one phantom hit.
+			needed := make(map[uint64]bool, len(resp.NeedChunks))
+			for _, a := range resp.NeedChunks {
+				needed[a] = true
+			}
+			var miss int64
+			for _, f := range man.Files {
+				for _, ref := range f.Chunks {
+					if needed[ref.Hash] {
+						miss++
+					}
+				}
+			}
+			ac.addChunkAccounting(int64(man.ChunkCount())-miss, miss)
+			first = false
+		}
+		if len(resp.NeedChunks) == 0 {
+			return resp, nil
+		}
+		chunks, err := s.dist.Chunks(resp.NeedChunks)
+		if err != nil {
+			return Frame{}, fmt.Errorf("transport: agent %s requested %w", name, err)
+		}
+		var n int64
+		for _, ch := range chunks {
+			n += int64(len(ch.Data))
+		}
+		ac.stats.chunkBytes.Add(n)
+		ac.total.chunkBytes.Add(n)
+		if _, err := ac.call(Frame{Op: OpFetchChunks, FetchChunks: &FetchChunksReq{Chunks: chunks}}, s.Timeout); err != nil {
+			return Frame{}, err
+		}
+	}
+	return Frame{}, fmt.Errorf("transport: agent %s still missing chunks after fetch", name)
+}
+
 // TestUpgrade implements deploy.Node over the wire.
 func (r *RemoteNode) TestUpgrade(up *pkgmgr.Upgrade) (*report.Report, error) {
-	ac, err := r.s.agent(r.name)
-	if err != nil {
-		return nil, err
-	}
-	resp, err := ac.call(Frame{Op: OpTest, Test: &TestReq{Upgrade: UpgradeToWire(up)}}, r.s.Timeout)
+	resp, err := r.s.pushUpgrade(r.name, OpTest, up)
 	if err != nil {
 		return nil, err
 	}
@@ -294,11 +525,7 @@ func (r *RemoteNode) TestUpgrade(up *pkgmgr.Upgrade) (*report.Report, error) {
 
 // Integrate implements deploy.Node over the wire.
 func (r *RemoteNode) Integrate(up *pkgmgr.Upgrade) error {
-	ac, err := r.s.agent(r.name)
-	if err != nil {
-		return err
-	}
-	_, err = ac.call(Frame{Op: OpIntegrate, Integrate: &IntegrateReq{Upgrade: UpgradeToWire(up)}}, r.s.Timeout)
+	_, err := r.s.pushUpgrade(r.name, OpIntegrate, up)
 	return err
 }
 

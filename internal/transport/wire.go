@@ -13,6 +13,9 @@
 package transport
 
 import (
+	"encoding/json"
+
+	"repro/internal/distrib"
 	"repro/internal/machine"
 	"repro/internal/pkgmgr"
 	"repro/internal/report"
@@ -27,19 +30,28 @@ type Frame struct {
 	// Err is set on failed responses.
 	Err string `json:"err,omitempty"`
 
-	// Request payloads.
+	// Request payloads. Fingerprint is kept as raw JSON because its body
+	// — the vendor item list and registry — is identical for every agent
+	// of a profiling fan-out: the server serializes it once per collection
+	// and reuses the bytes across the fleet.
 	Register    *RegisterReq    `json:"register,omitempty"`
 	Identify    *IdentifyReq    `json:"identify,omitempty"`
 	Record      *RecordReq      `json:"record,omitempty"`
-	Fingerprint *FingerprintReq `json:"fingerprint,omitempty"`
+	Fingerprint json.RawMessage `json:"fingerprint,omitempty"`
 	Test        *TestReq        `json:"test,omitempty"`
 	Integrate   *IntegrateReq   `json:"integrate,omitempty"`
+	FetchChunks *FetchChunksReq `json:"fetch_chunks,omitempty"`
 
 	// Response payloads.
 	Resources []string       `json:"resources,omitempty"`
 	Diff      []WireItem     `json:"diff,omitempty"`
 	AppSet    string         `json:"appset,omitempty"`
 	Report    *report.Report `json:"report,omitempty"`
+	// NeedChunks is the agent's reply to a manifest-bearing test or
+	// integrate request whose chunks are not all cached yet: the missing
+	// content addresses. The vendor answers with an OpFetchChunks push and
+	// then re-issues the original request, which by then resolves locally.
+	NeedChunks []uint64 `json:"need_chunks,omitempty"`
 	// OK acknowledges a successful response. Deliberately NOT omitempty:
 	// with omitempty a false value serialized identically to an absent
 	// one, so a handler that forgot to acknowledge was indistinguishable
@@ -57,6 +69,11 @@ const (
 	OpFingerprint = "fingerprint"
 	OpTest        = "test_upgrade"
 	OpIntegrate   = "integrate"
+	// OpFetchChunks delivers the chunk bytes an agent reported missing
+	// from a manifest. Like every other RPC it is vendor-initiated (the
+	// agent sits behind its persistent control channel), so "fetch" is
+	// realized as a push of exactly the requested set.
+	OpFetchChunks = "fetch_chunks"
 )
 
 // RegisterReq is the only agent-initiated message: it announces the
@@ -88,14 +105,29 @@ type FingerprintReq struct {
 	VendorItems []WireItem     `json:"vendor_items"`
 }
 
-// TestReq asks the agent to validate the upgrade in isolation.
+// WireManifest is the content-addressed form of an upgrade: metadata plus
+// per-file chunk address lists, no file data. It is the distrib manifest
+// verbatim — the distribution layer owns the format.
+type WireManifest = distrib.Manifest
+
+// TestReq asks the agent to validate the upgrade in isolation. Exactly one
+// of Upgrade (legacy inline payload, Server.InlinePayloads) and Manifest
+// (content-addressed chunked distribution, the default) is set.
 type TestReq struct {
-	Upgrade WireUpgrade `json:"upgrade"`
+	Upgrade  *WireUpgrade  `json:"upgrade,omitempty"`
+	Manifest *WireManifest `json:"manifest,omitempty"`
 }
 
-// IntegrateReq asks the agent to apply the validated upgrade.
+// IntegrateReq asks the agent to apply the validated upgrade, with the
+// same inline/manifest choice as TestReq.
 type IntegrateReq struct {
-	Upgrade WireUpgrade `json:"upgrade"`
+	Upgrade  *WireUpgrade  `json:"upgrade,omitempty"`
+	Manifest *WireManifest `json:"manifest,omitempty"`
+}
+
+// FetchChunksReq carries the chunk bytes for a reported missing set.
+type FetchChunksReq struct {
+	Chunks []distrib.Chunk `json:"chunks"`
 }
 
 // WireItem is a serialized resource item.
