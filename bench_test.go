@@ -10,6 +10,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"testing"
 	"time"
 
@@ -22,6 +23,7 @@ import (
 	"repro/internal/pkgmgr"
 	"repro/internal/report"
 	"repro/internal/resource"
+	"repro/internal/rollout"
 	"repro/internal/scenario"
 	"repro/internal/simulator"
 	"repro/internal/staging"
@@ -576,6 +578,171 @@ func BenchmarkDistribution(b *testing.B) {
 			"inline":    inline,
 			"chunked":   chunked,
 			"reduction": reduction,
+		}, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Rollout engine (durability + agent churn) ---
+
+const (
+	churnMachines = 36
+	churnClusters = 4
+	churnKilled   = 2 // permanently dead: quarantined by the rollout
+	churnChurned  = 8 // killed mid-rollout, auto-revived by reconnect loops
+)
+
+// churnUpgrade is a small upgrade; the benchmark measures the churn
+// machinery, not payload transfer.
+func churnUpgrade() *pkgmgr.Upgrade {
+	return &pkgmgr.Upgrade{
+		ID: "mysql-churn-5.0.22",
+		Pkg: &pkgmgr.Package{Name: "mysql", Version: "5.0.22", Files: []*machine.File{
+			{Path: apps.MySQLExec, Type: machine.TypeExecutable, Data: []byte("mysqld 5.0.22"), Version: "5.0.22"},
+		}},
+		Replaces: "4.1.22",
+	}
+}
+
+// runChurnRollout spins a vendor and a 36-agent fleet on loopback TCP,
+// stages a journaled Balanced rollout across 4 clusters while a fraction
+// of the fleet is killed (reconnecting agents redial and re-register with
+// identity and chunk cache intact; two agents stay dead), and asserts the
+// deployment completes with every reachable machine integrated and the
+// dead ones quarantined.
+func runChurnRollout(b *testing.B, journalPath string) *deploy.Outcome {
+	b.Helper()
+	s, err := transport.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	stop := make(chan struct{})
+	defer close(stop)
+
+	names := make([]string, churnMachines)
+	for i := range names {
+		names[i] = fmt.Sprintf("churn-%02d", i)
+	}
+	// The permanently dead live in the farthest cluster (deployed last),
+	// so they are certain to die before their wave reaches them.
+	permDead := names[churnMachines-churnKilled:]
+	for i, name := range names {
+		m := machine.New(name)
+		m.SetEnv("HOME", "/home/user")
+		m.WriteFile(&machine.File{Path: apps.MySQLExec, Type: machine.TypeExecutable,
+			Data: []byte("mysqld 4.1.22"), Version: "4.1.22"})
+		m.InstallPackage(machine.PackageRef{Name: "mysql", Version: "4.1.22"}, []string{apps.MySQLExec})
+		a := transport.NewAgent(m)
+		if i >= churnMachines-churnKilled {
+			go a.Run(s.Addr()) // no reconnect loop: dead stays dead
+		} else {
+			go a.RunWithReconnect(s.Addr(), transport.ReconnectConfig{
+				MaxAttempts: 1000, BaseDelay: 2 * time.Millisecond,
+				MaxDelay: 20 * time.Millisecond, Stop: stop,
+			})
+		}
+	}
+	if got := s.WaitForAgents(churnMachines, 10*time.Second); got != churnMachines {
+		b.Fatalf("only %d/%d agents registered", got, churnMachines)
+	}
+
+	perCluster := churnMachines / churnClusters
+	var clusters []*deploy.Cluster
+	for c := 0; c < churnClusters; c++ {
+		cl := &deploy.Cluster{ID: deploy.ClusterName(c), Distance: c + 1}
+		for n, name := range names[c*perCluster : (c+1)*perCluster] {
+			if n == 0 {
+				cl.Representatives = append(cl.Representatives, s.Node(name))
+			} else {
+				cl.Others = append(cl.Others, s.Node(name))
+			}
+		}
+		clusters = append(clusters, cl)
+	}
+
+	// Five retries at a 10ms doubling backoff give churned agents a ~300ms
+	// window to redial (their loops come back in ~5-20ms) while bounding
+	// what each permanently dead member costs its wave.
+	ctl := deploy.NewController(report.New(), nil)
+	ctl.TransientRetries = 5
+	ctl.RetryBackoff = 10 * time.Millisecond
+	ctl.Transfer = s.TransferSnapshot
+
+	// Chaos: the permanently dead die as the rollout starts; churn victims
+	// spread across the fleet are dropped on a ticker while waves run and
+	// revive themselves through their reconnect loops.
+	for _, name := range permDead {
+		s.DropAgent(name)
+	}
+	var victims []string
+	for i := 1; i < churnMachines-churnKilled && len(victims) < churnChurned; i += 4 {
+		victims = append(victims, names[i])
+	}
+	chaosDone := make(chan struct{})
+	go func() {
+		defer close(chaosDone)
+		tick := time.NewTicker(10 * time.Millisecond)
+		defer tick.Stop()
+		for _, victim := range victims {
+			select {
+			case <-tick.C:
+				s.DropAgent(victim)
+			case <-stop:
+				return
+			}
+		}
+	}()
+
+	eng := &rollout.Engine{Controller: ctl, Path: journalPath}
+	out, err := eng.Deploy(deploy.PolicyBalanced, churnUpgrade(), clusters)
+	if err != nil {
+		b.Fatal(err)
+	}
+	<-chaosDone
+
+	want := churnMachines - churnKilled
+	if out.Integrated() != want {
+		b.Fatalf("integrated = %d/%d (quarantined %v)", out.Integrated(), want, out.Quarantined)
+	}
+	if len(out.Quarantined) != churnKilled ||
+		out.Quarantined[0] != permDead[0] || out.Quarantined[1] != permDead[1] {
+		b.Fatalf("quarantined = %v, want %v", out.Quarantined, permDead)
+	}
+	return out
+}
+
+// BenchmarkRolloutChurn measures a journaled staged rollout under agent
+// churn over real TCP — the durability headline: a fleet where agents
+// disconnect constantly still converges, with every reachable machine
+// integrated and only the permanently dead quarantined. Set
+// MIRAGE_BENCH_ROLLOUT_JSON to a path to emit a machine-readable summary
+// (the CI perf-trajectory artifact).
+func BenchmarkRolloutChurn(b *testing.B) {
+	dir := b.TempDir()
+	var last *deploy.Outcome
+	for i := 0; i < b.N; i++ {
+		last = runChurnRollout(b, filepath.Join(dir, fmt.Sprintf("journal-%d", i)))
+	}
+	b.ReportMetric(float64(last.Integrated()), "integrated/op")
+	b.ReportMetric(float64(len(last.Quarantined)), "quarantined/op")
+	if path := os.Getenv("MIRAGE_BENCH_ROLLOUT_JSON"); path != "" {
+		blob, err := json.MarshalIndent(map[string]interface{}{
+			"benchmark":   "BenchmarkRolloutChurn",
+			"machines":    churnMachines,
+			"clusters":    churnClusters,
+			"churned":     churnChurned,
+			"killed":      churnKilled,
+			"integrated":  last.Integrated(),
+			"quarantined": last.Quarantined,
+			"wire_bytes":  last.Transfer.Bytes,
+			"frames":      last.Transfer.Frames,
+			"ns_per_op":   float64(b.Elapsed().Nanoseconds()) / float64(b.N),
 		}, "", "  ")
 		if err != nil {
 			b.Fatal(err)

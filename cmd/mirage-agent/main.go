@@ -19,6 +19,8 @@ func main() {
 	connect := flag.String("connect", "127.0.0.1:7033", "vendor address")
 	machineName := flag.String("machine", "ubt-ms4", "Table 2 machine configuration to impersonate (or 'list')")
 	seedCache := flag.Bool("seed-cache", true, "prime the chunk cache from installed files, so version upgrades transfer only changed chunks")
+	reconnect := flag.Bool("reconnect", true, "redial the vendor with backoff when the control channel drops, preserving identity and chunk cache; the agent exits once redials stop succeeding")
+	reconnectAttempts := flag.Int("reconnect-attempts", 5, "consecutive failed redials before concluding the vendor is gone")
 	flag.Parse()
 
 	specs := scenario.MySQLTable2()
@@ -47,7 +49,13 @@ func main() {
 	agent := transport.NewAgent(m)
 	agent.SeedCache = *seedCache
 	log.Printf("agent %s connecting to %s", m.Name, *connect)
-	if err := agent.Run(*connect); err != nil {
+	var err error
+	if *reconnect {
+		err = agent.RunWithReconnect(*connect, transport.ReconnectConfig{MaxAttempts: *reconnectAttempts})
+	} else {
+		err = agent.Run(*connect)
+	}
+	if err != nil {
 		log.Fatal(err)
 	}
 	ref, _ := m.Package("mysql")

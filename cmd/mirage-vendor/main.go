@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/apps"
@@ -27,6 +28,7 @@ import (
 	"repro/internal/pkgmgr"
 	"repro/internal/profile"
 	"repro/internal/report"
+	"repro/internal/rollout"
 	"repro/internal/scenario"
 	"repro/internal/staging"
 	"repro/internal/transport"
@@ -43,7 +45,13 @@ func main() {
 	inline := flag.Bool("inline", false, "legacy distribution: ship the full upgrade payload inline in every test/integrate frame instead of content-addressed chunk manifests")
 	showPlan := flag.Bool("plan", false, "print the staged wave schedule before deploying")
 	urrFile := flag.String("urr", "", "save the report repository to this file after deployment")
+	journal := flag.String("journal", "", "write-ahead deployment journal file: every rollout state transition is persisted, making the deployment durable and resumable")
+	resume := flag.Bool("resume", false, "resume the rollout recorded in -journal (skip stages and members it records as done) instead of starting fresh")
 	flag.Parse()
+	if *resume && *journal == "" {
+		fmt.Fprintln(os.Stderr, "-resume requires -journal")
+		os.Exit(2)
+	}
 	pol := parsePolicy(*policy) // validate before waiting on agents
 
 	srv, err := transport.Listen(*listen)
@@ -107,12 +115,26 @@ func main() {
 	if *showPlan {
 		fmt.Print(ctl.PlanFor(pol, dcs).Describe())
 	}
-	out, err := ctl.Deploy(pol, mysql5(), dcs)
+	var out *deploy.Outcome
+	if *journal != "" {
+		eng := &rollout.Engine{
+			Controller: ctl,
+			Path:       *journal,
+			Resume:     *resume,
+			Rebuild:    rebuildRelease,
+		}
+		out, err = eng.Deploy(pol, mysql5(), dcs)
+	} else {
+		out, err = ctl.Deploy(pol, mysql5(), dcs)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("policy=%v integrated=%d/%d overhead=%d rounds=%d abandoned=%v final=%s\n",
-		out.Policy, out.Integrated(), len(out.Nodes), out.Overhead, out.Rounds, out.Abandoned, out.FinalID)
+	fmt.Printf("policy=%v integrated=%d/%d overhead=%d rounds=%d abandoned=%v quarantined=%d final=%s\n",
+		out.Policy, out.Integrated(), len(out.Nodes), out.Overhead, out.Rounds, out.Abandoned, len(out.Quarantined), out.FinalID)
+	for _, name := range out.Quarantined {
+		log.Printf("quarantined (unreachable through retries): %s", name)
+	}
 	mode := "chunked"
 	if *inline {
 		mode = "inline"
@@ -163,14 +185,34 @@ func mysql5() *pkgmgr.Upgrade {
 // the URR and release a corrected upgrade addressing all of them.
 func fixer(urr *report.URR) deploy.Fixer {
 	return func(up *pkgmgr.Upgrade, failures []*report.Report) (*pkgmgr.Upgrade, bool) {
-		fixed := mysql5()
-		fixed.ID = up.ID + "-fix"
-		fixed.Pkg.Files[1] = &machine.File{Path: apps.LibMySQLPath, Type: machine.TypeSharedLib,
-			Data: []byte("libmysqlclient 5.0 php4-compat"), Version: "5.0"}
-		fixed.Migrations = []pkgmgr.FileEdit{
-			{Path: "/home/user/.my.cnf", Append: []byte("# migrated-for-5\n")},
-		}
+		fixed := fixedRelease(up.ID + "-fix")
 		log.Printf("vendor: debugging %d failure report(s), releasing %s", len(failures), fixed.ID)
 		return fixed, true
 	}
+}
+
+// fixedRelease builds the corrected upgrade under the given release ID.
+func fixedRelease(id string) *pkgmgr.Upgrade {
+	fixed := mysql5()
+	fixed.ID = id
+	fixed.Pkg.Files[1] = &machine.File{Path: apps.LibMySQLPath, Type: machine.TypeSharedLib,
+		Data: []byte("libmysqlclient 5.0 php4-compat"), Version: "5.0"}
+	fixed.Migrations = []pkgmgr.FileEdit{
+		{Path: "/home/user/.my.cnf", Append: []byte("# migrated-for-5\n")},
+	}
+	return fixed
+}
+
+// rebuildRelease is the vendor's release store for journal resume: it
+// maps any upgrade ID this vendor can have shipped — the original or a
+// "-fix" re-release — back to its artifact, so a resumed rollout
+// continues from the version the journal ended on.
+func rebuildRelease(id string) (*pkgmgr.Upgrade, bool) {
+	if id == mysql5().ID {
+		return mysql5(), true
+	}
+	if strings.HasSuffix(id, "-fix") && strings.HasPrefix(id, mysql5().ID) {
+		return fixedRelease(id), true
+	}
+	return nil, false
 }

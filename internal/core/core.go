@@ -26,6 +26,7 @@ import (
 	"repro/internal/profile"
 	"repro/internal/report"
 	"repro/internal/resource"
+	"repro/internal/rollout"
 	"repro/internal/staging"
 	"repro/internal/trace"
 	"repro/internal/vmtest"
@@ -54,6 +55,17 @@ type Vendor struct {
 	// Local in-process fleets move no bytes; a vendor driving a networked
 	// fleet plugs in transport.Server.TransferSnapshot here.
 	Transfer func() deploy.TransferStats
+
+	// JournalPath, when set, makes StageDeployment a durable rollout: it
+	// routes through the rollout engine, journaling every state
+	// transition to this file. ResumeJournal resumes the rollout the file
+	// records (hash-checked against the freshly built plan) instead of
+	// starting over, and RebuildUpgrade — the vendor's release store —
+	// maps journaled upgrade IDs back to artifacts when the interrupted
+	// run had already released fixes.
+	JournalPath    string
+	ResumeJournal  bool
+	RebuildUpgrade func(upgradeID string) (*pkgmgr.Upgrade, bool)
 }
 
 // NewVendor returns a vendor around the given reference machine, with the
@@ -313,6 +325,15 @@ func (v *Vendor) ClusterFleet(f *Fleet, app string, cfg cluster.Config, repsPerC
 func (v *Vendor) StageDeployment(policy deploy.Policy, up *pkgmgr.Upgrade, cl *Clustering, fix deploy.Fixer) (*deploy.Outcome, error) {
 	ctl := deploy.NewController(v.URR, fix)
 	ctl.Transfer = v.Transfer
+	if v.JournalPath != "" {
+		eng := &rollout.Engine{
+			Controller: ctl,
+			Path:       v.JournalPath,
+			Resume:     v.ResumeJournal,
+			Rebuild:    v.RebuildUpgrade,
+		}
+		return eng.Deploy(policy, up, cl.Deploy)
+	}
 	return ctl.Deploy(policy, up, cl.Deploy)
 }
 

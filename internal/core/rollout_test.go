@@ -1,0 +1,74 @@
+package core
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/deploy"
+	"repro/internal/pkgmgr"
+	"repro/internal/report"
+	"repro/internal/rollout"
+)
+
+// TestJournaledStageDeployment exercises the core-level wiring of the
+// durable rollout engine: a Vendor with JournalPath set journals the full
+// deployment, and a second Vendor resuming a completed journal performs
+// no work at all.
+func TestJournaledStageDeployment(t *testing.T) {
+	v, fleet := setupVendorAndFleet(t)
+	path := filepath.Join(t.TempDir(), "deploy.journal")
+	v.JournalPath = path
+
+	cl, err := v.ClusterFleet(fleet, "mysql", cluster.Config{Diameter: 3}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fix := func(up *pkgmgr.Upgrade, failures []*report.Report) (*pkgmgr.Upgrade, bool) {
+		return mysql5Fixed(), true
+	}
+	out, err := v.StageDeployment(deploy.PolicyBalanced, mysql5Upgrade(), cl, fix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Integrated() != len(fleet.Machines) || out.Abandoned {
+		t.Fatalf("outcome = %+v", out)
+	}
+
+	recs, err := rollout.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) < 3 || recs[0].Type != rollout.RecPlan || recs[len(recs)-1].Type != rollout.RecComplete {
+		t.Fatalf("journal shape wrong: %d records, head %s, tail %s",
+			len(recs), recs[0].Type, recs[len(recs)-1].Type)
+	}
+
+	// Resuming the sealed journal is refused — the rollout completed; the
+	// operator is told so instead of silently re-running it.
+	v2 := NewVendor(buildReference())
+	v2.Resources = v.Resources
+	v2.Registry = v.Registry
+	v2.JournalPath = path
+	v2.ResumeJournal = true
+	v2.RebuildUpgrade = func(id string) (*pkgmgr.Upgrade, bool) {
+		if id == mysql5Fixed().ID {
+			return mysql5Fixed(), true
+		}
+		return nil, false
+	}
+	before := len(recs)
+	if _, err := v2.StageDeployment(deploy.PolicyBalanced, mysql5Upgrade(), cl, fix); err == nil ||
+		!strings.Contains(err.Error(), "sealed") {
+		t.Fatalf("resume of a sealed journal = %v, want sealed-journal refusal", err)
+	}
+	// The sealed journal is untouched.
+	recs, err = rollout.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != before {
+		t.Fatalf("refused resume still appended records: %d -> %d", before, len(recs))
+	}
+}

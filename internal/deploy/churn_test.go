@@ -1,0 +1,249 @@
+package deploy
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/pkgmgr"
+	"repro/internal/report"
+)
+
+// flakyNode fails with a transient error for the first failTests
+// validations and failInts integrations, then behaves like its fakeNode.
+type flakyNode struct {
+	fakeNode
+	failTests, failInts int
+}
+
+func (n *flakyNode) TestUpgrade(up *pkgmgr.Upgrade) (*report.Report, error) {
+	if n.failTests > 0 {
+		n.failTests--
+		return nil, fmt.Errorf("dial tcp 10.0.0.1: %w", ErrTransient)
+	}
+	return n.fakeNode.TestUpgrade(up)
+}
+
+func (n *flakyNode) Integrate(up *pkgmgr.Upgrade) error {
+	if n.failInts > 0 {
+		n.failInts--
+		return fmt.Errorf("dial tcp 10.0.0.1: %w", ErrTransient)
+	}
+	return n.fakeNode.Integrate(up)
+}
+
+// captureObs records events and can simulate a journal that fails after a
+// budget of appends.
+type captureObs struct {
+	events    []Event
+	failAfter int // 0 = never fail
+}
+
+func (c *captureObs) OnEvent(ev Event) error {
+	if c.failAfter > 0 && len(c.events) >= c.failAfter {
+		return errors.New("journal disk full")
+	}
+	c.events = append(c.events, ev)
+	return nil
+}
+
+// fastRetry makes retry backoff instant and counts the pauses.
+func fastRetry(ctl *Controller) *int {
+	n := new(int)
+	ctl.RetryBackoff = time.Nanosecond
+	ctl.Sleep = func(time.Duration) { *n++ }
+	return n
+}
+
+func TestTransientTestErrorRetriedInPlace(t *testing.T) {
+	flaky := &flakyNode{fakeNode: fakeNode{name: "flaky-rep"}, failTests: 2}
+	clusters := []*Cluster{{
+		ID: "c", Distance: 1,
+		Representatives: []Node{flaky},
+		Others:          []Node{&fakeNode{name: "c-1"}},
+	}}
+	ctl := NewController(report.New(), nil)
+	pauses := fastRetry(ctl)
+	out, err := ctl.Deploy(PolicyBalanced, up("v1"), clusters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Integrated() != 2 || len(out.Quarantined) != 0 {
+		t.Fatalf("integrated=%d quarantined=%v", out.Integrated(), out.Quarantined)
+	}
+	if *pauses < 2 {
+		t.Fatalf("retries did not back off (%d pauses)", *pauses)
+	}
+	// The transient hiccups are invisible to the outcome: one clean test.
+	if st := out.Nodes["flaky-rep"]; st.Tests != 1 || st.Failures != 0 {
+		t.Fatalf("flaky-rep status = %+v", st)
+	}
+}
+
+func TestTransientIntegrateErrorRetriedInPlace(t *testing.T) {
+	flaky := &flakyNode{fakeNode: fakeNode{name: "flaky"}, failInts: 2}
+	clusters := []*Cluster{{ID: "c", Distance: 1, Representatives: []Node{flaky}}}
+	ctl := NewController(report.New(), nil)
+	fastRetry(ctl)
+	out, err := ctl.Deploy(PolicyBalanced, up("v1"), clusters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Integrated() != 1 || len(out.Quarantined) != 0 {
+		t.Fatalf("integrated=%d quarantined=%v", out.Integrated(), out.Quarantined)
+	}
+	if got := flaky.integrated; len(got) != 1 || got[0] != "v1" {
+		t.Fatalf("integrations = %v", got)
+	}
+}
+
+func TestPersistentlyUnreachableMemberQuarantined(t *testing.T) {
+	dead := &flakyNode{fakeNode: fakeNode{name: "near-1"}, failTests: 1 << 30}
+	clusters := []*Cluster{
+		{ID: "near", Distance: 1,
+			Representatives: []Node{&fakeNode{name: "near-rep"}},
+			Others:          []Node{dead, &fakeNode{name: "near-2"}}},
+		{ID: "far", Distance: 9,
+			Representatives: []Node{&fakeNode{name: "far-rep"}},
+			Others:          []Node{&fakeNode{name: "far-1"}}},
+	}
+	ctl := NewController(report.New(), nil)
+	fastRetry(ctl)
+	out, err := ctl.Deploy(PolicyBalanced, up("v1"), clusters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The wave converged without the dead member; everyone else upgraded.
+	if out.Integrated() != 4 {
+		t.Fatalf("integrated = %d, want 4", out.Integrated())
+	}
+	if len(out.Quarantined) != 1 || out.Quarantined[0] != "near-1" {
+		t.Fatalf("quarantined = %v", out.Quarantined)
+	}
+	st := out.Nodes["near-1"]
+	if !st.Quarantined || st.UpgradeID != "" || st.Tests != 0 {
+		t.Fatalf("near-1 status = %+v", st)
+	}
+}
+
+func TestQuarantinedRepIsGateFailureNotPass(t *testing.T) {
+	// Under PolicyAdaptive a cluster whose representatives pass clean has
+	// its non-representatives promoted past the barrier (they run in the
+	// merged post-plan wave, stage -1). A quarantined representative must
+	// count as a failure: its cluster stays unpromoted.
+	deadRep := &flakyNode{fakeNode: fakeNode{name: "near-rep"}, failTests: 1 << 30}
+	clusters := []*Cluster{
+		{ID: "near", Distance: 1,
+			Representatives: []Node{deadRep},
+			Others:          []Node{&fakeNode{name: "near-1"}}},
+		{ID: "far", Distance: 9,
+			Representatives: []Node{&fakeNode{name: "far-rep"}},
+			Others:          []Node{&fakeNode{name: "far-1"}}},
+	}
+	ctl := NewController(report.New(), nil)
+	fastRetry(ctl)
+	obs := &captureObs{}
+	ctl.Observer = obs
+	out, err := ctl.Deploy(PolicyAdaptive, up("v1"), clusters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Integrated() != 3 || len(out.Quarantined) != 1 {
+		t.Fatalf("integrated=%d quarantined=%v", out.Integrated(), out.Quarantined)
+	}
+	stageOf := make(map[string]int)
+	for _, ev := range obs.events {
+		if ev.Type == EventTested {
+			stageOf[ev.Node] = ev.Stage
+		}
+	}
+	// far's reps passed clean: far-1 was promoted into the post-plan wave.
+	if got := stageOf["far-1"]; got != -1 {
+		t.Fatalf("far-1 tested at stage %d, want promoted (-1)", got)
+	}
+	// near's rep was quarantined: near-1 must NOT have been promoted.
+	if got := stageOf["near-1"]; got < 0 {
+		t.Fatalf("near-1 was promoted past a quarantined representative (stage %d)", got)
+	}
+}
+
+func TestObserverWriteFailureHaltsPlan(t *testing.T) {
+	clusters := twoClusters(nil)
+	ctl := NewController(report.New(), nil)
+	obs := &captureObs{failAfter: 5}
+	ctl.Observer = obs
+	_, err := ctl.Deploy(PolicyBalanced, up("v1"), clusters)
+	if err == nil {
+		t.Fatal("deployment outran a failing journal")
+	}
+	if !strings.Contains(err.Error(), "recording state transition") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCursorResumesPromotedWaveMembers(t *testing.T) {
+	// Adaptive crash window: a cluster's reps passed clean, its elastic
+	// others-stage gated with the wave promoted to the end of the plan,
+	// then the vendor died before the promoted flush. Resuming must still
+	// deliver the upgrade to the promoted members — a gated elastic stage
+	// may owe work.
+	clusters := twoClusters(nil)
+	ctl := NewController(report.New(), nil)
+	// Plan: stage0 near/reps, stage1 near/others (elastic), stage2
+	// far/reps, stage3 far/others (elastic). The journal gated stages 0-1
+	// with only the near rep integrated: near's others were promoted, not
+	// run.
+	ctl.Cursor = &Cursor{
+		DoneStages: 2,
+		FinalID:    "v1",
+		Integrated: map[string]string{"near-rep": "v1"},
+	}
+	out, err := ctl.Deploy(PolicyAdaptive, up("v1"), clusters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Integrated() != 6 {
+		t.Fatalf("integrated = %d, want 6 — promoted members lost on resume", out.Integrated())
+	}
+	for _, name := range []string{"near-1", "near-2"} {
+		st := out.Nodes[name]
+		if st.UpgradeID != "v1" || st.Tests != 1 {
+			t.Fatalf("%s = %+v, want tested once and integrated", name, st)
+		}
+	}
+}
+
+func TestCursorSkipsCompletedStagesAndMembers(t *testing.T) {
+	clusters := twoClusters(nil)
+	// The journal of the interrupted run: both near stages gated (stages 0
+	// and 1), far-rep already integrated mid-stage-2.
+	ctl := NewController(report.New(), nil)
+	ctl.Cursor = &Cursor{
+		DoneStages: 2,
+		Integrated: map[string]string{
+			"near-rep": "v1", "near-1": "v1", "near-2": "v1", "far-rep": "v1",
+		},
+	}
+	out, err := ctl.Deploy(PolicyBalanced, up("v1"), clusters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Integrated() != 6 {
+		t.Fatalf("integrated = %d", out.Integrated())
+	}
+	// Members the cursor records as integrated were not re-tested.
+	for _, c := range clusters {
+		for _, n := range append(append([]Node(nil), c.Representatives...), c.Others...) {
+			fn := n.(*fakeNode)
+			wantTests := 0
+			if fn.name == "far-1" || fn.name == "far-2" {
+				wantTests = 1 // the only members with work left
+			}
+			if fn.tests != wantTests {
+				t.Fatalf("%s tested %d times, want %d", fn.name, fn.tests, wantTests)
+			}
+		}
+	}
+}

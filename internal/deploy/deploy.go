@@ -15,13 +15,29 @@
 package deploy
 
 import (
+	"errors"
 	"fmt"
+	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/pkgmgr"
 	"repro/internal/report"
 	"repro/internal/staging"
 )
+
+// ErrTransient marks a node error as transient: the machine is (for now)
+// unreachable, not failing validation. Transport-layer errors wrap this
+// sentinel (transport.ErrAgentGone, transport.ErrAgentReplaced); the
+// controller retries transient errors per member with bounded backoff and
+// quarantines members that stay unreachable, instead of killing the whole
+// rollout. Errors not wrapping ErrTransient — a validator crash, a
+// malformed upgrade — remain terminal for the plan.
+var ErrTransient = errors.New("transient node error")
+
+// IsTransient reports whether err is a transient node error (wraps
+// ErrTransient anywhere in its chain).
+func IsTransient(err error) bool { return errors.Is(err, ErrTransient) }
 
 // Node is one managed user machine.
 type Node interface {
@@ -111,6 +127,12 @@ type NodeStatus struct {
 	UpgradeID string // the upgrade version the node integrated ("" if none)
 	Tests     int    // validation runs performed on this node
 	Failures  int    // validation runs that failed
+	// Quarantined marks a member that stayed unreachable through the
+	// controller's transient-retry budget. Quarantine is sticky for the
+	// rollout: the member is excluded from later waves and from final
+	// notification, and its cluster counts as unclean for gate purposes
+	// (a quarantined representative is a failure, not a pass).
+	Quarantined bool
 }
 
 // Outcome summarises a deployment.
@@ -121,6 +143,9 @@ type Outcome struct {
 	Overhead  int    // nodes that tested a faulty upgrade (paper's metric)
 	Nodes     map[string]*NodeStatus
 	Abandoned bool // vendor gave up fixing
+	// Quarantined lists (sorted) the members that stayed unreachable and
+	// were left behind so their waves could converge without them.
+	Quarantined []string
 	// Transfer is the wire traffic this deployment caused, when the
 	// controller has a Transfer source configured (zero otherwise).
 	Transfer TransferStats
@@ -141,6 +166,98 @@ func (o *Outcome) Integrated() int {
 // node testing within a wave.
 const DefaultParallelism = 4
 
+// Defaults for the transient-error retry budget. Four retries at a 25ms
+// doubling backoff give a disconnected agent roughly 375ms to redial
+// before its member is quarantined — generous against reconnect loops
+// that start at tens of milliseconds, small enough that a permanently
+// dead machine does not stall its wave noticeably.
+const (
+	DefaultTransientRetries = 4
+	DefaultRetryBackoff     = 25 * time.Millisecond
+)
+
+// EventType enumerates deployment state transitions. The stream of events
+// is the write-ahead deployment journal's input (internal/rollout); every
+// transition that Resume must be able to replay appears here.
+type EventType int
+
+const (
+	// EventStageStarted fires when a plan stage begins executing.
+	EventStageStarted EventType = iota
+	// EventTested fires after a member's validation report is deposited.
+	EventTested
+	// EventIntegrated fires after a member integrates an upgrade version.
+	EventIntegrated
+	// EventQuarantined fires when a member exhausts the transient-retry
+	// budget and is left behind.
+	EventQuarantined
+	// EventFixReleased fires when the vendor ships a corrected upgrade;
+	// UpgradeID is the new version, PrevID the superseded one.
+	EventFixReleased
+	// EventGatePassed fires when a stage's gate releases the next stage.
+	EventGatePassed
+	// EventAbandoned fires when the vendor gives up on the upgrade.
+	EventAbandoned
+)
+
+// Event is one deployment state transition.
+type Event struct {
+	Type EventType
+	// Stage is the plan stage index, or -1 for post-plan work (promoted
+	// adaptive waves, final-version notification).
+	Stage     int
+	Node      string
+	Cluster   string
+	UpgradeID string // upgrade version current at the transition
+	PrevID    string // EventFixReleased: the superseded version
+	Success   bool   // EventTested: validation verdict
+	Round     int    // EventFixReleased / EventAbandoned: debugging round
+	Reason    string // EventQuarantined: the final transient error
+}
+
+// Observer receives every deployment state transition, in order. A
+// journaling observer that cannot persist an event returns an error, and
+// the controller halts the plan — write-ahead discipline: progress that
+// cannot be recorded must not continue, or a crash would replay it.
+type Observer interface {
+	OnEvent(Event) error
+}
+
+// Cursor tells Deploy what a previous run of the same plan already
+// accomplished, so a resumed rollout skips completed work instead of
+// redoing it. internal/rollout builds cursors by replaying a deployment
+// journal against a hash-checked freshly built plan.
+type Cursor struct {
+	// DoneStages is the count of leading plan stages whose gate passed;
+	// Deploy releases them immediately without re-running their waves.
+	DoneStages int
+	// Rounds restores the vendor debugging round counter.
+	Rounds int
+	// UpgradeID is the upgrade version that was current when the journal
+	// ended (advanced past the original by recorded fix releases). The
+	// caller is responsible for passing Deploy the matching upgrade.
+	UpgradeID string
+	// FinalID restores the last upgrade version the journal records as
+	// actually integrated on a node, so a resumed outcome that performs
+	// no new integrations still names the version that deployed.
+	FinalID string
+	// Overhead restores the faulty-test counter (the paper's metric).
+	Overhead int
+	// Integrated maps node name to the upgrade version it already
+	// integrated. Such members are never re-tested or re-integrated in
+	// waves; members holding a superseded version are brought to the
+	// final version by the usual §4.3 late notification.
+	Integrated map[string]string
+	// Quarantined lists members already quarantined; quarantine is sticky.
+	Quarantined map[string]bool
+	// Unclean lists clusters with recorded failures or quarantines, so
+	// adaptive gate promotion stays exactly as conservative on resume as
+	// it was in the interrupted run.
+	Unclean map[string]bool
+	// NodeTests and NodeFailures restore the per-node validation counters.
+	NodeTests, NodeFailures map[string]int
+}
+
 // Controller executes deployments.
 type Controller struct {
 	URR *report.URR
@@ -158,12 +275,75 @@ type Controller struct {
 	// counters (e.g. transport.Server.TransferSnapshot). Deploy snapshots
 	// it around the rollout and records the delta in Outcome.Transfer.
 	Transfer func() TransferStats
+
+	// TransientRetries bounds how many times a member's test or integrate
+	// is retried after a transient error before the member is quarantined
+	// (0 means DefaultTransientRetries, negative means no retries).
+	TransientRetries int
+	// RetryBackoff is the delay before the first transient retry; it
+	// doubles per attempt (0 means DefaultRetryBackoff).
+	RetryBackoff time.Duration
+	// Sleep, when set, replaces time.Sleep for retry backoff — a hook for
+	// tests and fault injection.
+	Sleep func(time.Duration)
+
+	// Observer, when set, receives every deployment state transition (the
+	// deployment journal's input). An observer error halts the plan.
+	Observer Observer
+	// Cursor, when set, resumes a previous run of the same plan: leading
+	// DoneStages release immediately and members the cursor records as
+	// integrated or quarantined are skipped.
+	Cursor *Cursor
 }
 
 // NewController returns a controller depositing into urr and debugging
 // with fix.
 func NewController(urr *report.URR, fix Fixer) *Controller {
-	return &Controller{URR: urr, Fix: fix, MaxRounds: 10, Parallelism: DefaultParallelism}
+	return &Controller{
+		URR: urr, Fix: fix, MaxRounds: 10, Parallelism: DefaultParallelism,
+		TransientRetries: DefaultTransientRetries, RetryBackoff: DefaultRetryBackoff,
+	}
+}
+
+// retries resolves the configured transient-retry budget.
+func (ctl *Controller) retries() int {
+	if ctl.TransientRetries < 0 {
+		return 0
+	}
+	if ctl.TransientRetries == 0 {
+		return DefaultTransientRetries
+	}
+	return ctl.TransientRetries
+}
+
+// pause sleeps for the backoff duration, via the Sleep hook when set.
+func (ctl *Controller) pause(d time.Duration) {
+	if ctl.Sleep != nil {
+		ctl.Sleep(d)
+		return
+	}
+	time.Sleep(d)
+}
+
+// backoff returns the delay before retry attempt (0-based, doubling).
+func (ctl *Controller) backoff(attempt int) time.Duration {
+	base := ctl.RetryBackoff
+	if base <= 0 {
+		base = DefaultRetryBackoff
+	}
+	return base << attempt
+}
+
+// retryTransient runs op, retrying transient errors on the bounded
+// doubling backoff, and returns the last error — the one retry loop both
+// member testing and integration use.
+func (ctl *Controller) retryTransient(op func() error) error {
+	err := op()
+	for attempt := 0; err != nil && IsTransient(err) && attempt < ctl.retries(); attempt++ {
+		ctl.pause(ctl.backoff(attempt))
+		err = op()
+	}
+	return err
 }
 
 // ClusterName is the canonical deployment-cluster name for a clustering
@@ -209,11 +389,43 @@ func (ctl *Controller) Deploy(policy Policy, up *pkgmgr.Upgrade, clusters []*Clu
 		out.Policy = PolicyNoStaging
 	}
 
-	r := &waveRunner{ctl: ctl, up: up, out: out, clusters: byID, clean: make(map[string]bool)}
+	r := &waveRunner{ctl: ctl, up: up, out: out, clusters: byID, clean: make(map[string]bool), unclean: make(map[string]bool)}
+	if cur := ctl.Cursor; cur != nil {
+		r.skipStages = cur.DoneStages
+		out.Rounds = cur.Rounds
+		out.Overhead = cur.Overhead
+		if cur.FinalID != "" {
+			out.FinalID = cur.FinalID
+		}
+		for name, id := range cur.Integrated {
+			if st := out.Nodes[name]; st != nil {
+				st.UpgradeID = id
+			}
+		}
+		for name := range cur.Quarantined {
+			if st := out.Nodes[name]; st != nil {
+				st.Quarantined = true
+			}
+		}
+		for name, n := range cur.NodeTests {
+			if st := out.Nodes[name]; st != nil {
+				st.Tests = n
+			}
+		}
+		for name, n := range cur.NodeFailures {
+			if st := out.Nodes[name]; st != nil {
+				st.Failures = n
+			}
+		}
+		for c := range cur.Unclean {
+			r.unclean[c] = true
+		}
+	}
 	staging.Execute(ctl.PlanFor(policy, clusters), r)
 	if r.err == nil && !out.Abandoned {
 		r.flushPromoted()
 	}
+	out.collectQuarantined()
 	if r.err != nil || out.Abandoned {
 		return out, r.err
 	}
@@ -221,7 +433,20 @@ func (ctl *Controller) Deploy(policy Policy, up *pkgmgr.Upgrade, clusters []*Clu
 	// problem elsewhere forced a correction are "later notified of a new
 	// upgrade fixing the problems" (§4.3): validate and integrate the
 	// final version on them now.
-	return out, ctl.notifyFinal(r.up, clusters, out)
+	err := ctl.notifyFinal(r.up, clusters, out)
+	out.collectQuarantined()
+	return out, err
+}
+
+// collectQuarantined rebuilds the sorted quarantine list from node status.
+func (o *Outcome) collectQuarantined() {
+	o.Quarantined = o.Quarantined[:0]
+	for name, st := range o.Nodes {
+		if st.Quarantined {
+			o.Quarantined = append(o.Quarantined, name)
+		}
+	}
+	sort.Strings(o.Quarantined)
 }
 
 // waveRunner is the live executor of staging plans: within a stage all
@@ -235,10 +460,22 @@ type waveRunner struct {
 	// clean records whether a cluster has seen zero failures so far —
 	// PolicyAdaptive's promotion signal.
 	clean map[string]bool
+	// unclean is the sticky complement fed by quarantines and, on resume,
+	// by the cursor: once a cluster is unclean it can never be promoted,
+	// even if its members pass on a later attempt.
+	unclean map[string]bool
 	// promoted holds elastic waves released past their barrier; they run
 	// as one merged parallel wave at the end of the plan.
 	promoted []staging.Wave
-	err      error
+	// stage counts RunStage invocations (the plan stage index); stages
+	// below skipStages were completed by a previous run (journal resume)
+	// and release their gate without re-running.
+	stage, skipStages int
+	// halted is set when the observer can no longer record transitions:
+	// from that moment no new side effect (integration, quarantine) may
+	// be performed, or a crash-resume would not know it happened.
+	halted bool
+	err    error
 }
 
 // member pairs a node with the cluster it deploys under, so merged waves
@@ -250,6 +487,15 @@ type member struct {
 
 func (r *waveRunner) members(waves []staging.Wave) []member {
 	var ms []member
+	add := func(n Node, cluster string) {
+		// Members a previous run already integrated (any version — a
+		// superseded one catches up via final notification) and members
+		// under quarantine stay out of wave testing.
+		if st := r.out.Nodes[n.Name()]; st != nil && (st.UpgradeID != "" || st.Quarantined) {
+			return
+		}
+		ms = append(ms, member{n, cluster})
+	}
 	for _, w := range waves {
 		c := r.clusters[w.Cluster]
 		if c == nil {
@@ -257,25 +503,59 @@ func (r *waveRunner) members(waves []staging.Wave) []member {
 		}
 		if w.Group != staging.GroupOthers {
 			for _, n := range c.Representatives {
-				ms = append(ms, member{n, c.ID})
+				add(n, c.ID)
 			}
 		}
 		if w.Group != staging.GroupReps {
 			for _, n := range c.Others {
-				ms = append(ms, member{n, c.ID})
+				add(n, c.ID)
 			}
 		}
 	}
 	return ms
 }
 
+// emit delivers one event to the observer. An observer that cannot record
+// the transition halts the plan: a journal the rollout has outrun is no
+// longer a journal.
+func (r *waveRunner) emit(ev Event) {
+	if r.ctl.Observer == nil {
+		return
+	}
+	if err := r.ctl.Observer.OnEvent(ev); err != nil {
+		r.halted = true
+		if r.err == nil {
+			r.err = fmt.Errorf("deploy: recording state transition: %w", err)
+		}
+	}
+}
+
 // RunStage implements staging.Executor. A stage that fails terminally —
 // vendor abandonment or a node error — does not release its gate, which
-// halts the plan.
+// halts the plan. Stages a resume cursor records as gated release
+// immediately, without re-running or re-journaling their waves.
 func (r *waveRunner) RunStage(st staging.Stage, done func()) {
+	idx := r.stage
+	r.stage++
 	if r.err != nil || r.out.Abandoned {
 		return
 	}
+	if idx < r.skipStages {
+		// A gated stage may still owe work: an elastic stage's gate
+		// releases while its promoted waves wait for the end of the plan,
+		// so a crash after the gate but before the promoted flush must
+		// re-collect the members not yet integrated. Converged stages gate
+		// only once every member integrated or was quarantined, so this
+		// collects nothing for them.
+		for _, w := range st.Waves {
+			if len(r.members([]staging.Wave{w})) > 0 {
+				r.promoted = append(r.promoted, w)
+			}
+		}
+		done()
+		return
+	}
+	r.emit(Event{Type: EventStageStarted, Stage: idx, UpgradeID: r.up.ID})
 	var waves []staging.Wave
 	for _, w := range st.Waves {
 		if st.Promote(w, r.clean) {
@@ -286,8 +566,14 @@ func (r *waveRunner) RunStage(st staging.Stage, done func()) {
 		}
 		waves = append(waves, w)
 	}
-	r.converge(waves, st.RetryAll)
+	r.converge(idx, waves, st.RetryAll)
 	if r.err != nil || r.out.Abandoned {
+		return
+	}
+	r.emit(Event{Type: EventGatePassed, Stage: idx, UpgradeID: r.up.ID})
+	if r.err != nil {
+		// The gate record could not be journaled; releasing the gate
+		// anyway would let the plan outrun its journal.
 		return
 	}
 	done()
@@ -301,42 +587,56 @@ func (r *waveRunner) flushPromoted() {
 	}
 	waves := r.promoted
 	r.promoted = nil
-	r.converge(waves, false)
+	r.converge(-1, waves, false)
 }
 
 // converge repeatedly tests-and-debugs until every member of the waves
-// passes, the vendor abandons the upgrade, or an error occurs. Normally
-// only the previously failing members re-test after a fix; with retryAll
-// (FrontLoading's phase-1 regime) every member re-tests each round until
-// a full round passes without failures.
-func (r *waveRunner) converge(waves []staging.Wave, retryAll bool) {
+// passes or is quarantined, the vendor abandons the upgrade, or an error
+// occurs. Normally only the previously failing members re-test after a
+// fix; with retryAll (FrontLoading's phase-1 regime) every member
+// re-tests each round until a full round passes without failures.
+func (r *waveRunner) converge(stage int, waves []staging.Wave, retryAll bool) {
 	for _, w := range waves {
 		if w.Group != staging.GroupOthers {
-			r.clean[w.Cluster] = true
+			// A cluster starts clean unless something — a recorded
+			// failure, a quarantine — already poisoned it.
+			r.clean[w.Cluster] = !r.unclean[w.Cluster]
 		}
 	}
 	all := r.members(waves)
 	pending := all
 	for len(pending) > 0 {
-		failed := r.testMembers(pending)
+		failed := r.testMembers(stage, pending)
 		if r.err != nil || len(failed) == 0 {
 			return
 		}
-		if !r.debug() {
+		if !r.debug(stage) {
 			return
 		}
 		if retryAll {
-			pending = all
+			pending = r.alive(all)
 		} else {
 			pending = failed
 		}
 	}
 }
 
+// alive filters members quarantined since the list was built.
+func (r *waveRunner) alive(ms []member) []member {
+	out := make([]member, 0, len(ms))
+	for _, m := range ms {
+		if st := r.out.Nodes[m.node.Name()]; st != nil && st.Quarantined {
+			continue
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
 // debug invokes the vendor fixer on the current failures and advances the
 // runner to the corrected upgrade, or marks the outcome abandoned when
 // the vendor gives up or rounds are exhausted.
-func (r *waveRunner) debug() bool {
+func (r *waveRunner) debug(stage int) bool {
 	ctl, out := r.ctl, r.out
 	max := ctl.MaxRounds
 	if max == 0 {
@@ -344,24 +644,56 @@ func (r *waveRunner) debug() bool {
 	}
 	if out.Rounds >= max || ctl.Fix == nil {
 		out.Abandoned = true
+		r.emit(Event{Type: EventAbandoned, Stage: stage, UpgradeID: r.up.ID, Round: out.Rounds})
 		return false
 	}
 	out.Rounds++
 	fixed, ok := ctl.Fix(r.up, ctl.URR.Failures(r.up.ID))
 	if !ok {
 		out.Abandoned = true
+		r.emit(Event{Type: EventAbandoned, Stage: stage, UpgradeID: r.up.ID, Round: out.Rounds})
 		return false
 	}
+	prev := r.up.ID
 	r.up = fixed
+	r.emit(Event{Type: EventFixReleased, Stage: stage, UpgradeID: fixed.ID, PrevID: prev, Round: out.Rounds})
 	return true
 }
 
+// testWithRetry validates the current upgrade on one node, retrying
+// transient errors on the controller's bounded doubling backoff. It
+// returns the last error when the budget is exhausted.
+func (r *waveRunner) testWithRetry(n Node) (*report.Report, error) {
+	var rep *report.Report
+	err := r.ctl.retryTransient(func() error {
+		var e error
+		rep, e = n.TestUpgrade(r.up)
+		return e
+	})
+	return rep, err
+}
+
+// quarantine marks a member persistently unreachable: it leaves the wave
+// (which converges without it), never reappears in later waves, and its
+// cluster counts as unclean — a quarantined representative is a failure
+// for gate purposes, not a pass.
+func (r *waveRunner) quarantine(stage int, m member, reason string) {
+	st := r.out.Nodes[m.node.Name()]
+	st.Quarantined = true
+	r.clean[m.cluster] = false
+	r.unclean[m.cluster] = true
+	r.emit(Event{Type: EventQuarantined, Stage: stage, Node: m.node.Name(),
+		Cluster: m.cluster, UpgradeID: r.up.ID, Reason: reason})
+}
+
 // testMembers validates the current upgrade on every member. Node tests
-// run concurrently on the worker pool bounded by Controller.Parallelism;
-// reports are then deposited and passing nodes integrated strictly in
-// member order, so URR contents and the outcome are identical at any
-// pool size. It returns the members that failed validation.
-func (r *waveRunner) testMembers(ms []member) []member {
+// run concurrently on the worker pool bounded by Controller.Parallelism,
+// each with its own transient-retry budget; reports are then deposited
+// and passing nodes integrated strictly in member order, so URR contents
+// and the outcome are identical at any pool size. Members whose retries
+// exhaust are quarantined; non-transient errors halt the plan. It returns
+// the members that failed validation.
+func (r *waveRunner) testMembers(stage int, ms []member) []member {
 	reports := make([]*report.Report, len(ms))
 	errs := make([]error, len(ms))
 	workers := r.ctl.Parallelism
@@ -370,7 +702,7 @@ func (r *waveRunner) testMembers(ms []member) []member {
 	}
 	if workers <= 1 {
 		for i, m := range ms {
-			reports[i], errs[i] = m.node.TestUpgrade(r.up)
+			reports[i], errs[i] = r.testWithRetry(m.node)
 		}
 	} else {
 		idx := make(chan int)
@@ -380,7 +712,7 @@ func (r *waveRunner) testMembers(ms []member) []member {
 			go func() {
 				defer wg.Done()
 				for i := range idx {
-					reports[i], errs[i] = ms[i].node.TestUpgrade(r.up)
+					reports[i], errs[i] = r.testWithRetry(ms[i].node)
 				}
 			}()
 		}
@@ -393,11 +725,22 @@ func (r *waveRunner) testMembers(ms []member) []member {
 
 	// Even when a node errors, every report the pool already produced is
 	// deposited and booked in member order — evidence of validation work
-	// performed on real machines must not be discarded. The first error
-	// (in member order) halts the plan after this accounting pass.
+	// performed on real machines must not be discarded. Transient errors
+	// that survived their retry budget quarantine the member; the first
+	// non-transient error (in member order) halts the plan after this
+	// accounting pass. A journal failure is different: it stops the pass
+	// immediately, because side effects the journal cannot record must
+	// not happen.
 	var failed []member
 	for i, m := range ms {
+		if r.halted {
+			break
+		}
 		if errs[i] != nil {
+			if IsTransient(errs[i]) {
+				r.quarantine(stage, m, errs[i].Error())
+				continue
+			}
 			if r.err == nil {
 				r.err = fmt.Errorf("deploy: testing %s on %s: %w", r.up.ID, m.node.Name(), errs[i])
 			}
@@ -408,18 +751,20 @@ func (r *waveRunner) testMembers(ms []member) []member {
 		r.ctl.URR.Deposit(rep)
 		st := r.out.Nodes[m.node.Name()]
 		st.Tests++
+		r.emit(Event{Type: EventTested, Stage: stage, Node: m.node.Name(),
+			Cluster: m.cluster, UpgradeID: r.up.ID, Success: rep.Success})
+		if r.halted {
+			break
+		}
 		if !rep.Success {
 			st.Failures++
 			r.out.Overhead++
 			r.clean[m.cluster] = false
+			r.unclean[m.cluster] = true
 			failed = append(failed, m)
 			continue
 		}
-		if err := r.ctl.integrate(m.node, r.up, r.out); err != nil {
-			if r.err == nil {
-				r.err = err
-			}
-		}
+		r.integrateMember(stage, m)
 	}
 	return failed
 }
@@ -433,7 +778,7 @@ func (ctl *Controller) notifyFinal(final *pkgmgr.Upgrade, clusters []*Cluster, o
 	for _, c := range clusters {
 		for _, n := range append(append([]Node(nil), c.Representatives...), c.Others...) {
 			st := out.Nodes[n.Name()]
-			if st.UpgradeID == "" || st.UpgradeID == final.ID {
+			if st.UpgradeID == "" || st.UpgradeID == final.ID || st.Quarantined {
 				continue
 			}
 			ms = append(ms, member{n, c.ID})
@@ -442,20 +787,31 @@ func (ctl *Controller) notifyFinal(final *pkgmgr.Upgrade, clusters []*Cluster, o
 	if len(ms) == 0 {
 		return nil
 	}
-	r := &waveRunner{ctl: ctl, up: final, out: out, clean: make(map[string]bool)}
-	r.testMembers(ms)
+	r := &waveRunner{ctl: ctl, up: final, out: out, clean: make(map[string]bool), unclean: make(map[string]bool)}
+	r.testMembers(-1, ms)
 	return r.err
 }
 
-// integrate applies the validated upgrade on the node. FinalID advances
-// here — when a version actually reaches a node — so that on abandonment
-// the outcome names the last version that deployed, never a fix that no
-// node integrated.
-func (ctl *Controller) integrate(n Node, up *pkgmgr.Upgrade, out *Outcome) error {
-	if err := n.Integrate(up); err != nil {
-		return fmt.Errorf("deploy: integrating %s on %s: %w", up.ID, n.Name(), err)
+// integrateMember applies the validated upgrade on the node, retrying
+// transient errors on the same bounded backoff as testing — a member that
+// validated successfully but lost its connection before integrating gets
+// the same chance to come back. FinalID advances here — when a version
+// actually reaches a node — so that on abandonment the outcome names the
+// last version that deployed, never a fix that no node integrated.
+func (r *waveRunner) integrateMember(stage int, m member) {
+	err := r.ctl.retryTransient(func() error { return m.node.Integrate(r.up) })
+	if err != nil {
+		if IsTransient(err) {
+			r.quarantine(stage, m, err.Error())
+			return
+		}
+		if r.err == nil {
+			r.err = fmt.Errorf("deploy: integrating %s on %s: %w", r.up.ID, m.node.Name(), err)
+		}
+		return
 	}
-	out.Nodes[n.Name()].UpgradeID = up.ID
-	out.FinalID = up.ID
-	return nil
+	r.out.Nodes[m.node.Name()].UpgradeID = r.up.ID
+	r.out.FinalID = r.up.ID
+	r.emit(Event{Type: EventIntegrated, Stage: stage, Node: m.node.Name(),
+		Cluster: m.cluster, UpgradeID: r.up.ID})
 }

@@ -1,0 +1,97 @@
+package rollout
+
+import (
+	"fmt"
+
+	"repro/internal/deploy"
+	"repro/internal/pkgmgr"
+)
+
+// Engine runs journaled deployments over a deploy.Controller: the
+// durable, resumable form of Controller.Deploy. A fresh run creates the
+// journal and heads it with the plan identity; a resumed run replays the
+// journal into a cursor (hash-checking the rebuilt plan) so completed
+// stages and already-integrated members are skipped. Either way every
+// state transition is journaled before the gate it precedes releases, so
+// killing the vendor at any point leaves a journal from which the rollout
+// continues exactly where it stopped.
+type Engine struct {
+	Controller *deploy.Controller
+	// Path is the journal file.
+	Path string
+	// Resume replays an existing journal at Path instead of truncating it.
+	Resume bool
+	// Rebuild, when set, maps an upgrade ID recorded in the journal back
+	// to its artifact — the vendor's release store. It is consulted on
+	// resume when the journal ended on a corrected version (fixes were
+	// released before the crash): the resumed run must continue from that
+	// version, not the original. Without Rebuild, resuming such a journal
+	// requires the caller to pass the matching version directly.
+	Rebuild func(upgradeID string) (*pkgmgr.Upgrade, bool)
+}
+
+// Deploy runs (or resumes) the upgrade across the clusters under policy,
+// journaling every state transition. On success the journal is sealed
+// with a completion record.
+func (e *Engine) Deploy(policy deploy.Policy, up *pkgmgr.Upgrade, clusters []*deploy.Cluster) (*deploy.Outcome, error) {
+	ctl := e.Controller
+	// Mirror the controller's urgent bypass so the journaled plan is the
+	// plan that actually executes. The plan is built here for its hash and
+	// rebuilt inside Controller.Deploy; both calls read the same policy,
+	// clusters and ctl.Seed, so the controller must not be mutated while
+	// Deploy runs or the journaled identity would describe a schedule that
+	// never executed.
+	if up.Urgent {
+		policy = deploy.PolicyNoStaging
+	}
+	refs := deploy.Refs(clusters)
+	plan := ctl.PlanFor(policy, clusters)
+
+	var j *Journal
+	if e.Resume {
+		journal, records, err := Open(e.Path)
+		if err != nil {
+			return nil, err
+		}
+		cursor, err := Resume(records, plan, refs)
+		if err != nil {
+			journal.Close()
+			return nil, err
+		}
+		if cursor.UpgradeID != "" && cursor.UpgradeID != up.ID {
+			ok := false
+			if e.Rebuild != nil {
+				if u, found := e.Rebuild(cursor.UpgradeID); found {
+					up, ok = u, true
+				}
+			}
+			if !ok {
+				journal.Close()
+				return nil, fmt.Errorf("rollout: journal ended on upgrade %s but %s was supplied and no Rebuild hook can produce it", cursor.UpgradeID, up.ID)
+			}
+		}
+		j = journal
+		ctl.Cursor = cursor
+	} else {
+		journal, err := Create(e.Path)
+		if err != nil {
+			return nil, err
+		}
+		if err := journal.Append(PlanRecord(plan, refs, up.ID)); err != nil {
+			journal.Close()
+			return nil, err
+		}
+		j = journal
+	}
+	defer j.Close()
+	ctl.Observer = &Recorder{J: j}
+	defer func() { ctl.Observer, ctl.Cursor = nil, nil }()
+
+	out, err := ctl.Deploy(policy, up, clusters)
+	if err == nil && out != nil && !out.Abandoned {
+		if aerr := j.Append(Record{Type: RecComplete, Stage: -1, UpgradeID: out.FinalID}); aerr != nil {
+			return out, aerr
+		}
+	}
+	return out, err
+}

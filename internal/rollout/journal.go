@@ -1,0 +1,226 @@
+// Package rollout makes a staged deployment a durable, resumable
+// artifact instead of an in-memory function call. It layers a
+// write-ahead deployment journal and a resume path over the staging
+// engine and the live deployment controller:
+//
+//   - The Journal is an append-only file of JSON records — one plan
+//     identity record (policy, seed, upgrade ID, cluster refs, plan hash)
+//     followed by every state transition the controller performs (stage
+//     started, member tested/integrated/quarantined, fix released, gate
+//     passed, abandoned, complete). Appends are crash-safe: each record
+//     is one fsynced line, and Load tolerates a torn final line.
+//   - Recorder bridges deploy.Observer events into journal records. A
+//     record that cannot be persisted halts the plan (write-ahead
+//     discipline), which is exactly what makes the journal trustworthy
+//     on resume.
+//   - Resume replays a journal against a freshly built plan — refusing
+//     to resume if the plan hash no longer matches — and returns the
+//     deploy.Cursor that lets staging.Execute skip completed stages and
+//     already-integrated members.
+//   - Engine wires the three around a deploy.Controller: create-or-resume
+//     the journal, install recorder and cursor, run the deployment, seal
+//     the journal with a completion record.
+package rollout
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+
+	"repro/internal/staging"
+)
+
+// Record types, in the order a healthy journal sees them.
+const (
+	// RecPlan heads every journal: the identity of the plan the journal
+	// describes. Resume refuses a journal whose plan hash does not match
+	// the freshly built plan.
+	RecPlan = "plan"
+	// RecStageStart marks a plan stage beginning execution.
+	RecStageStart = "stage_start"
+	// RecTested records one member validation verdict.
+	RecTested = "tested"
+	// RecIntegrated records one member integrating an upgrade version.
+	RecIntegrated = "integrated"
+	// RecQuarantined records a member left behind as unreachable.
+	RecQuarantined = "quarantined"
+	// RecFix records the vendor releasing a corrected upgrade.
+	RecFix = "fix"
+	// RecGate records a stage's gate releasing the next stage.
+	RecGate = "gate"
+	// RecAbandoned records the vendor giving up on the upgrade.
+	RecAbandoned = "abandoned"
+	// RecComplete seals a journal whose rollout finished.
+	RecComplete = "complete"
+)
+
+// Record is one line of the journal.
+type Record struct {
+	Seq  int    `json:"seq"`
+	Type string `json:"type"`
+
+	// Plan identity (RecPlan).
+	Policy   string               `json:"policy,omitempty"`
+	Seed     uint64               `json:"seed,omitempty"`
+	PlanHash string               `json:"plan_hash,omitempty"`
+	Clusters []staging.ClusterRef `json:"clusters,omitempty"`
+
+	// State transitions. Stage is the plan stage index, -1 for post-plan
+	// work (promoted adaptive waves, final notification).
+	Stage     int    `json:"stage"`
+	Node      string `json:"node,omitempty"`
+	Cluster   string `json:"cluster,omitempty"`
+	UpgradeID string `json:"upgrade,omitempty"`
+	PrevID    string `json:"prev,omitempty"`
+	Success   bool   `json:"success,omitempty"`
+	Round     int    `json:"round,omitempty"`
+	Reason    string `json:"reason,omitempty"`
+}
+
+// Journal is an append-only deployment journal. Every Append is one
+// complete JSON line followed by an fsync, so a crash leaves at worst one
+// torn trailing line — which Load discards.
+type Journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+	seq  int
+}
+
+// Create truncates (or creates) path and returns an empty journal.
+func Create(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("rollout: creating journal: %w", err)
+	}
+	return &Journal{f: f, path: path}, nil
+}
+
+// Open opens an existing journal for appending and returns its intact
+// records. A torn final line (crash mid-append) is truncated away so new
+// records land on a clean boundary; the sequence counter continues after
+// the last intact record.
+func Open(path string) (*Journal, []Record, error) {
+	recs, validLen, err := load(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("rollout: opening journal: %w", err)
+	}
+	if err := f.Truncate(validLen); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("rollout: truncating torn journal tail: %w", err)
+	}
+	if _, err := f.Seek(validLen, 0); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("rollout: seeking journal: %w", err)
+	}
+	j := &Journal{f: f, path: path}
+	if n := len(recs); n > 0 {
+		j.seq = recs[n-1].Seq
+	}
+	return j, recs, nil
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Append assigns the record the next sequence number and persists it:
+// marshal, write one line, fsync. An error means the record is NOT
+// durably recorded and the caller must not act as if it were.
+func (j *Journal) Append(rec Record) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("rollout: journal %s is closed", j.path)
+	}
+	j.seq++
+	rec.Seq = j.seq
+	b, err := json.Marshal(rec)
+	if err != nil {
+		j.seq--
+		return fmt.Errorf("rollout: encoding journal record: %w", err)
+	}
+	if _, err := j.f.Write(append(b, '\n')); err != nil {
+		return fmt.Errorf("rollout: appending to journal: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("rollout: syncing journal: %w", err)
+	}
+	return nil
+}
+
+// Close closes the journal file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}
+
+// Load reads the journal's intact records. A torn final line — the
+// signature of a crash mid-append — is silently discarded; corruption
+// anywhere else, or a broken sequence, is an error (the journal cannot be
+// trusted for resume).
+func Load(path string) ([]Record, error) {
+	recs, _, err := load(path)
+	return recs, err
+}
+
+// load is Load plus the byte length of the intact prefix, which Open uses
+// to truncate a torn tail before appending.
+func load(path string) ([]Record, int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, fmt.Errorf("rollout: reading journal: %w", err)
+	}
+	defer f.Close()
+
+	var recs []Record
+	var validLen, lastLen int64
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			validLen++ // a bare newline; keep offsets honest
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			// Only the final line may be torn; anything earlier is
+			// corruption.
+			if sc.Scan() {
+				return nil, 0, fmt.Errorf("rollout: journal %s: corrupt record at line %d: %v", path, line, err)
+			}
+			return recs, validLen, nil
+		}
+		if want := len(recs) + 1; rec.Seq != want {
+			return nil, 0, fmt.Errorf("rollout: journal %s: record %d has seq %d, want %d", path, line, rec.Seq, want)
+		}
+		recs = append(recs, rec)
+		lastLen = int64(len(raw)) + 1
+		validLen += lastLen
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, fmt.Errorf("rollout: reading journal %s: %w", path, err)
+	}
+	// The trailing newline is part of a record's commit. If the file ends
+	// exactly at the last record's bytes with no newline, the append was
+	// torn mid-write even though the JSON happens to parse — drop it.
+	if st, err := f.Stat(); err == nil && validLen > st.Size() && len(recs) > 0 {
+		recs = recs[:len(recs)-1]
+		validLen -= lastLen
+	}
+	return recs, validLen, nil
+}

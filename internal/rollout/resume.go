@@ -1,0 +1,141 @@
+package rollout
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+
+	"repro/internal/deploy"
+	"repro/internal/staging"
+)
+
+// PlanHash fingerprints a plan's identity: the canonical stage/wave
+// schedule (which covers policy and ordering), the cluster topology it
+// was built from, and the shuffle seed. A journal may only resume a plan
+// with the same hash — anything else (clusters re-formed differently,
+// policy changed, fleet grew) would replay progress against the wrong
+// schedule.
+func PlanHash(plan *staging.Plan, refs []staging.ClusterRef) string {
+	h := fnv.New64a()
+	io.WriteString(h, plan.Describe())
+	for _, r := range refs {
+		fmt.Fprintf(h, "%s/%d;", r.Name, r.Distance)
+	}
+	fmt.Fprintf(h, "seed=%d", plan.Seed)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// PlanRecord builds the identity record that heads every journal.
+func PlanRecord(plan *staging.Plan, refs []staging.ClusterRef, upgradeID string) Record {
+	return Record{
+		Type:      RecPlan,
+		Policy:    plan.Policy.String(),
+		Seed:      plan.Seed,
+		UpgradeID: upgradeID,
+		PlanHash:  PlanHash(plan, refs),
+		Clusters:  append([]staging.ClusterRef(nil), refs...),
+		Stage:     -1,
+	}
+}
+
+// Recorder translates deployment state transitions into journal records;
+// it is the deploy.Observer a journaled controller runs with. An append
+// failure propagates back into the controller, which halts the plan —
+// progress the journal cannot record must not happen.
+type Recorder struct {
+	J *Journal
+}
+
+// OnEvent implements deploy.Observer.
+func (rec *Recorder) OnEvent(ev deploy.Event) error {
+	r := Record{
+		Stage:     ev.Stage,
+		Node:      ev.Node,
+		Cluster:   ev.Cluster,
+		UpgradeID: ev.UpgradeID,
+		PrevID:    ev.PrevID,
+		Success:   ev.Success,
+		Round:     ev.Round,
+		Reason:    ev.Reason,
+	}
+	switch ev.Type {
+	case deploy.EventStageStarted:
+		r.Type = RecStageStart
+	case deploy.EventTested:
+		r.Type = RecTested
+	case deploy.EventIntegrated:
+		r.Type = RecIntegrated
+	case deploy.EventQuarantined:
+		r.Type = RecQuarantined
+	case deploy.EventFixReleased:
+		r.Type = RecFix
+	case deploy.EventGatePassed:
+		r.Type = RecGate
+	case deploy.EventAbandoned:
+		r.Type = RecAbandoned
+	default:
+		return fmt.Errorf("rollout: unknown deploy event type %d", ev.Type)
+	}
+	return rec.J.Append(r)
+}
+
+// Resume replays journal records against a freshly built plan for the
+// same deployment and returns the cursor that lets the controller skip
+// completed work: gated stages release immediately, integrated members
+// are never re-tested or re-integrated, quarantined members stay
+// quarantined, and the debugging round counter and current upgrade ID
+// pick up where the journal ended. It refuses journals whose plan hash
+// does not match the plan (the topology or policy changed), journals
+// that record an abandoned rollout, and sealed journals (the rollout
+// completed — rerunning it is an operator mistake worth naming).
+func Resume(records []Record, plan *staging.Plan, refs []staging.ClusterRef) (*deploy.Cursor, error) {
+	if len(records) == 0 {
+		return nil, fmt.Errorf("rollout: journal is empty; nothing to resume")
+	}
+	head := records[0]
+	if head.Type != RecPlan {
+		return nil, fmt.Errorf("rollout: journal does not start with a plan record (got %q)", head.Type)
+	}
+	if want := PlanHash(plan, refs); head.PlanHash != want {
+		return nil, fmt.Errorf("rollout: journal plan hash %s does not match the rebuilt plan %s (policy %s, %d clusters) — refusing to resume against a different schedule",
+			head.PlanHash, want, plan.Policy, len(refs))
+	}
+	cur := &deploy.Cursor{
+		UpgradeID:    head.UpgradeID,
+		Integrated:   make(map[string]string),
+		Quarantined:  make(map[string]bool),
+		Unclean:      make(map[string]bool),
+		NodeTests:    make(map[string]int),
+		NodeFailures: make(map[string]int),
+	}
+	for _, r := range records[1:] {
+		switch r.Type {
+		case RecGate:
+			// Stages gate strictly in order; count the contiguous prefix.
+			if r.Stage == cur.DoneStages {
+				cur.DoneStages++
+			}
+		case RecTested:
+			cur.NodeTests[r.Node]++
+			if !r.Success {
+				cur.NodeFailures[r.Node]++
+				cur.Overhead++
+				cur.Unclean[r.Cluster] = true
+			}
+		case RecIntegrated:
+			cur.Integrated[r.Node] = r.UpgradeID
+			cur.FinalID = r.UpgradeID
+		case RecQuarantined:
+			cur.Quarantined[r.Node] = true
+			cur.Unclean[r.Cluster] = true
+		case RecFix:
+			cur.Rounds = r.Round
+			cur.UpgradeID = r.UpgradeID
+		case RecAbandoned:
+			return nil, fmt.Errorf("rollout: journal records the vendor abandoning %s after round %d; an abandoned rollout cannot resume", r.UpgradeID, r.Round)
+		case RecComplete:
+			return nil, fmt.Errorf("rollout: journal is sealed — the rollout completed with %s deployed; nothing to resume", r.UpgradeID)
+		}
+	}
+	return cur, nil
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"sort"
+	"time"
 
 	"repro/internal/apps"
 	"repro/internal/distrib"
@@ -64,6 +65,15 @@ func (a *Agent) Run(addr string) error {
 	if err != nil {
 		return fmt.Errorf("transport: dialing vendor: %w", err)
 	}
+	return a.serve(conn)
+}
+
+// serve registers over an established connection and answers vendor
+// commands until the session ends. A broken connection — vendor closed
+// the channel, network dropped mid-frame — ends the session with nil:
+// whether to redial is the caller's policy (RunWithReconnect's loop, or
+// Run's give-up).
+func (a *Agent) serve(conn net.Conn) error {
 	defer conn.Close()
 
 	// Buffer frame writes: one reply is one flushed burst, not a stream
@@ -72,24 +82,105 @@ func (a *Agent) Run(addr string) error {
 	enc := json.NewEncoder(bw)
 	dec := json.NewDecoder(bufio.NewReader(conn))
 	if err := enc.Encode(Frame{Op: OpRegister, Register: &RegisterReq{Machine: a.M.Name}}); err != nil {
-		return fmt.Errorf("transport: registering: %w", err)
+		return nil // connection already dead; session over
 	}
 	if err := bw.Flush(); err != nil {
-		return fmt.Errorf("transport: registering: %w", err)
+		return nil
 	}
 
 	for {
 		var req Frame
 		if err := dec.Decode(&req); err != nil {
-			return nil // vendor closed the channel
+			return nil // vendor closed the channel (or it broke)
 		}
 		resp := a.handle(req)
 		resp.ID = req.ID
 		if err := enc.Encode(resp); err != nil {
-			return fmt.Errorf("transport: replying: %w", err)
+			return nil
 		}
 		if err := bw.Flush(); err != nil {
-			return fmt.Errorf("transport: replying: %w", err)
+			return nil
+		}
+	}
+}
+
+// ReconnectConfig tunes RunWithReconnect. The zero value gives sensible
+// defaults: 5 consecutive failed dials before giving up, 20ms initial
+// backoff doubling to a 1s ceiling.
+type ReconnectConfig struct {
+	// MaxAttempts is how many consecutive dials may fail before the agent
+	// concludes the vendor is gone and returns (default 5). A successful
+	// session resets the count.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first redial (default 20ms);
+	// it doubles per consecutive failure up to MaxDelay (default 1s).
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// Stop, when non-nil, ends the loop as soon as the current session
+	// finishes (or immediately, if waiting to redial).
+	Stop <-chan struct{}
+}
+
+// RunWithReconnect runs the agent like Run, but redials the vendor with
+// exponential backoff whenever the control channel drops — the agent-side
+// half of churn tolerance. The agent's identity (machine name) and its
+// chunk cache live on the Agent value, not the connection, so a
+// re-registered session continues exactly where the dropped one left off:
+// the vendor's retried RPC finds the same machine with its cache warm.
+// It returns nil once MaxAttempts consecutive dials fail (vendor gone —
+// the orderly end of a deployment) or Stop is signalled.
+func (a *Agent) RunWithReconnect(addr string, cfg ReconnectConfig) error {
+	attempts := cfg.MaxAttempts
+	if attempts <= 0 {
+		attempts = 5
+	}
+	base := cfg.BaseDelay
+	if base <= 0 {
+		base = 20 * time.Millisecond
+	}
+	max := cfg.MaxDelay
+	if max <= 0 {
+		max = time.Second
+	}
+	failures := 0
+	for {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			failures++
+			if failures >= attempts {
+				return nil
+			}
+			delay := base << (failures - 1)
+			if delay > max {
+				delay = max
+			}
+			select {
+			case <-time.After(delay):
+			case <-cfg.Stop:
+				return nil
+			}
+			continue
+		}
+		failures = 0
+		start := time.Now()
+		if err := a.serve(conn); err != nil {
+			return err
+		}
+		select {
+		case <-cfg.Stop:
+			return nil
+		default:
+		}
+		// A session that died faster than the base backoff is a sign of
+		// active rejection (administrative drop, a name fight with another
+		// agent) — pace the redial so two such agents cannot hot-loop a
+		// registration storm against the vendor.
+		if time.Since(start) < base {
+			select {
+			case <-time.After(base):
+			case <-cfg.Stop:
+				return nil
+			}
 		}
 	}
 }
@@ -97,6 +188,8 @@ func (a *Agent) Run(addr string) error {
 // handle dispatches one vendor command.
 func (a *Agent) handle(req Frame) Frame {
 	switch req.Op {
+	case OpPing:
+		return Frame{OK: true}
 	case OpIdentify:
 		if req.Identify == nil {
 			return errFrame("identify payload missing")

@@ -28,7 +28,10 @@ func TestRPCToDeadAgentFails(t *testing.T) {
 	}
 }
 
-func TestDeploymentSurfacesAgentDeath(t *testing.T) {
+func TestDeploymentQuarantinesDeadAgent(t *testing.T) {
+	// A dead agent no longer kills the rollout: its member is retried on
+	// the transient budget, then quarantined, and the wave converges
+	// without it.
 	m := userMachine("victim", false)
 	s, _ := startFleet(t, m)
 	s.mu.Lock()
@@ -38,16 +41,20 @@ func TestDeploymentSurfacesAgentDeath(t *testing.T) {
 
 	urr := report.New()
 	ctl := deploy.NewController(urr, nil)
+	ctl.RetryBackoff = time.Millisecond
 	clusters := []*deploy.Cluster{{
 		ID: "c0", Distance: 0,
 		Representatives: []deploy.Node{s.Node("victim")},
 	}}
-	_, err := ctl.Deploy(deploy.PolicyBalanced, mysql5Wire(), clusters)
-	if err == nil {
-		t.Fatal("deployment ignored a dead node")
+	out, err := ctl.Deploy(deploy.PolicyBalanced, mysql5Wire(), clusters)
+	if err != nil {
+		t.Fatalf("dead node killed the rollout: %v", err)
 	}
-	if !strings.Contains(err.Error(), "victim") {
-		t.Fatalf("error does not identify the node: %v", err)
+	if len(out.Quarantined) != 1 || out.Quarantined[0] != "victim" {
+		t.Fatalf("quarantined = %v, want [victim]", out.Quarantined)
+	}
+	if !out.Nodes["victim"].Quarantined || out.Integrated() != 0 {
+		t.Fatalf("victim status = %+v, integrated = %d", out.Nodes["victim"], out.Integrated())
 	}
 }
 

@@ -25,6 +25,19 @@ import (
 // replays traces, so it is generous.
 const DefaultRPCTimeout = 30 * time.Second
 
+// ErrAgentGone marks an RPC that failed because the agent's control
+// channel is unavailable — never registered, disconnected, or broken
+// mid-call. It wraps deploy.ErrTransient: at fleet scale agents disconnect
+// constantly and usually redial, so the deployment controller retries
+// these per member instead of killing the rollout.
+var ErrAgentGone = fmt.Errorf("agent unreachable: %w", deploy.ErrTransient)
+
+// ErrAgentReplaced marks an RPC cut short because a new connection
+// registered under the same machine name (the agent redialed; the old
+// channel was closed deliberately). Also transient: retrying resolves the
+// name to the fresh channel.
+var ErrAgentReplaced = fmt.Errorf("agent connection replaced: %w", deploy.ErrTransient)
+
 // Stats is a snapshot of the vendor-side transfer counters, kept per
 // connection and aggregated per server. It is what makes the distribution
 // layer's savings measurable instead of anecdotal.
@@ -69,6 +82,7 @@ func (cw *countingWriter) Write(p []byte) (int, error) {
 type agentConn struct {
 	name string
 	conn net.Conn
+	srv  *Server
 	// bw buffers frame writes so one frame is one buffered write burst
 	// with an explicit flush, not a stream of tiny unbuffered socket
 	// writes from the JSON encoder.
@@ -79,34 +93,57 @@ type agentConn struct {
 	stats *statsCounters // this connection's counters
 	total *statsCounters // the server-wide counters
 
+	// replaced is set (before the socket is closed) when a new
+	// registration under the same name supersedes this channel, so an
+	// in-flight call surfaces ErrAgentReplaced instead of the raw JSON
+	// decode error the closed socket would produce.
+	replaced atomic.Bool
+
 	mu     sync.Mutex // serializes RPCs on the channel
 	nextID int
+}
+
+// fail classifies an I/O failure on the channel: the channel is dead
+// either way (a timed-out call would desynchronize reply IDs), so it is
+// closed and dropped from the registry, and the caller gets a typed
+// transient error — ErrAgentReplaced if a newer registration superseded
+// this channel, ErrAgentGone otherwise.
+func (ac *agentConn) fail(op string, err error) error {
+	ac.conn.Close()
+	ac.srv.drop(ac)
+	if ac.replaced.Load() {
+		return fmt.Errorf("transport: %s to %s: %w", op, ac.name, ErrAgentReplaced)
+	}
+	return fmt.Errorf("transport: %s to %s: %w: %v", op, ac.name, ErrAgentGone, err)
 }
 
 // call performs one synchronous RPC on the agent channel.
 func (ac *agentConn) call(req Frame, timeout time.Duration) (Frame, error) {
 	ac.mu.Lock()
 	defer ac.mu.Unlock()
+	if ac.replaced.Load() {
+		return Frame{}, fmt.Errorf("transport: %s to %s: %w", req.Op, ac.name, ErrAgentReplaced)
+	}
 	ac.nextID++
 	req.ID = ac.nextID
 	deadline := time.Now().Add(timeout)
 	if err := ac.conn.SetDeadline(deadline); err != nil {
-		return Frame{}, err
+		return Frame{}, ac.fail(req.Op, err)
 	}
 	if err := ac.enc.Encode(req); err != nil {
-		return Frame{}, fmt.Errorf("transport: sending %s to %s: %w", req.Op, ac.name, err)
+		return Frame{}, ac.fail("sending "+req.Op, err)
 	}
 	if err := ac.bw.Flush(); err != nil {
-		return Frame{}, fmt.Errorf("transport: sending %s to %s: %w", req.Op, ac.name, err)
+		return Frame{}, ac.fail("sending "+req.Op, err)
 	}
 	ac.stats.frames.Add(1)
 	ac.total.frames.Add(1)
 	var resp Frame
 	if err := ac.dec.Decode(&resp); err != nil {
-		return Frame{}, fmt.Errorf("transport: reading %s reply from %s: %w", req.Op, ac.name, err)
+		return Frame{}, ac.fail("reading "+req.Op+" reply", err)
 	}
 	if resp.ID != req.ID {
-		return Frame{}, fmt.Errorf("transport: reply id %d for request %d from %s", resp.ID, req.ID, ac.name)
+		return Frame{}, ac.fail(req.Op, fmt.Errorf("reply id %d for request %d", resp.ID, req.ID))
 	}
 	if resp.Err != "" {
 		return Frame{}, errors.New("transport: agent " + ac.name + ": " + resp.Err)
@@ -129,8 +166,11 @@ func (ac *agentConn) addChunkAccounting(hits, misses int64) {
 type Server struct {
 	ln net.Listener
 
-	mu      sync.Mutex
-	agents  map[string]*agentConn
+	mu     sync.Mutex
+	agents map[string]*agentConn
+	// reg is closed and replaced whenever the registry changes, waking
+	// WaitForAgents/WaitForAgent waiters (no polling).
+	reg     chan struct{}
 	Timeout time.Duration
 
 	// ProfileParallelism bounds how many agents are fingerprinted
@@ -168,6 +208,7 @@ func Listen(addr string) (*Server, error) {
 	s := &Server{
 		ln:      ln,
 		agents:  make(map[string]*agentConn),
+		reg:     make(chan struct{}),
 		Timeout: DefaultRPCTimeout,
 		dist:    distrib.NewStore(),
 	}
@@ -249,16 +290,58 @@ func (s *Server) register(conn net.Conn) {
 	st := &statsCounters{}
 	bw := bufio.NewWriter(&countingWriter{w: conn, conn: st, total: &s.stats})
 	ac := &agentConn{
-		name: hello.Register.Machine, conn: conn,
+		name: hello.Register.Machine, conn: conn, srv: s,
 		bw: bw, enc: json.NewEncoder(bw), dec: dec,
 		stats: st, total: &s.stats,
 	}
 	s.mu.Lock()
 	if old, dup := s.agents[ac.name]; dup {
+		// Mark the superseded channel replaced BEFORE closing its socket,
+		// so a racing in-flight call classifies as ErrAgentReplaced rather
+		// than failing with a raw JSON decode error.
+		old.replaced.Store(true)
 		old.conn.Close()
 	}
 	s.agents[ac.name] = ac
+	s.signalLocked()
 	s.mu.Unlock()
+}
+
+// signalLocked wakes registry waiters; callers hold s.mu.
+func (s *Server) signalLocked() {
+	close(s.reg)
+	s.reg = make(chan struct{})
+}
+
+// drop removes ac from the registry if it is still the current channel
+// for its name (a replacement must not be evicted by its predecessor's
+// death throes).
+func (s *Server) drop(ac *agentConn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.agents[ac.name] == ac {
+		delete(s.agents, ac.name)
+		s.signalLocked()
+	}
+}
+
+// DropAgent forcibly closes the named agent's control channel and removes
+// it from the registry — the vendor-side handle for administrative
+// disconnection and for fault injection in churn tests. A reconnecting
+// agent will simply redial and re-register under the same identity.
+func (s *Server) DropAgent(name string) bool {
+	s.mu.Lock()
+	ac := s.agents[name]
+	if ac != nil {
+		delete(s.agents, name)
+		s.signalLocked()
+	}
+	s.mu.Unlock()
+	if ac == nil {
+		return false
+	}
+	ac.conn.Close()
+	return true
 }
 
 // Agents returns the names of registered agents, sorted.
@@ -274,14 +357,52 @@ func (s *Server) Agents() []string {
 }
 
 // WaitForAgents blocks until n agents are registered or the timeout
-// elapses; it returns the registered count.
+// elapses; it returns the registered count. Waiters sleep on a
+// registration signal channel — no polling.
 func (s *Server) WaitForAgents(n int, timeout time.Duration) int {
-	deadline := time.Now().Add(timeout)
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
 	for {
-		if got := len(s.Agents()); got >= n || time.Now().After(deadline) {
+		s.mu.Lock()
+		got := len(s.agents)
+		ch := s.reg
+		s.mu.Unlock()
+		if got >= n {
 			return got
 		}
-		time.Sleep(5 * time.Millisecond)
+		select {
+		case <-ch:
+		case <-timer.C:
+			s.mu.Lock()
+			got = len(s.agents)
+			s.mu.Unlock()
+			return got
+		}
+	}
+}
+
+// WaitForAgent blocks until the named agent is registered or the timeout
+// elapses — the natural companion to reconnecting agents ("wait for the
+// machine to come back before proceeding").
+func (s *Server) WaitForAgent(name string, timeout time.Duration) bool {
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	for {
+		s.mu.Lock()
+		_, ok := s.agents[name]
+		ch := s.reg
+		s.mu.Unlock()
+		if ok {
+			return true
+		}
+		select {
+		case <-ch:
+		case <-timer.C:
+			s.mu.Lock()
+			_, ok = s.agents[name]
+			s.mu.Unlock()
+			return ok
+		}
 	}
 }
 
@@ -290,9 +411,22 @@ func (s *Server) agent(name string) (*agentConn, error) {
 	defer s.mu.Unlock()
 	ac, ok := s.agents[name]
 	if !ok {
-		return nil, fmt.Errorf("transport: no agent registered as %q", name)
+		return nil, fmt.Errorf("transport: no agent registered as %q: %w", name, ErrAgentGone)
 	}
 	return ac, nil
+}
+
+// Ping performs a lightweight liveness probe on the named agent's control
+// channel: one tiny frame, no payload. It is how the vendor distinguishes
+// "machine reachable" from "machine failing work" without spending a
+// validation run.
+func (s *Server) Ping(name string) error {
+	ac, err := s.agent(name)
+	if err != nil {
+		return err
+	}
+	_, err = ac.call(Frame{Op: OpPing}, s.Timeout)
+	return err
 }
 
 // Identify asks the named agent to run local resource identification.

@@ -69,6 +69,10 @@ const (
 	OpFingerprint = "fingerprint"
 	OpTest        = "test_upgrade"
 	OpIntegrate   = "integrate"
+	// OpPing is a lightweight liveness probe: no payload either way, the
+	// agent just acknowledges. The vendor uses it to tell reachable
+	// machines from dead ones without spending a validation run.
+	OpPing = "ping"
 	// OpFetchChunks delivers the chunk bytes an agent reported missing
 	// from a manifest. Like every other RPC it is vendor-initiated (the
 	// agent sits behind its persistent control channel), so "fetch" is
