@@ -7,6 +7,7 @@ package repro
 // `go test -bench=. -benchmem` doubles as a reproduction run.
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -19,6 +20,7 @@ import (
 	"repro/internal/deploy"
 	"repro/internal/fingerprint"
 	"repro/internal/machine"
+	"repro/internal/orchestrator"
 	"repro/internal/parser"
 	"repro/internal/pkgmgr"
 	"repro/internal/report"
@@ -378,7 +380,7 @@ type spinNode struct {
 
 func (n *spinNode) Name() string { return n.name }
 
-func (n *spinNode) TestUpgrade(up *pkgmgr.Upgrade) (*report.Report, error) {
+func (n *spinNode) TestUpgrade(_ context.Context, up *pkgmgr.Upgrade) (*report.Report, error) {
 	h := uint64(14695981039346656037)
 	for i := 0; i < n.work; i++ {
 		h = (h ^ uint64(i)) * 1099511628211
@@ -387,7 +389,7 @@ func (n *spinNode) TestUpgrade(up *pkgmgr.Upgrade) (*report.Report, error) {
 	return &report.Report{UpgradeID: up.ID, Machine: n.name, Success: true}, nil
 }
 
-func (n *spinNode) Integrate(*pkgmgr.Upgrade) error { return nil }
+func (n *spinNode) Integrate(context.Context, *pkgmgr.Upgrade) error { return nil }
 
 // BenchmarkDeployWave compares serial and pooled per-wave node testing in
 // the live controller — the speedup future PRs must not regress. One
@@ -415,7 +417,7 @@ func BenchmarkDeployWave(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				ctl := deploy.NewController(report.New(), nil)
 				ctl.Parallelism = par
-				out, err := ctl.Deploy(deploy.PolicyNoStaging, up, mkFleet())
+				out, err := ctl.Deploy(context.Background(), deploy.PolicyNoStaging, up, mkFleet())
 				if err != nil || out.Integrated() != 64 {
 					b.Fatalf("integrated=%d err=%v", out.Integrated(), err)
 				}
@@ -516,7 +518,7 @@ func runDistributionDeployment(b *testing.B, inline bool) deploy.TransferStats {
 
 	ctl := deploy.NewController(report.New(), nil)
 	ctl.Transfer = s.TransferSnapshot
-	out, err := ctl.Deploy(deploy.PolicyBalanced, distribUpgrade(), clusters)
+	out, err := ctl.Deploy(context.Background(), deploy.PolicyBalanced, distribUpgrade(), clusters)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -700,7 +702,7 @@ func runChurnRollout(b *testing.B, journalPath string) *deploy.Outcome {
 	}()
 
 	eng := &rollout.Engine{Controller: ctl, Path: journalPath}
-	out, err := eng.Deploy(deploy.PolicyBalanced, churnUpgrade(), clusters)
+	out, err := eng.Deploy(context.Background(), deploy.PolicyBalanced, churnUpgrade(), clusters)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -763,4 +765,158 @@ func BenchmarkSimulatorEvents(b *testing.B) {
 		events += res.Events
 	}
 	b.ReportMetric(float64(events)/float64(b.N), "events/run")
+}
+
+// --- Control plane (concurrent rollout orchestration) ---
+
+const (
+	orchMachines = 40 // one shared fleet of agents over loopback TCP
+	orchRollouts = 4  // concurrent journaled rollouts over that fleet
+	orchClusters = 4  // clusters per rollout
+)
+
+// BenchmarkOrchestratorConcurrent measures the control plane's headline:
+// four journaled rollouts running concurrently over one shared 40-agent
+// fleet — each with its own journal, event stream and status view — all
+// converging. Upgrade IDs differ per rollout, so the journals must never
+// cross-contaminate; the assertion fails the benchmark (and CI) if any
+// rollout falls short of full integration. Set MIRAGE_BENCH_ORCH_JSON to
+// a path to emit the machine-readable summary (the CI perf artifact).
+func BenchmarkOrchestratorConcurrent(b *testing.B) {
+	dir := b.TempDir()
+	var last []orchestrator.Status
+	var lastOut []*deploy.Outcome
+	for i := 0; i < b.N; i++ {
+		last, lastOut = runConcurrentRollouts(b, filepath.Join(dir, fmt.Sprintf("iter-%d", i)))
+	}
+	integrated := 0
+	for _, out := range lastOut {
+		integrated += out.Integrated()
+	}
+	b.ReportMetric(float64(orchRollouts), "rollouts/op")
+	b.ReportMetric(float64(integrated), "integrated/op")
+	if path := os.Getenv("MIRAGE_BENCH_ORCH_JSON"); path != "" {
+		states := make(map[string]string, len(last))
+		events := 0
+		for _, st := range last {
+			states[st.ID] = string(st.State)
+			events += st.Events
+		}
+		blob, err := json.MarshalIndent(map[string]interface{}{
+			"benchmark":  "BenchmarkOrchestratorConcurrent",
+			"machines":   orchMachines,
+			"rollouts":   orchRollouts,
+			"clusters":   orchClusters,
+			"integrated": integrated,
+			"events":     events,
+			"states":     states,
+			"ns_per_op":  float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+		}, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// runConcurrentRollouts spins one vendor server plus a 40-agent fleet and
+// drives 4 concurrent journaled rollouts over the same agents through one
+// orchestrator. Agents serialize work on their control channel, so the
+// rollouts contend exactly like concurrent operators would.
+func runConcurrentRollouts(b *testing.B, dir string) ([]orchestrator.Status, []*deploy.Outcome) {
+	b.Helper()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		b.Fatal(err)
+	}
+	s, err := transport.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+
+	names := make([]string, orchMachines)
+	for i := range names {
+		names[i] = fmt.Sprintf("orch-%02d", i)
+		m := machine.New(names[i])
+		m.SetEnv("HOME", "/home/user")
+		m.WriteFile(&machine.File{Path: apps.MySQLExec, Type: machine.TypeExecutable,
+			Data: []byte("mysqld 4.1.22"), Version: "4.1.22"})
+		m.InstallPackage(machine.PackageRef{Name: "mysql", Version: "4.1.22"}, []string{apps.MySQLExec})
+		go transport.NewAgent(m).Run(s.Addr())
+	}
+	if got := s.WaitForAgents(orchMachines, 10*time.Second); got != orchMachines {
+		b.Fatalf("only %d/%d agents registered", got, orchMachines)
+	}
+
+	perCluster := orchMachines / orchClusters
+	mkClusters := func() []*deploy.Cluster {
+		var clusters []*deploy.Cluster
+		for c := 0; c < orchClusters; c++ {
+			cl := &deploy.Cluster{ID: deploy.ClusterName(c), Distance: c + 1}
+			for n, name := range names[c*perCluster : (c+1)*perCluster] {
+				if n == 0 {
+					cl.Representatives = append(cl.Representatives, s.Node(name))
+				} else {
+					cl.Others = append(cl.Others, s.Node(name))
+				}
+			}
+			clusters = append(clusters, cl)
+		}
+		return clusters
+	}
+
+	orch := orchestrator.New(dir)
+	handles := make([]*orchestrator.Handle, orchRollouts)
+	for r := 0; r < orchRollouts; r++ {
+		up := &pkgmgr.Upgrade{
+			ID: fmt.Sprintf("mysql-orch-5.0.%d", r),
+			Pkg: &pkgmgr.Package{Name: "mysql", Version: "5.0.22", Files: []*machine.File{
+				{Path: apps.MySQLExec, Type: machine.TypeExecutable, Data: []byte("mysqld 5.0.22"), Version: "5.0.22"},
+			}},
+			Replaces: "4.1.22",
+		}
+		h, err := orch.Start(context.Background(), orchestrator.Spec{
+			Policy:   deploy.PolicyBalanced,
+			Upgrade:  up,
+			Clusters: mkClusters(),
+			Configure: func(ctl *deploy.Controller) {
+				ctl.Transfer = s.TransferSnapshot
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		handles[r] = h
+	}
+
+	outs := make([]*deploy.Outcome, orchRollouts)
+	sts := make([]orchestrator.Status, orchRollouts)
+	for r, h := range handles {
+		out, err := h.Wait(context.Background())
+		if err != nil {
+			b.Fatalf("rollout %s: %v", h.ID(), err)
+		}
+		if out.Integrated() != orchMachines {
+			b.Fatalf("rollout %s integrated %d/%d", h.ID(), out.Integrated(), orchMachines)
+		}
+		outs[r] = out
+		sts[r] = h.Status()
+		if sts[r].State != orchestrator.StateSucceeded {
+			b.Fatalf("rollout %s state %s", h.ID(), sts[r].State)
+		}
+		// Journal hygiene: each rollout's journal names only its upgrade.
+		recs, err := rollout.Load(sts[r].Journal)
+		if err != nil {
+			b.Fatal(err)
+		}
+		want := fmt.Sprintf("mysql-orch-5.0.%d", r)
+		for _, rec := range recs {
+			if rec.UpgradeID != "" && rec.UpgradeID != want {
+				b.Fatalf("rollout %s journal holds foreign record %+v", h.ID(), rec)
+			}
+		}
+	}
+	return sts, outs
 }

@@ -1,0 +1,194 @@
+// mirage-ctl is the operator's handle on a running mirage-vendor control
+// plane: it starts, lists, watches, pauses, resumes, aborts and waits for
+// rollouts over the HTTP admin API.
+//
+//	mirage-ctl [-server http://127.0.0.1:7080] <command> [args]
+//
+//	start [-policy NAME] [-resume] [-journal FILE]   start a rollout
+//	list                                             all rollouts
+//	status <id>                                      one rollout's snapshot
+//	events <id> [-follow]                            event log (long-poll)
+//	pause <id>                                       hold at next stage barrier
+//	resume <id>                                      release the barrier
+//	abort <id>                                       cancel (journals abandoned)
+//	wait <id>                                        block until terminal
+//
+// Exit codes mirror mirage-vendor: 0 success, 1 transport/usage trouble,
+// 3 the awaited rollout ended in any state but succeeded.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/orchestrator"
+)
+
+func main() {
+	server := flag.String("server", "http://127.0.0.1:7080", "control plane base URL")
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	c := &orchestrator.Client{Base: *server}
+	ctx := context.Background()
+
+	cmd, rest := args[0], args[1:]
+	var err error
+	switch cmd {
+	case "start":
+		err = start(ctx, c, rest)
+	case "list":
+		err = list(ctx, c)
+	case "status":
+		err = withID(rest, func(id string) error {
+			st, e := c.Get(ctx, id)
+			if e != nil {
+				return e
+			}
+			printStatus(st)
+			return nil
+		})
+	case "events":
+		err = events(ctx, c, rest)
+	case "pause":
+		err = verb(ctx, c.Pause, rest)
+	case "resume":
+		err = verb(ctx, c.Resume, rest)
+	case "abort":
+		err = verb(ctx, c.Abort, rest)
+	case "wait":
+		err = withID(rest, func(id string) error {
+			st, e := c.Wait(ctx, id, 30*time.Second)
+			if e != nil {
+				return e
+			}
+			printStatus(st)
+			if st.State != orchestrator.StateSucceeded {
+				os.Exit(3)
+			}
+			return nil
+		})
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: mirage-ctl [-server URL] start|list|status|events|pause|resume|abort|wait [args]\n")
+}
+
+func withID(args []string, f func(string) error) error {
+	if len(args) != 1 {
+		return fmt.Errorf("expected exactly one rollout id, got %v", args)
+	}
+	return f(args[0])
+}
+
+func verb(ctx context.Context, do func(context.Context, string) (orchestrator.Status, error), args []string) error {
+	return withID(args, func(id string) error {
+		st, err := do(ctx, id)
+		if err != nil {
+			return err
+		}
+		printStatus(st)
+		return nil
+	})
+}
+
+func start(ctx context.Context, c *orchestrator.Client, args []string) error {
+	fs := flag.NewFlagSet("start", flag.ContinueOnError)
+	policy := fs.String("policy", "", "deployment policy (server default if empty)")
+	resume := fs.Bool("resume", false, "resume the journal instead of starting fresh")
+	journal := fs.String("journal", "", "journal file override")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	st, err := c.Start(ctx, orchestrator.StartRequest{Policy: *policy, Resume: *resume, Journal: *journal})
+	if err != nil {
+		return err
+	}
+	printStatus(st)
+	return nil
+}
+
+func list(ctx context.Context, c *orchestrator.Client) error {
+	sts, err := c.List(ctx)
+	if err != nil {
+		return err
+	}
+	if len(sts) == 0 {
+		fmt.Println("no rollouts")
+		return nil
+	}
+	for _, st := range sts {
+		fmt.Printf("%-6s %-10s policy=%-13s stage=%d/%d integrated=%d/%d rounds=%d upgrade=%s\n",
+			st.ID, st.State, st.Policy, st.Stage+1, st.Stages, st.Integrated, len(st.Members), st.Rounds, st.UpgradeID)
+	}
+	return nil
+}
+
+func events(ctx context.Context, c *orchestrator.Client, args []string) error {
+	fs := flag.NewFlagSet("events", flag.ContinueOnError)
+	follow := fs.Bool("follow", false, "keep long-polling until the rollout is terminal")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	return withID(fs.Args(), func(id string) error {
+		since := 0
+		for {
+			page, err := c.Events(ctx, id, since, 30*time.Second)
+			if err != nil {
+				return err
+			}
+			for _, ev := range page.Events {
+				line := fmt.Sprintf("%4d %-12s stage=%d", ev.Seq, ev.Type, ev.Stage)
+				if ev.Node != "" {
+					line += " node=" + ev.Node
+				}
+				if ev.UpgradeID != "" {
+					line += " upgrade=" + ev.UpgradeID
+				}
+				if ev.Type == "tested" {
+					line += fmt.Sprintf(" success=%v", ev.Success)
+				}
+				if ev.Reason != "" {
+					line += " reason=" + ev.Reason
+				}
+				fmt.Println(line)
+			}
+			since = page.Next
+			if page.Done || !*follow {
+				return nil
+			}
+		}
+	})
+}
+
+func printStatus(st orchestrator.Status) {
+	fmt.Printf("rollout %s: %s\n", st.ID, st.State)
+	fmt.Printf("  policy=%s stage=%d/%d gates=%d rounds=%d upgrade=%s", st.Policy, st.Stage+1, st.Stages, st.GatesPassed, st.Rounds, st.UpgradeID)
+	if st.FinalID != "" {
+		fmt.Printf(" final=%s", st.FinalID)
+	}
+	fmt.Println()
+	fmt.Printf("  tested=%d failures=%d integrated=%d/%d quarantined=%d events=%d\n",
+		st.Tested, st.Failures, st.Integrated, len(st.Members), st.Quarantined, st.Events)
+	if st.Journal != "" {
+		fmt.Printf("  journal=%s\n", st.Journal)
+	}
+	if st.Error != "" {
+		fmt.Printf("  error=%s\n", st.Error)
+	}
+}

@@ -1,22 +1,44 @@
 // mirage-vendor runs the vendor side of a networked Mirage deployment: it
 // listens for machine agents, drives local resource identification and
 // baseline tracing on each, fingerprints and clusters the fleet, and then
-// stages the MySQL 4->5 upgrade across the clusters, debugging reported
-// failures by releasing a corrected upgrade.
+// deploys the MySQL 4->5 upgrade across the clusters through the rollout
+// orchestrator, debugging reported failures by releasing a corrected
+// upgrade.
+//
+// Two modes share all of that machinery:
+//
+//   - One-shot (default): start a single rollout, wait for it, print the
+//     outcome, exit. The rollout is a first-class orchestrator rollout —
+//     its ID is printed so an operator can drive it with mirage-ctl while
+//     it runs (pause, abort, watch events) via -admin.
+//   - Serve (-serve): expose the HTTP control plane and wait. Rollouts
+//     are started, observed, paused, resumed and aborted through
+//     mirage-ctl (or plain HTTP); each gets its own journal under
+//     -journal-dir. The process runs until interrupted.
+//
+// Exit codes: 0 — deployment succeeded; 1 — infrastructure error (listen
+// failure, agent loss, journal I/O); 2 — usage; 3 — the rollout itself
+// failed (the vendor abandoned the upgrade, the gate never converged, or
+// the rollout was aborted). The distinction is what lets a wrapping
+// script tell "the upgrade is bad" from "the tooling broke".
 //
 // Pair with mirage-agent:
 //
-//	mirage-vendor -listen 127.0.0.1:7033 -agents 4 &
+//	mirage-vendor -listen 127.0.0.1:7033 -agents 4 -serve &
 //	mirage-agent -connect 127.0.0.1:7033 -machine ubt-ms4 &
-//	mirage-agent -connect 127.0.0.1:7033 -machine ubt-ms4-php4 &
 //	...
+//	mirage-ctl -server http://127.0.0.1:7080 start -policy balanced
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -24,18 +46,24 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/deploy"
 	"repro/internal/machine"
+	"repro/internal/orchestrator"
 	"repro/internal/parser"
 	"repro/internal/pkgmgr"
 	"repro/internal/profile"
 	"repro/internal/report"
-	"repro/internal/rollout"
 	"repro/internal/scenario"
 	"repro/internal/staging"
 	"repro/internal/transport"
 )
 
+const (
+	exitInfra   = 1
+	exitUsage   = 2
+	exitRollout = 3
+)
+
 func main() {
-	listen := flag.String("listen", "127.0.0.1:7033", "address to listen on")
+	listen := flag.String("listen", "127.0.0.1:7033", "address to listen on for agents")
 	agents := flag.Int("agents", 1, "number of agents to wait for")
 	wait := flag.Duration("wait", 30*time.Second, "how long to wait for agents")
 	policy := flag.String("policy", "balanced", "deployment policy: balanced, frontloading, nostaging, random or adaptive")
@@ -45,12 +73,15 @@ func main() {
 	inline := flag.Bool("inline", false, "legacy distribution: ship the full upgrade payload inline in every test/integrate frame instead of content-addressed chunk manifests")
 	showPlan := flag.Bool("plan", false, "print the staged wave schedule before deploying")
 	urrFile := flag.String("urr", "", "save the report repository to this file after deployment")
-	journal := flag.String("journal", "", "write-ahead deployment journal file: every rollout state transition is persisted, making the deployment durable and resumable")
+	journal := flag.String("journal", "", "write-ahead deployment journal file for the one-shot rollout: every state transition is persisted, making the deployment durable and resumable")
 	resume := flag.Bool("resume", false, "resume the rollout recorded in -journal (skip stages and members it records as done) instead of starting fresh")
+	serve := flag.Bool("serve", false, "control-plane mode: expose the HTTP admin API on -admin and start rollouts on demand (mirage-ctl) instead of running one and exiting")
+	admin := flag.String("admin", "127.0.0.1:7080", "address for the HTTP control plane (one-shot mode serves it too, so a running rollout can be paused or aborted)")
+	journalDir := flag.String("journal-dir", "", "directory for per-rollout journals in -serve mode (empty = unjournaled rollouts unless the start request names a journal)")
 	flag.Parse()
 	if *resume && *journal == "" {
 		fmt.Fprintln(os.Stderr, "-resume requires -journal")
-		os.Exit(2)
+		os.Exit(exitUsage)
 	}
 	pol := parsePolicy(*policy) // validate before waiting on agents
 
@@ -67,20 +98,23 @@ func main() {
 	names := srv.Agents()
 	log.Printf("agents: %v", names)
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	// Ask every agent to identify resources and record baselines.
 	for _, name := range names {
-		if _, err := srv.Identify(name, "mysql", [][]string{{"SELECT 1"}, {"SELECT 2"}}); err != nil {
+		if _, err := srv.Identify(ctx, name, "mysql", [][]string{{"SELECT 1"}, {"SELECT 2"}}); err != nil {
 			log.Fatalf("identify mysql on %s: %v", name, err)
 		}
-		if _, err := srv.Record(name, "mysql", []string{"SELECT 1"}); err != nil {
+		if _, err := srv.Record(ctx, name, "mysql", []string{"SELECT 1"}); err != nil {
 			log.Fatalf("record mysql on %s: %v", name, err)
 		}
 		// PHP identification fails harmlessly where PHP is absent; the
 		// model just produces an empty-ish trace.
-		if _, err := srv.Identify(name, "php", [][]string{nil}); err != nil {
+		if _, err := srv.Identify(ctx, name, "php", [][]string{nil}); err != nil {
 			log.Fatalf("identify php on %s: %v", name, err)
 		}
-		if _, err := srv.Record(name, "php", nil); err != nil {
+		if _, err := srv.Record(ctx, name, "php", nil); err != nil {
 			log.Fatalf("record php on %s: %v", name, err)
 		}
 	}
@@ -96,7 +130,7 @@ func main() {
 	refs := scenario.MySQLResourceRefs()
 	vendorItems := parser.NewFingerprinter(reg).Fingerprint(scenario.MySQLVendorReference(), refs)
 	srv.ProfileParallelism = *profilePar
-	rc, err := srv.ClusterRemote("mysql", refs, refCfg, vendorItems, cluster.Config{Diameter: *diameter}, 1)
+	rc, err := srv.ClusterRemote(ctx, "mysql", refs, refCfg, vendorItems, cluster.Config{Diameter: *diameter}, 1)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -107,31 +141,99 @@ func main() {
 		log.Printf("  %s", c)
 	}
 
-	// Stage the upgrade.
+	// The orchestrator owns every rollout this vendor runs, one-shot or
+	// served; the admin API is mounted either way so mirage-ctl can
+	// observe and control whatever is running.
 	urr := report.New()
-	ctl := deploy.NewController(urr, fixer(urr))
-	ctl.Parallelism = *parallel
-	ctl.Transfer = srv.TransferSnapshot
-	if *showPlan {
-		fmt.Print(ctl.PlanFor(pol, dcs).Describe())
-	}
-	var out *deploy.Outcome
-	if *journal != "" {
-		eng := &rollout.Engine{
-			Controller: ctl,
-			Path:       *journal,
-			Resume:     *resume,
-			Rebuild:    rebuildRelease,
+	orch := orchestrator.New(*journalDir)
+	launch := func(req orchestrator.StartRequest) (orchestrator.Spec, error) {
+		p := pol
+		if req.Policy != "" {
+			parsed, ok := staging.ParsePolicy(req.Policy)
+			if !ok {
+				return orchestrator.Spec{}, fmt.Errorf("unknown policy %q", req.Policy)
+			}
+			p = parsed
 		}
-		out, err = eng.Deploy(pol, mysql5(), dcs)
-	} else {
-		out, err = ctl.Deploy(pol, mysql5(), dcs)
+		return orchestrator.Spec{
+			Policy:    p,
+			Upgrade:   mysql5(),
+			Clusters:  dcs,
+			Fix:       fixer(urr),
+			URR:       urr,
+			Journal:   req.Journal,
+			Resume:    req.Resume,
+			Rebuild:   rebuildRelease,
+			Configure: configure(*parallel, srv),
+		}, nil
 	}
+	api := &orchestrator.API{Orch: orch, Launch: launch, Base: ctx}
+	httpSrv := &http.Server{Addr: *admin, Handler: api.Handler()}
+	go func() {
+		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("control plane: %v", err)
+		}
+	}()
+	defer httpSrv.Close()
+	log.Printf("control plane on http://%s (mirage-ctl -server http://%s)", *admin, *admin)
+
+	if *serve {
+		// Control-plane mode: rollouts arrive over HTTP; run until
+		// interrupted, then drain.
+		<-ctx.Done()
+		for _, h := range orch.List() {
+			if st := h.Status(); !st.State.Terminal() {
+				log.Printf("interrupt: aborting rollout %s", h.ID())
+				h.Abort()
+			}
+		}
+		code := 0
+		for _, st := range orch.Statuses() {
+			log.Printf("rollout %s: state=%s integrated=%d/%d", st.ID, st.State, st.Integrated, len(st.Members))
+			if st.State != orchestrator.StateSucceeded {
+				code = exitRollout
+			}
+		}
+		if *urrFile != "" {
+			saveURR(urr, *urrFile)
+		}
+		os.Exit(code)
+	}
+
+	// One-shot mode: start a single rollout on the orchestrator and wait.
+	spec, err := launch(orchestrator.StartRequest{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("policy=%v integrated=%d/%d overhead=%d rounds=%d abandoned=%v quarantined=%d final=%s\n",
-		out.Policy, out.Integrated(), len(out.Nodes), out.Overhead, out.Rounds, out.Abandoned, len(out.Quarantined), out.FinalID)
+	spec.Journal, spec.Resume = *journal, *resume
+	if *showPlan {
+		ctl := deploy.NewController(urr, nil)
+		fmt.Print(ctl.PlanFor(pol, dcs).Describe())
+	}
+	h, err := orch.Start(ctx, spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The rollout ID is the operator's handle: mirage-ctl status/pause/
+	// abort target it on the admin API while the rollout runs.
+	fmt.Printf("rollout %s started (policy=%s, admin http://%s)\n", h.ID(), spec.Policy, *admin)
+	out, err := h.Wait(context.Background())
+	st := h.Status()
+	if err != nil {
+		// An aborted rollout is a verdict on the rollout (exit 3); every
+		// other error here — journal I/O halting the plan, a resume
+		// refusal, node infrastructure — is tooling trouble (exit 1).
+		// The other exit-3 case, vendor abandonment (which covers "the
+		// gate never converged": rounds exhaust and the upgrade is
+		// abandoned), returns with err == nil and is handled below.
+		log.Printf("rollout %s: %v", h.ID(), err)
+		if st.State == orchestrator.StateAborted {
+			os.Exit(exitRollout)
+		}
+		os.Exit(exitInfra)
+	}
+	fmt.Printf("rollout %s: policy=%v integrated=%d/%d overhead=%d rounds=%d abandoned=%v quarantined=%d final=%s\n",
+		h.ID(), out.Policy, out.Integrated(), len(out.Nodes), out.Overhead, out.Rounds, out.Abandoned, len(out.Quarantined), out.FinalID)
 	for _, name := range out.Quarantined {
 		log.Printf("quarantined (unreachable through retries): %s", name)
 	}
@@ -147,25 +249,41 @@ func main() {
 			g.Signature, len(g.Reports), g.Clusters)
 	}
 	if *urrFile != "" {
-		f, err := os.Create(*urrFile)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := urr.Save(f); err != nil {
-			log.Fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			log.Fatal(err)
-		}
-		log.Printf("saved %d report(s) to %s", urr.Len(), *urrFile)
+		saveURR(urr, *urrFile)
 	}
+	if out.Abandoned {
+		fmt.Printf("rollout %s abandoned: the upgrade could not be fixed\n", h.ID())
+		os.Exit(exitRollout)
+	}
+}
+
+// configure installs the vendor's controller tuning on each rollout.
+func configure(parallel int, srv *transport.Server) func(*deploy.Controller) {
+	return func(ctl *deploy.Controller) {
+		ctl.Parallelism = parallel
+		ctl.Transfer = srv.TransferSnapshot
+	}
+}
+
+func saveURR(urr *report.URR, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := urr.Save(f); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("saved %d report(s) to %s", urr.Len(), path)
 }
 
 func parsePolicy(s string) deploy.Policy {
 	policy, ok := staging.ParsePolicy(s)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown policy %q\n", s)
-		os.Exit(2)
+		os.Exit(exitUsage)
 	}
 	return policy
 }

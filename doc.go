@@ -18,9 +18,21 @@
 // caches seeded from installed files, and batched fetches of only the
 // missing chunks. The user-machine testing subsystem is
 // internal/vmtest and the Upgrade Report Repository is internal/report.
-// The top-level orchestration API is internal/core; the paper's evaluation
-// scenarios are reconstructed in internal/scenario and internal/survey.
-// ARCHITECTURE.md diagrams the plan-versus-executor layering.
+// Deployments run as first-class rollout lifecycles on the control plane
+// (internal/orchestrator): Start(ctx, Spec) returns a Handle with Status
+// snapshots, a replayable event stream, Pause/ResumeRun at stage
+// barriers, Abort (context cancellation, journaled as abandoned so an
+// aborted rollout can never half-resume) and Wait; a context.Context
+// threads from the handle through the deployment controller, its retry
+// backoff and worker pool, and every transport RPC. The same package
+// exposes the lifecycle over HTTP (orchestrator.API, served by
+// mirage-vendor, driven by mirage-ctl through orchestrator.Client).
+//
+// The top-level vendor API is internal/core: ClusterFleet profiles and
+// clusters a fleet, StartDeployment launches a rollout handle, and
+// StageDeployment is the synchronous wrapper over the same path. The
+// paper's evaluation scenarios are reconstructed in internal/scenario
+// and internal/survey. ARCHITECTURE.md diagrams the five shared layers.
 //
 // The benchmarks in bench_test.go regenerate every table and figure of the
 // paper's evaluation; see EXPERIMENTS.md for the comparison against the

@@ -1,0 +1,195 @@
+// Control-plane walkthrough: Mirage's rollout lifecycle driven entirely
+// through the HTTP admin API, the way an operator (or mirage-ctl) does.
+//
+// The program builds a networked fleet (vendor transport server + six TCP
+// agents), mounts the orchestrator's HTTP control plane, and then — as a
+// pure HTTP client — starts a journaled staged rollout, watches its event
+// stream by long-poll, pauses it at a stage barrier, inspects the half
+// deployed fleet, resumes it, waits for convergence, and finally starts a
+// second concurrent rollout to show the orchestrator multiplexing. Every
+// control action goes over the wire; nothing touches the Handle directly.
+//
+//	go run ./examples/control-plane
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/deploy"
+	"repro/internal/machine"
+	"repro/internal/orchestrator"
+	"repro/internal/pkgmgr"
+	"repro/internal/rollout"
+	"repro/internal/staging"
+	"repro/internal/transport"
+)
+
+func userMachine(name string) *machine.Machine {
+	m := machine.New(name)
+	m.SetEnv("HOME", "/home/user")
+	m.WriteFile(&machine.File{Path: apps.MySQLExec, Type: machine.TypeExecutable,
+		Data: []byte("mysqld 4.1.22"), Version: "4.1.22"})
+	m.InstallPackage(machine.PackageRef{Name: "mysql", Version: "4.1.22"}, []string{apps.MySQLExec})
+	return m
+}
+
+func mysql5() *pkgmgr.Upgrade {
+	return &pkgmgr.Upgrade{
+		ID: "mysql-5.0.22",
+		Pkg: &pkgmgr.Package{Name: "mysql", Version: "5.0.22", Files: []*machine.File{
+			{Path: apps.MySQLExec, Type: machine.TypeExecutable, Data: []byte("mysqld 5.0.22"), Version: "5.0.22"},
+		}},
+		Replaces: "4.1.22",
+	}
+}
+
+func main() {
+	ctx := context.Background()
+
+	// 1. A networked fleet: vendor server, six agents over loopback TCP,
+	// grouped into three clusters of deployment.
+	srv, err := transport.Listen("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	machines := map[string]*machine.Machine{}
+	var names []string
+	for c := 0; c < 3; c++ {
+		for _, role := range []string{"rep", "oth"} {
+			name := fmt.Sprintf("c%d-%s", c, role)
+			names = append(names, name)
+			machines[name] = userMachine(name)
+			go transport.NewAgent(machines[name]).Run(srv.Addr())
+		}
+	}
+	if got := srv.WaitForAgents(len(names), 5*time.Second); got != len(names) {
+		log.Fatalf("agents: %d/%d", got, len(names))
+	}
+	clusters := func() []*deploy.Cluster {
+		var cs []*deploy.Cluster
+		for c := 0; c < 3; c++ {
+			cs = append(cs, &deploy.Cluster{
+				ID: deploy.ClusterName(c), Distance: c + 1,
+				Representatives: []deploy.Node{srv.Node(fmt.Sprintf("c%d-rep", c))},
+				Others:          []deploy.Node{srv.Node(fmt.Sprintf("c%d-oth", c))},
+			})
+		}
+		return cs
+	}
+
+	// 2. The control plane: an orchestrator journaling one file per
+	// rollout, exposed over HTTP exactly as mirage-vendor -serve mounts it.
+	dir, err := os.MkdirTemp("", "mirage-control-plane")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	orch := orchestrator.New(dir)
+	api := &orchestrator.API{
+		Orch: orch,
+		Launch: func(req orchestrator.StartRequest) (orchestrator.Spec, error) {
+			policy := deploy.PolicyBalanced
+			if req.Policy != "" {
+				if p, ok := staging.ParsePolicy(req.Policy); ok {
+					policy = p
+				}
+			}
+			return orchestrator.Spec{
+				Policy:   policy,
+				Upgrade:  mysql5(),
+				Clusters: clusters(),
+				Journal:  req.Journal,
+				Resume:   req.Resume,
+			}, nil
+		},
+	}
+	web := httptest.NewServer(api.Handler())
+	defer web.Close()
+	fmt.Printf("control plane on %s\n", web.URL)
+
+	// 3. From here on we are an HTTP client only — the mirage-ctl library.
+	ctl := &orchestrator.Client{Base: web.URL, HTTP: &http.Client{}}
+
+	st, err := ctl.Start(ctx, orchestrator.StartRequest{Policy: "balanced"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("started rollout %s: policy=%s stages=%d journal=%s\n",
+		st.ID, st.Policy, st.Stages, filepath.Base(st.Journal))
+
+	// 4. Pause. The rollout finishes whatever stage is in flight and then
+	// holds at the next stage barrier — stages are the unit of
+	// consistency, so however the pause races the plan, the held fleet is
+	// always a clean prefix of it: some clusters done, the rest untouched.
+	if _, err := ctl.Pause(ctx, st.ID); err != nil {
+		log.Fatal(err)
+	}
+	for st.State != orchestrator.StatePaused && !st.State.Terminal() {
+		if st, err = ctl.Get(ctx, st.ID); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if st.State == orchestrator.StatePaused {
+		fmt.Printf("held at a stage barrier (%d gates passed, %d/%d integrated):\n",
+			st.GatesPassed, st.Integrated, len(st.Members))
+		for _, name := range names {
+			ref, _ := machines[name].Package("mysql")
+			fmt.Printf("  %-8s mysql %s\n", name, ref.Version)
+		}
+	}
+
+	// 5. Resume, drain the event stream by long-poll, wait for the end.
+	if _, err := ctl.Resume(ctx, st.ID); err != nil {
+		log.Fatal(err)
+	}
+	since := 0
+	for {
+		page, err := ctl.Events(ctx, st.ID, since, 2*time.Second)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, ev := range page.Events {
+			if ev.Type == rollout.RecTested || ev.Type == rollout.RecGate {
+				fmt.Printf("  event %-11s stage=%d node=%s\n", ev.Type, ev.Stage, ev.Node)
+			}
+		}
+		since = page.Next
+		if page.Done {
+			break
+		}
+	}
+	st, err = ctl.Wait(ctx, st.ID, 10*time.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("rollout %s: %s, %d/%d integrated, final=%s\n",
+		st.ID, st.State, st.Integrated, len(st.Members), st.FinalID)
+
+	// 6. The orchestrator multiplexes: a second rollout (urgent path,
+	// NoStaging) runs through the same fleet while we watch the list.
+	st2, err := ctl.Start(ctx, orchestrator.StartRequest{Policy: "nostaging"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if st2, err = ctl.Wait(ctx, st2.ID, 10*time.Second); err != nil {
+		log.Fatal(err)
+	}
+	all, err := ctl.List(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("rollouts on this control plane:")
+	for _, s := range all {
+		fmt.Printf("  %-4s %-10s policy=%-10s integrated=%d/%d events=%d\n",
+			s.ID, s.State, s.Policy, s.Integrated, len(s.Members), s.Events)
+	}
+}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -18,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/deploy"
 	"repro/internal/machine"
+	"repro/internal/orchestrator"
 	"repro/internal/parser"
 	"repro/internal/pkgmgr"
 	"repro/internal/report"
@@ -72,7 +74,8 @@ func main() {
 	}
 
 	// 3. Cluster by environment.
-	clustering, err := vendor.ClusterFleet(fleet, "mysql", cluster.Config{Diameter: 3}, 1)
+	ctx := context.Background()
+	clustering, err := vendor.ClusterFleet(ctx, fleet, "mysql", cluster.Config{Diameter: 3}, 1)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -106,13 +109,24 @@ func main() {
 		return fixed, true
 	}
 
-	// 5. Staged deployment.
-	out, err := vendor.StageDeployment(deploy.PolicyBalanced, upgrade, clustering, fix)
+	// 5. Staged deployment, as a rollout on the orchestrator: Start
+	// returns a handle — the rollout is observable (Status, Events),
+	// pausable and abortable while it runs; Wait gives the outcome. The
+	// one-call form of the same thing is vendor.StageDeployment(ctx, ...).
+	orch := orchestrator.New("")
+	h, err := vendor.StartDeployment(ctx, orch, deploy.PolicyBalanced, upgrade, clustering, fix)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("deployed: %d/%d machines integrated, overhead %d, %d debug round(s)\n",
-		out.Integrated(), len(out.Nodes), out.Overhead, out.Rounds)
+	for ev := range h.Events(ctx) {
+		fmt.Printf("  event %-12s stage=%d node=%s\n", ev.Type, ev.Stage, ev.Node)
+	}
+	out, err := h.Wait(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("rollout %s deployed: %d/%d machines integrated, overhead %d, %d debug round(s)\n",
+		h.ID(), out.Integrated(), len(out.Nodes), out.Overhead, out.Rounds)
 
 	// 6. Everything still works in production.
 	for _, u := range fleet.Machines {

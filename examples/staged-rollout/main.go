@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -26,6 +27,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	srv, err := transport.Listen("127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
@@ -63,17 +65,17 @@ func main() {
 
 	// Remote identification and baseline tracing.
 	for _, name := range srv.Agents() {
-		if _, err := srv.Identify(name, "mysql", [][]string{{"SELECT 1"}, {"SELECT 2"}}); err != nil {
+		if _, err := srv.Identify(ctx, name, "mysql", [][]string{{"SELECT 1"}, {"SELECT 2"}}); err != nil {
 			log.Fatal(err)
 		}
-		if _, err := srv.Record(name, "mysql", []string{"SELECT 1"}); err != nil {
+		if _, err := srv.Record(ctx, name, "mysql", []string{"SELECT 1"}); err != nil {
 			log.Fatal(err)
 		}
 		if _, ok := machines[name].Package("php"); ok {
-			if _, err := srv.Identify(name, "php", [][]string{nil}); err != nil {
+			if _, err := srv.Identify(ctx, name, "php", [][]string{nil}); err != nil {
 				log.Fatal(err)
 			}
-			if _, err := srv.Record(name, "php", nil); err != nil {
+			if _, err := srv.Record(ctx, name, "php", nil); err != nil {
 				log.Fatal(err)
 			}
 		}
@@ -87,7 +89,7 @@ func main() {
 	}
 	refs := scenario.MySQLResourceRefs()
 	vendorItems := parser.NewFingerprinter(reg).Fingerprint(scenario.MySQLVendorReference(), refs)
-	rc, err := srv.ClusterRemote("mysql", refs, regCfg, vendorItems, cluster.Config{Diameter: 3}, 1)
+	rc, err := srv.ClusterRemote(ctx, "mysql", refs, regCfg, vendorItems, cluster.Config{Diameter: 3}, 1)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -107,7 +109,7 @@ func main() {
 		}
 		return fixedUpgrade(), true
 	})
-	out, err := ctl.Deploy(deploy.PolicyBalanced, mysql5(), dcs)
+	out, err := ctl.Deploy(ctx, deploy.PolicyBalanced, mysql5(), dcs)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -12,6 +12,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -21,12 +22,12 @@ import (
 	"repro/internal/deploy"
 	"repro/internal/envid"
 	"repro/internal/machine"
+	"repro/internal/orchestrator"
 	"repro/internal/parser"
 	"repro/internal/pkgmgr"
 	"repro/internal/profile"
 	"repro/internal/report"
 	"repro/internal/resource"
-	"repro/internal/rollout"
 	"repro/internal/staging"
 	"repro/internal/trace"
 	"repro/internal/vmtest"
@@ -191,13 +192,15 @@ func (u *UserMachine) Fingerprint(app string) *resource.Set {
 // the vendor reference set for app, computed in-process. Safe to call
 // concurrently across different machines (profile.Collect does), since it
 // only reads the vendor's registry and resource caches.
-func (u *UserMachine) Profile(app string, vendor *resource.Set) (profile.Machine, error) {
+func (u *UserMachine) Profile(_ context.Context, app string, vendor *resource.Set) (profile.Machine, error) {
 	return profile.New(u.Name(), u.Fingerprint(app), vendor, u.M.AppSetKey()), nil
 }
 
 // TestUpgrade implements deploy.Node: validate the upgrade in an isolated
 // snapshot, returning the report (with a report image attached on failure).
-func (u *UserMachine) TestUpgrade(up *pkgmgr.Upgrade) (*report.Report, error) {
+// Local validation is all in-process, so the context is only honoured
+// between operations, not within one.
+func (u *UserMachine) TestUpgrade(_ context.Context, up *pkgmgr.Upgrade) (*report.Report, error) {
 	val := vmtest.NewValidator(u.M, u.vendor.Repo, u.Store)
 	val.ResourcesByApp = u.allResources()
 	rep, err := val.Validate(up)
@@ -223,7 +226,7 @@ func (u *UserMachine) TestUpgrade(up *pkgmgr.Upgrade) (*report.Report, error) {
 
 // Integrate implements deploy.Node: apply the upgrade to the production
 // system (validation already succeeded in the sandbox).
-func (u *UserMachine) Integrate(up *pkgmgr.Upgrade) error {
+func (u *UserMachine) Integrate(_ context.Context, up *pkgmgr.Upgrade) error {
 	mgr := pkgmgr.NewManager(u.M, u.vendor.Repo)
 	_, err := mgr.Apply(up)
 	return err
@@ -289,7 +292,7 @@ type Clustering struct {
 // (transport.Server.ClusterRemote) routes through the identical
 // Collect → cluster.Run → Assemble pipeline, so local and networked
 // fleets with the same fingerprints produce the same clusters.
-func (v *Vendor) ClusterFleet(f *Fleet, app string, cfg cluster.Config, repsPerCluster int) (*Clustering, error) {
+func (v *Vendor) ClusterFleet(ctx context.Context, f *Fleet, app string, cfg cluster.Config, repsPerCluster int) (*Clustering, error) {
 	if _, ok := v.Resources[app]; !ok {
 		return nil, fmt.Errorf("core: no identified resources for application %q", app)
 	}
@@ -299,7 +302,7 @@ func (v *Vendor) ClusterFleet(f *Fleet, app string, cfg cluster.Config, repsPerC
 	for i, u := range f.Machines {
 		sources[i] = u
 	}
-	profiles, err := profile.Collect(sources, app, vendorSet, v.ProfileParallelism)
+	profiles, err := profile.Collect(ctx, sources, app, vendorSet, v.ProfileParallelism)
 	if err != nil {
 		return nil, err
 	}
@@ -317,24 +320,54 @@ func (v *Vendor) ClusterFleet(f *Fleet, app string, cfg cluster.Config, repsPerC
 	return &Clustering{App: app, Clusters: clusters, Deploy: dcs}, nil
 }
 
+// DeploymentSpec builds the orchestrator spec StageDeployment and
+// StartDeployment submit: the vendor's URR, transfer counters, journal
+// configuration and release store, over the clustering's clusters of
+// deployment.
+func (v *Vendor) DeploymentSpec(policy deploy.Policy, up *pkgmgr.Upgrade, cl *Clustering, fix deploy.Fixer) orchestrator.Spec {
+	return orchestrator.Spec{
+		Policy:   policy,
+		Upgrade:  up,
+		Clusters: cl.Deploy,
+		Fix:      fix,
+		URR:      v.URR,
+		Journal:  v.JournalPath,
+		Resume:   v.ResumeJournal,
+		Rebuild:  v.RebuildUpgrade,
+		Configure: func(ctl *deploy.Controller) {
+			ctl.Transfer = v.Transfer
+		},
+	}
+}
+
+// StartDeployment launches the upgrade across the clustered fleet as a
+// rollout on orch and returns its handle — the cancellable, observable,
+// pausable form of StageDeployment. Multiple deployments may run
+// concurrently on one orchestrator, each with its own journal.
+func (v *Vendor) StartDeployment(ctx context.Context, orch *orchestrator.Orchestrator, policy deploy.Policy, up *pkgmgr.Upgrade, cl *Clustering, fix deploy.Fixer) (*orchestrator.Handle, error) {
+	return orch.Start(ctx, v.DeploymentSpec(policy, up, cl, fix))
+}
+
 // StageDeployment runs the upgrade across the clustered fleet under the
 // given policy, debugging failures with fix. The wave schedule comes from
 // the shared staging planner, so it is exactly the schedule the simulator
 // predicts for this fleet; within each wave, nodes validate the upgrade
 // concurrently on the controller's worker pool.
-func (v *Vendor) StageDeployment(policy deploy.Policy, up *pkgmgr.Upgrade, cl *Clustering, fix deploy.Fixer) (*deploy.Outcome, error) {
-	ctl := deploy.NewController(v.URR, fix)
-	ctl.Transfer = v.Transfer
-	if v.JournalPath != "" {
-		eng := &rollout.Engine{
-			Controller: ctl,
-			Path:       v.JournalPath,
-			Resume:     v.ResumeJournal,
-			Rebuild:    v.RebuildUpgrade,
-		}
-		return eng.Deploy(policy, up, cl.Deploy)
+//
+// StageDeployment is the synchronous convenience form: it submits the
+// rollout to a private orchestrator and waits for the handle — one code
+// path whether a deployment is driven by a blocking call or by the
+// control-plane API. Cancelling ctx aborts the rollout (journaled as
+// abandoned) and returns the partial outcome with ctx's error.
+func (v *Vendor) StageDeployment(ctx context.Context, policy deploy.Policy, up *pkgmgr.Upgrade, cl *Clustering, fix deploy.Fixer) (*deploy.Outcome, error) {
+	h, err := v.StartDeployment(ctx, orchestrator.New(""), policy, up, cl, fix)
+	if err != nil {
+		return nil, err
 	}
-	return ctl.Deploy(policy, up, cl.Deploy)
+	// The rollout's own context is ctx: Wait on Background so a cancelled
+	// deployment still hands back its partial outcome instead of a bare
+	// ctx.Err().
+	return h.Wait(context.Background())
 }
 
 // DeploymentPlan returns the wave schedule StageDeployment would execute

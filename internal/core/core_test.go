@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -138,7 +139,7 @@ func TestIdentifyResourcesOnReference(t *testing.T) {
 
 func TestClusterFleetSeparatesBehaviours(t *testing.T) {
 	v, fleet := setupVendorAndFleet(t)
-	cl, err := v.ClusterFleet(fleet, "mysql", cluster.Config{Diameter: 3}, 1)
+	cl, err := v.ClusterFleet(context.Background(), fleet, "mysql", cluster.Config{Diameter: 3}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +178,7 @@ func TestClusterFleetSeparatesBehaviours(t *testing.T) {
 
 func TestStagedDeploymentEndToEnd(t *testing.T) {
 	v, fleet := setupVendorAndFleet(t)
-	cl, err := v.ClusterFleet(fleet, "mysql", cluster.Config{Diameter: 3}, 1)
+	cl, err := v.ClusterFleet(context.Background(), fleet, "mysql", cluster.Config{Diameter: 3}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,7 +194,7 @@ func TestStagedDeploymentEndToEnd(t *testing.T) {
 		return fixed, true
 	}
 
-	out, err := v.StageDeployment(deploy.PolicyBalanced, mysql5Upgrade(), cl, fix)
+	out, err := v.StageDeployment(context.Background(), deploy.PolicyBalanced, mysql5Upgrade(), cl, fix)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -230,7 +231,7 @@ func TestStagedDeploymentEndToEnd(t *testing.T) {
 
 func TestStagedDeploymentProtectsNonRepresentatives(t *testing.T) {
 	v, fleet := setupVendorAndFleet(t)
-	cl, err := v.ClusterFleet(fleet, "mysql", cluster.Config{Diameter: 3}, 1)
+	cl, err := v.ClusterFleet(context.Background(), fleet, "mysql", cluster.Config{Diameter: 3}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -239,7 +240,7 @@ func TestStagedDeploymentProtectsNonRepresentatives(t *testing.T) {
 		v.Repo.Add(fixed.Pkg)
 		return fixed, true
 	}
-	out, err := v.StageDeployment(deploy.PolicyBalanced, mysql5Upgrade(), cl, fix)
+	out, err := v.StageDeployment(context.Background(), deploy.PolicyBalanced, mysql5Upgrade(), cl, fix)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -256,7 +257,7 @@ func TestStagedDeploymentProtectsNonRepresentatives(t *testing.T) {
 func TestReproduceFromReportImage(t *testing.T) {
 	v, fleet := setupVendorAndFleet(t)
 	u := fleet.Lookup("u-php4-1")
-	rep, err := u.TestUpgrade(mysql5Upgrade())
+	rep, err := u.TestUpgrade(context.Background(), mysql5Upgrade())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -283,7 +284,7 @@ func TestReproduceErrors(t *testing.T) {
 func TestClusterFleetUnknownApp(t *testing.T) {
 	v := NewVendor(buildReference())
 	fleet := NewFleet(v, userMachineVariant("u", "plain"))
-	if _, err := v.ClusterFleet(fleet, "unknown", cluster.Config{Diameter: 3}, 1); err == nil {
+	if _, err := v.ClusterFleet(context.Background(), fleet, "unknown", cluster.Config{Diameter: 3}, 1); err == nil {
 		t.Fatal("no error for unidentified application")
 	}
 }
@@ -298,7 +299,7 @@ func TestFleetLookup(t *testing.T) {
 
 func TestRepsPerCluster(t *testing.T) {
 	v, fleet := setupVendorAndFleet(t)
-	cl, err := v.ClusterFleet(fleet, "mysql", cluster.Config{Diameter: 3}, 2)
+	cl, err := v.ClusterFleet(context.Background(), fleet, "mysql", cluster.Config{Diameter: 3}, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

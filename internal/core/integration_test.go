@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/apps"
@@ -66,7 +67,7 @@ func firefox2Upgrade(fixed bool) *pkgmgr.Upgrade {
 
 func TestFirefoxFleetClusteringSound(t *testing.T) {
 	v, fleet := setupFirefox(t)
-	cl, err := v.ClusterFleet(fleet, "firefox", cluster.Config{Diameter: 3}, 1)
+	cl, err := v.ClusterFleet(context.Background(), fleet, "firefox", cluster.Config{Diameter: 3}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +80,7 @@ func TestFirefoxFleetClusteringSound(t *testing.T) {
 func TestFirefoxSilentMisbehaviorCaughtByReplay(t *testing.T) {
 	v, fleet := setupFirefox(t)
 	bad := fleet.Lookup("firefox15-from10")
-	rep, err := bad.TestUpgrade(firefox2Upgrade(false))
+	rep, err := bad.TestUpgrade(context.Background(), firefox2Upgrade(false))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +94,7 @@ func TestFirefoxSilentMisbehaviorCaughtByReplay(t *testing.T) {
 		}
 	}
 	good := fleet.Lookup("firefox15-fresh")
-	rep2, err := good.TestUpgrade(firefox2Upgrade(false))
+	rep2, err := good.TestUpgrade(context.Background(), firefox2Upgrade(false))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +106,7 @@ func TestFirefoxSilentMisbehaviorCaughtByReplay(t *testing.T) {
 
 func TestFirefoxStagedDeploymentWithMigration(t *testing.T) {
 	v, fleet := setupFirefox(t)
-	cl, err := v.ClusterFleet(fleet, "firefox", cluster.Config{Diameter: 3}, 1)
+	cl, err := v.ClusterFleet(context.Background(), fleet, "firefox", cluster.Config{Diameter: 3}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +116,7 @@ func TestFirefoxStagedDeploymentWithMigration(t *testing.T) {
 		return fixed, true
 	}
 	v.Repo.Add(firefox2Upgrade(false).Pkg)
-	out, err := v.StageDeployment(deploy.PolicyFrontLoading, firefox2Upgrade(false), cl, fix)
+	out, err := v.StageDeployment(context.Background(), deploy.PolicyFrontLoading, firefox2Upgrade(false), cl, fix)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,14 +143,14 @@ func TestFirefoxStagedDeploymentWithMigration(t *testing.T) {
 
 func TestUrgentUpgradeBypassesStagingAtCoreLevel(t *testing.T) {
 	v, fleet := setupVendorAndFleet(t)
-	cl, err := v.ClusterFleet(fleet, "mysql", cluster.Config{Diameter: 3}, 1)
+	cl, err := v.ClusterFleet(context.Background(), fleet, "mysql", cluster.Config{Diameter: 3}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	up := mysql5Fixed()
 	up.Urgent = true
 	v.Repo.Add(up.Pkg)
-	out, err := v.StageDeployment(deploy.PolicyBalanced, up, cl, nil)
+	out, err := v.StageDeployment(context.Background(), deploy.PolicyBalanced, up, cl, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,12 +164,12 @@ func TestUrgentUpgradeBypassesStagingAtCoreLevel(t *testing.T) {
 
 func TestAbandonedDeploymentLeavesProductionIntact(t *testing.T) {
 	v, fleet := setupVendorAndFleet(t)
-	cl, err := v.ClusterFleet(fleet, "mysql", cluster.Config{Diameter: 3}, 1)
+	cl, err := v.ClusterFleet(context.Background(), fleet, "mysql", cluster.Config{Diameter: 3}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Vendor cannot fix anything.
-	out, err := v.StageDeployment(deploy.PolicyBalanced, mysql5Upgrade(), cl,
+	out, err := v.StageDeployment(context.Background(), deploy.PolicyBalanced, mysql5Upgrade(), cl,
 		func(*pkgmgr.Upgrade, []*report.Report) (*pkgmgr.Upgrade, bool) { return nil, false })
 	if err != nil {
 		t.Fatal(err)
@@ -192,7 +193,7 @@ func TestAbandonedDeploymentLeavesProductionIntact(t *testing.T) {
 
 func TestNotifyFinalConvergesVersions(t *testing.T) {
 	v, fleet := setupVendorAndFleet(t)
-	cl, err := v.ClusterFleet(fleet, "mysql", cluster.Config{Diameter: 3}, 1)
+	cl, err := v.ClusterFleet(context.Background(), fleet, "mysql", cluster.Config{Diameter: 3}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,7 +202,7 @@ func TestNotifyFinalConvergesVersions(t *testing.T) {
 		v.Repo.Add(fixed.Pkg)
 		return fixed, true
 	}
-	out, err := v.StageDeployment(deploy.PolicyBalanced, mysql5Upgrade(), cl, fix)
+	out, err := v.StageDeployment(context.Background(), deploy.PolicyBalanced, mysql5Upgrade(), cl, fix)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -222,7 +223,7 @@ func TestURRGroupsFailuresAcrossFleet(t *testing.T) {
 	// Everyone tests the faulty upgrade directly (no staging): the URR
 	// must collapse the failures into exactly two failure modes.
 	for _, u := range fleet.Machines {
-		rep, err := u.TestUpgrade(mysql5Upgrade())
+		rep, err := u.TestUpgrade(context.Background(), mysql5Upgrade())
 		if err != nil {
 			t.Fatal(err)
 		}

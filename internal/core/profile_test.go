@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/cluster"
@@ -39,7 +40,7 @@ func TestClusterFleetIdenticalAtAnyProfileParallelism(t *testing.T) {
 	var want *Clustering
 	for _, par := range []int{1, 2, 16} {
 		v.ProfileParallelism = par
-		cl, err := v.ClusterFleet(fleet, "mysql", cluster.Config{Diameter: 3}, 2)
+		cl, err := v.ClusterFleet(context.Background(), fleet, "mysql", cluster.Config{Diameter: 3}, 2)
 		if err != nil {
 			t.Fatalf("parallelism %d: %v", par, err)
 		}

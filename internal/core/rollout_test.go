@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -21,14 +22,14 @@ func TestJournaledStageDeployment(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "deploy.journal")
 	v.JournalPath = path
 
-	cl, err := v.ClusterFleet(fleet, "mysql", cluster.Config{Diameter: 3}, 1)
+	cl, err := v.ClusterFleet(context.Background(), fleet, "mysql", cluster.Config{Diameter: 3}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	fix := func(up *pkgmgr.Upgrade, failures []*report.Report) (*pkgmgr.Upgrade, bool) {
 		return mysql5Fixed(), true
 	}
-	out, err := v.StageDeployment(deploy.PolicyBalanced, mysql5Upgrade(), cl, fix)
+	out, err := v.StageDeployment(context.Background(), deploy.PolicyBalanced, mysql5Upgrade(), cl, fix)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +60,7 @@ func TestJournaledStageDeployment(t *testing.T) {
 		return nil, false
 	}
 	before := len(recs)
-	if _, err := v2.StageDeployment(deploy.PolicyBalanced, mysql5Upgrade(), cl, fix); err == nil ||
+	if _, err := v2.StageDeployment(context.Background(), deploy.PolicyBalanced, mysql5Upgrade(), cl, fix); err == nil ||
 		!strings.Contains(err.Error(), "sealed") {
 		t.Fatalf("resume of a sealed journal = %v, want sealed-journal refusal", err)
 	}

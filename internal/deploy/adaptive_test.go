@@ -1,6 +1,7 @@
 package deploy
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"testing"
@@ -24,7 +25,7 @@ func depositOrder(urr *report.URR, id string) []string {
 func TestAdaptivePromotesCleanClusters(t *testing.T) {
 	urr := report.New()
 	ctl := NewController(urr, nil)
-	out, err := ctl.Deploy(PolicyAdaptive, up("v1"), twoClusters(nil))
+	out, err := ctl.Deploy(context.Background(), PolicyAdaptive, up("v1"), twoClusters(nil))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +48,7 @@ func TestAdaptiveDirtyClusterFallsBackToBalanced(t *testing.T) {
 	}
 	urr := report.New()
 	ctl := NewController(urr, fixerChain(t, map[string]string{"v1": "v2"}))
-	out, err := ctl.Deploy(PolicyAdaptive, up("v1"), twoClusters(bad))
+	out, err := ctl.Deploy(context.Background(), PolicyAdaptive, up("v1"), twoClusters(bad))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +85,7 @@ func TestAdaptiveAbandonmentSkipsPromotedWaves(t *testing.T) {
 	}
 	urr := report.New()
 	ctl := NewController(urr, func(*pkgmgr.Upgrade, []*report.Report) (*pkgmgr.Upgrade, bool) { return nil, false })
-	out, err := ctl.Deploy(PolicyAdaptive, up("v1"), twoClusters(bad))
+	out, err := ctl.Deploy(context.Background(), PolicyAdaptive, up("v1"), twoClusters(bad))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +132,7 @@ func TestWorkerPoolMatchesSerialOutcome(t *testing.T) {
 		urr := report.New()
 		ctl := NewController(urr, fixerChain(t, map[string]string{"v1": "v2"}))
 		ctl.Parallelism = parallelism
-		out, err := ctl.Deploy(policy, up("v1"), bigFleet(4, 8, bad))
+		out, err := ctl.Deploy(context.Background(), policy, up("v1"), bigFleet(4, 8, bad))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -165,7 +166,7 @@ func TestFinalIDNamesDeployedVersionOnAbandonment(t *testing.T) {
 	urr := report.New()
 	ctl := NewController(urr, fixerChain(t, map[string]string{"v1": "v2", "v2": "v3", "v3": "v3"}))
 	ctl.MaxRounds = 2
-	out, err := ctl.Deploy(PolicyBalanced, up("v1"), twoClusters(bad))
+	out, err := ctl.Deploy(context.Background(), PolicyBalanced, up("v1"), twoClusters(bad))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,7 +194,7 @@ func TestWorkerPoolKeepsReportsOnNodeError(t *testing.T) {
 			&fakeNode{name: "n3", failOn: map[string]string{"v1": "crash"}},
 		},
 	}}
-	out, err := ctl.Deploy(PolicyNoStaging, up("v1"), clusters)
+	out, err := ctl.Deploy(context.Background(), PolicyNoStaging, up("v1"), clusters)
 	if err == nil {
 		t.Fatal("node error swallowed")
 	}
@@ -212,7 +213,7 @@ func TestWorkerPoolLargerThanWave(t *testing.T) {
 	urr := report.New()
 	ctl := NewController(urr, nil)
 	ctl.Parallelism = 64 // more workers than nodes in any wave
-	out, err := ctl.Deploy(PolicyNoStaging, up("v1"), bigFleet(3, 4, nil))
+	out, err := ctl.Deploy(context.Background(), PolicyNoStaging, up("v1"), bigFleet(3, 4, nil))
 	if err != nil {
 		t.Fatal(err)
 	}

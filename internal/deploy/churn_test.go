@@ -1,6 +1,7 @@
 package deploy
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -18,20 +19,20 @@ type flakyNode struct {
 	failTests, failInts int
 }
 
-func (n *flakyNode) TestUpgrade(up *pkgmgr.Upgrade) (*report.Report, error) {
+func (n *flakyNode) TestUpgrade(ctx context.Context, up *pkgmgr.Upgrade) (*report.Report, error) {
 	if n.failTests > 0 {
 		n.failTests--
 		return nil, fmt.Errorf("dial tcp 10.0.0.1: %w", ErrTransient)
 	}
-	return n.fakeNode.TestUpgrade(up)
+	return n.fakeNode.TestUpgrade(ctx, up)
 }
 
-func (n *flakyNode) Integrate(up *pkgmgr.Upgrade) error {
+func (n *flakyNode) Integrate(ctx context.Context, up *pkgmgr.Upgrade) error {
 	if n.failInts > 0 {
 		n.failInts--
 		return fmt.Errorf("dial tcp 10.0.0.1: %w", ErrTransient)
 	}
-	return n.fakeNode.Integrate(up)
+	return n.fakeNode.Integrate(ctx, up)
 }
 
 // captureObs records events and can simulate a journal that fails after a
@@ -66,7 +67,7 @@ func TestTransientTestErrorRetriedInPlace(t *testing.T) {
 	}}
 	ctl := NewController(report.New(), nil)
 	pauses := fastRetry(ctl)
-	out, err := ctl.Deploy(PolicyBalanced, up("v1"), clusters)
+	out, err := ctl.Deploy(context.Background(), PolicyBalanced, up("v1"), clusters)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +88,7 @@ func TestTransientIntegrateErrorRetriedInPlace(t *testing.T) {
 	clusters := []*Cluster{{ID: "c", Distance: 1, Representatives: []Node{flaky}}}
 	ctl := NewController(report.New(), nil)
 	fastRetry(ctl)
-	out, err := ctl.Deploy(PolicyBalanced, up("v1"), clusters)
+	out, err := ctl.Deploy(context.Background(), PolicyBalanced, up("v1"), clusters)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +112,7 @@ func TestPersistentlyUnreachableMemberQuarantined(t *testing.T) {
 	}
 	ctl := NewController(report.New(), nil)
 	fastRetry(ctl)
-	out, err := ctl.Deploy(PolicyBalanced, up("v1"), clusters)
+	out, err := ctl.Deploy(context.Background(), PolicyBalanced, up("v1"), clusters)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +147,7 @@ func TestQuarantinedRepIsGateFailureNotPass(t *testing.T) {
 	fastRetry(ctl)
 	obs := &captureObs{}
 	ctl.Observer = obs
-	out, err := ctl.Deploy(PolicyAdaptive, up("v1"), clusters)
+	out, err := ctl.Deploy(context.Background(), PolicyAdaptive, up("v1"), clusters)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +175,7 @@ func TestObserverWriteFailureHaltsPlan(t *testing.T) {
 	ctl := NewController(report.New(), nil)
 	obs := &captureObs{failAfter: 5}
 	ctl.Observer = obs
-	_, err := ctl.Deploy(PolicyBalanced, up("v1"), clusters)
+	_, err := ctl.Deploy(context.Background(), PolicyBalanced, up("v1"), clusters)
 	if err == nil {
 		t.Fatal("deployment outran a failing journal")
 	}
@@ -200,7 +201,7 @@ func TestCursorResumesPromotedWaveMembers(t *testing.T) {
 		FinalID:    "v1",
 		Integrated: map[string]string{"near-rep": "v1"},
 	}
-	out, err := ctl.Deploy(PolicyAdaptive, up("v1"), clusters)
+	out, err := ctl.Deploy(context.Background(), PolicyAdaptive, up("v1"), clusters)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -226,7 +227,7 @@ func TestCursorSkipsCompletedStagesAndMembers(t *testing.T) {
 			"near-rep": "v1", "near-1": "v1", "near-2": "v1", "far-rep": "v1",
 		},
 	}
-	out, err := ctl.Deploy(PolicyBalanced, up("v1"), clusters)
+	out, err := ctl.Deploy(context.Background(), PolicyBalanced, up("v1"), clusters)
 	if err != nil {
 		t.Fatal(err)
 	}

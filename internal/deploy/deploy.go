@@ -15,6 +15,7 @@
 package deploy
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -46,11 +47,14 @@ type Node interface {
 	// TestUpgrade downloads the upgrade, validates it in an isolated
 	// environment, and returns the resulting report (not yet deposited).
 	// The controller may call TestUpgrade on different nodes concurrently;
-	// implementations must not share mutable state across nodes.
-	TestUpgrade(up *pkgmgr.Upgrade) (*report.Report, error)
+	// implementations must not share mutable state across nodes. The
+	// context carries the rollout's cancellation: implementations doing
+	// I/O (a transport RPC, a long validation) should abort promptly when
+	// it is done and return ctx.Err() (possibly wrapped).
+	TestUpgrade(ctx context.Context, up *pkgmgr.Upgrade) (*report.Report, error)
 	// Integrate applies the upgrade to the production system. Called only
 	// after the node's own validation succeeded, never concurrently.
-	Integrate(up *pkgmgr.Upgrade) error
+	Integrate(ctx context.Context, up *pkgmgr.Upgrade) error
 }
 
 // Cluster is a cluster of deployment: representatives test first.
@@ -294,6 +298,13 @@ type Controller struct {
 	// DoneStages release immediately and members the cursor records as
 	// integrated or quarantined are skipped.
 	Cursor *Cursor
+	// StageGate, when set, is consulted before each stage begins executing
+	// (and before the post-plan promoted flush, with stage -1) — the hook
+	// the rollout orchestrator uses to hold a rollout at a stage barrier
+	// (Pause/Resume). It must block until the plan may proceed, watching
+	// ctx; a non-nil return halts the plan. Stages a resume cursor records
+	// as done release without consulting the gate.
+	StageGate func(ctx context.Context, stage int) error
 }
 
 // NewController returns a controller depositing into urr and debugging
@@ -316,13 +327,20 @@ func (ctl *Controller) retries() int {
 	return ctl.TransientRetries
 }
 
-// pause sleeps for the backoff duration, via the Sleep hook when set.
-func (ctl *Controller) pause(d time.Duration) {
+// pause sleeps for the backoff duration, via the Sleep hook when set. The
+// sleep is cut short when ctx is cancelled: an abort must never wait out
+// the retry-backoff budget.
+func (ctl *Controller) pause(ctx context.Context, d time.Duration) {
 	if ctl.Sleep != nil {
 		ctl.Sleep(d)
 		return
 	}
-	time.Sleep(d)
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
 }
 
 // backoff returns the delay before retry attempt (0-based, doubling).
@@ -336,12 +354,22 @@ func (ctl *Controller) backoff(attempt int) time.Duration {
 
 // retryTransient runs op, retrying transient errors on the bounded
 // doubling backoff, and returns the last error — the one retry loop both
-// member testing and integration use.
-func (ctl *Controller) retryTransient(op func() error) error {
-	err := op()
+// member testing and integration use. A cancelled context stops the loop
+// immediately (mid-backoff included) and surfaces ctx.Err(), which is not
+// transient, so no member is quarantined for an operator abort.
+func (ctl *Controller) retryTransient(ctx context.Context, op func(context.Context) error) error {
+	err := op(ctx)
 	for attempt := 0; err != nil && IsTransient(err) && attempt < ctl.retries(); attempt++ {
-		ctl.pause(ctl.backoff(attempt))
-		err = op()
+		ctl.pause(ctx, ctl.backoff(attempt))
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		err = op(ctx)
+	}
+	if err != nil && ctx.Err() != nil {
+		// An I/O failure observed during teardown is the abort, not a
+		// machine problem.
+		return ctx.Err()
 	}
 	return err
 }
@@ -371,7 +399,14 @@ func (ctl *Controller) PlanFor(policy Policy, clusters []*Cluster) *staging.Plan
 // Deploy runs the upgrade across the clusters under the given policy and
 // returns the outcome. Urgent upgrades bypass staging regardless of policy,
 // as the paper allows ("it may bypass the entire cluster infrastructure").
-func (ctl *Controller) Deploy(policy Policy, up *pkgmgr.Upgrade, clusters []*Cluster) (*Outcome, error) {
+//
+// Cancelling ctx aborts the rollout promptly — mid-wave, mid-backoff or at
+// a stage barrier: no new member test starts after cancellation, retry
+// sleeps are cut short, and the abort is journaled as an abandoned record
+// (an aborted rollout is not resumable — resuming it would be an operator
+// mistake worth naming). Deploy then returns the partial outcome plus an
+// error wrapping ctx.Err().
+func (ctl *Controller) Deploy(ctx context.Context, policy Policy, up *pkgmgr.Upgrade, clusters []*Cluster) (*Outcome, error) {
 	out := &Outcome{Policy: policy, Nodes: make(map[string]*NodeStatus), FinalID: up.ID}
 	if ctl.Transfer != nil {
 		before := ctl.Transfer()
@@ -389,7 +424,7 @@ func (ctl *Controller) Deploy(policy Policy, up *pkgmgr.Upgrade, clusters []*Clu
 		out.Policy = PolicyNoStaging
 	}
 
-	r := &waveRunner{ctl: ctl, up: up, out: out, clusters: byID, clean: make(map[string]bool), unclean: make(map[string]bool)}
+	r := &waveRunner{ctx: ctx, ctl: ctl, up: up, out: out, clusters: byID, clean: make(map[string]bool), unclean: make(map[string]bool)}
 	if cur := ctl.Cursor; cur != nil {
 		r.skipStages = cur.DoneStages
 		out.Rounds = cur.Rounds
@@ -433,7 +468,7 @@ func (ctl *Controller) Deploy(policy Policy, up *pkgmgr.Upgrade, clusters []*Clu
 	// problem elsewhere forced a correction are "later notified of a new
 	// upgrade fixing the problems" (§4.3): validate and integrate the
 	// final version on them now.
-	err := ctl.notifyFinal(r.up, clusters, out)
+	err := ctl.notifyFinal(ctx, r.up, clusters, out)
 	out.collectQuarantined()
 	return out, err
 }
@@ -453,6 +488,7 @@ func (o *Outcome) collectQuarantined() {
 // waves merge into one test group, and within a group node tests run on
 // the controller's bounded worker pool.
 type waveRunner struct {
+	ctx      context.Context
 	ctl      *Controller
 	up       *pkgmgr.Upgrade // current upgrade version; advances as fixes ship
 	out      *Outcome
@@ -515,6 +551,44 @@ func (r *waveRunner) members(waves []staging.Wave) []member {
 	return ms
 }
 
+// checkAbort notices a cancelled context and records it as the plan's
+// terminal state: the first call after cancellation sets the runner error
+// to one wrapping ctx.Err() (so callers can tell an operator abort from a
+// node failure) and journals an abandoned record whose Reason names the
+// abort — an aborted rollout must refuse to resume, exactly like a
+// vendor-abandoned one. It reports whether the plan is aborted.
+func (r *waveRunner) checkAbort(stage int) bool {
+	cerr := r.ctx.Err()
+	if cerr == nil {
+		return false
+	}
+	if r.err == nil {
+		r.err = fmt.Errorf("deploy: rollout aborted: %w", cerr)
+		r.emit(Event{Type: EventAbandoned, Stage: stage, UpgradeID: r.up.ID,
+			Round: r.out.Rounds, Reason: "rollout aborted: " + cerr.Error()})
+	}
+	return true
+}
+
+// gate holds the plan at a stage barrier when the controller has a
+// StageGate installed (the orchestrator's Pause/Resume hook), then checks
+// for cancellation — a rollout aborted while paused must not start the
+// stage. It reports whether the plan must halt.
+func (r *waveRunner) gate(stage int) bool {
+	if gate := r.ctl.StageGate; gate != nil {
+		if err := gate(r.ctx, stage); err != nil {
+			if r.checkAbort(stage) {
+				return true
+			}
+			if r.err == nil {
+				r.err = fmt.Errorf("deploy: stage %d gate: %w", stage, err)
+			}
+			return true
+		}
+	}
+	return r.checkAbort(stage)
+}
+
 // emit delivers one event to the observer. An observer that cannot record
 // the transition halts the plan: a journal the rollout has outrun is no
 // longer a journal.
@@ -555,6 +629,9 @@ func (r *waveRunner) RunStage(st staging.Stage, done func()) {
 		done()
 		return
 	}
+	if r.gate(idx) {
+		return
+	}
 	r.emit(Event{Type: EventStageStarted, Stage: idx, UpgradeID: r.up.ID})
 	var waves []staging.Wave
 	for _, w := range st.Waves {
@@ -580,9 +657,13 @@ func (r *waveRunner) RunStage(st staging.Stage, done func()) {
 }
 
 // flushPromoted runs the waves promoted past their barriers as one merged
-// parallel wave.
+// parallel wave. The post-plan flush is a stage barrier like any other:
+// a paused rollout holds here too, and an abort skips the flush.
 func (r *waveRunner) flushPromoted() {
 	if len(r.promoted) == 0 {
+		return
+	}
+	if r.gate(-1) {
 		return
 	}
 	waves := r.promoted
@@ -606,6 +687,9 @@ func (r *waveRunner) converge(stage int, waves []staging.Wave, retryAll bool) {
 	all := r.members(waves)
 	pending := all
 	for len(pending) > 0 {
+		if r.checkAbort(stage) {
+			return
+		}
 		failed := r.testMembers(stage, pending)
 		if r.err != nil || len(failed) == 0 {
 			return
@@ -665,9 +749,9 @@ func (r *waveRunner) debug(stage int) bool {
 // returns the last error when the budget is exhausted.
 func (r *waveRunner) testWithRetry(n Node) (*report.Report, error) {
 	var rep *report.Report
-	err := r.ctl.retryTransient(func() error {
+	err := r.ctl.retryTransient(r.ctx, func(ctx context.Context) error {
 		var e error
-		rep, e = n.TestUpgrade(r.up)
+		rep, e = n.TestUpgrade(ctx, r.up)
 		return e
 	})
 	return rep, err
@@ -702,6 +786,9 @@ func (r *waveRunner) testMembers(stage int, ms []member) []member {
 	}
 	if workers <= 1 {
 		for i, m := range ms {
+			if r.ctx.Err() != nil {
+				break // abort: start no further member test
+			}
 			reports[i], errs[i] = r.testWithRetry(m.node)
 		}
 	} else {
@@ -712,6 +799,9 @@ func (r *waveRunner) testMembers(stage int, ms []member) []member {
 			go func() {
 				defer wg.Done()
 				for i := range idx {
+					if r.ctx.Err() != nil {
+						continue // abort: drain without starting new tests
+					}
 					reports[i], errs[i] = r.testWithRetry(ms[i].node)
 				}
 			}()
@@ -730,16 +820,23 @@ func (r *waveRunner) testMembers(stage int, ms []member) []member {
 	// non-transient error (in member order) halts the plan after this
 	// accounting pass. A journal failure is different: it stops the pass
 	// immediately, because side effects the journal cannot record must
-	// not happen.
+	// not happen. So does an abort: once the abandoned record is down,
+	// nothing may be journaled after it — reports produced in the abort
+	// window are deliberately dropped.
 	var failed []member
 	for i, m := range ms {
-		if r.halted {
+		if r.halted || r.checkAbort(stage) {
 			break
 		}
 		if errs[i] != nil {
 			if IsTransient(errs[i]) {
 				r.quarantine(stage, m, errs[i].Error())
 				continue
+			}
+			// A cancellation that surfaced as this member's error is the
+			// abort, not a node failure — record it as such (once).
+			if r.checkAbort(stage) {
+				break
 			}
 			if r.err == nil {
 				r.err = fmt.Errorf("deploy: testing %s on %s: %w", r.up.ID, m.node.Name(), errs[i])
@@ -773,7 +870,7 @@ func (r *waveRunner) testMembers(stage int, ms []member) []member {
 // final corrected upgrade. Each such node re-validates before integrating;
 // the re-validations run on the same worker pool as wave testing. Nodes
 // that fail the final version keep their earlier working upgrade.
-func (ctl *Controller) notifyFinal(final *pkgmgr.Upgrade, clusters []*Cluster, out *Outcome) error {
+func (ctl *Controller) notifyFinal(ctx context.Context, final *pkgmgr.Upgrade, clusters []*Cluster, out *Outcome) error {
 	var ms []member
 	for _, c := range clusters {
 		for _, n := range append(append([]Node(nil), c.Representatives...), c.Others...) {
@@ -787,7 +884,7 @@ func (ctl *Controller) notifyFinal(final *pkgmgr.Upgrade, clusters []*Cluster, o
 	if len(ms) == 0 {
 		return nil
 	}
-	r := &waveRunner{ctl: ctl, up: final, out: out, clean: make(map[string]bool), unclean: make(map[string]bool)}
+	r := &waveRunner{ctx: ctx, ctl: ctl, up: final, out: out, clean: make(map[string]bool), unclean: make(map[string]bool)}
 	r.testMembers(-1, ms)
 	return r.err
 }
@@ -799,10 +896,13 @@ func (ctl *Controller) notifyFinal(final *pkgmgr.Upgrade, clusters []*Cluster, o
 // actually reaches a node — so that on abandonment the outcome names the
 // last version that deployed, never a fix that no node integrated.
 func (r *waveRunner) integrateMember(stage int, m member) {
-	err := r.ctl.retryTransient(func() error { return m.node.Integrate(r.up) })
+	err := r.ctl.retryTransient(r.ctx, func(ctx context.Context) error { return m.node.Integrate(ctx, r.up) })
 	if err != nil {
 		if IsTransient(err) {
 			r.quarantine(stage, m, err.Error())
+			return
+		}
+		if r.checkAbort(stage) {
 			return
 		}
 		if r.err == nil {

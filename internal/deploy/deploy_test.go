@@ -1,6 +1,7 @@
 package deploy
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -18,7 +19,7 @@ type fakeNode struct {
 
 func (f *fakeNode) Name() string { return f.name }
 
-func (f *fakeNode) TestUpgrade(up *pkgmgr.Upgrade) (*report.Report, error) {
+func (f *fakeNode) TestUpgrade(_ context.Context, up *pkgmgr.Upgrade) (*report.Report, error) {
 	f.tests++
 	if reason, bad := f.failOn[up.ID]; bad {
 		return &report.Report{UpgradeID: up.ID, Machine: f.name, Success: false,
@@ -27,7 +28,7 @@ func (f *fakeNode) TestUpgrade(up *pkgmgr.Upgrade) (*report.Report, error) {
 	return &report.Report{UpgradeID: up.ID, Machine: f.name, Success: true}, nil
 }
 
-func (f *fakeNode) Integrate(up *pkgmgr.Upgrade) error {
+func (f *fakeNode) Integrate(_ context.Context, up *pkgmgr.Upgrade) error {
 	f.integrated = append(f.integrated, up.ID)
 	return nil
 }
@@ -35,7 +36,7 @@ func (f *fakeNode) Integrate(up *pkgmgr.Upgrade) error {
 // erringNode returns a transport-style error.
 type erringNode struct{ fakeNode }
 
-func (e *erringNode) TestUpgrade(*pkgmgr.Upgrade) (*report.Report, error) {
+func (e *erringNode) TestUpgrade(context.Context, *pkgmgr.Upgrade) (*report.Report, error) {
 	return nil, errors.New("connection refused")
 }
 
@@ -76,7 +77,7 @@ func TestBalancedCleanDeployment(t *testing.T) {
 	urr := report.New()
 	ctl := NewController(urr, nil)
 	clusters := twoClusters(nil)
-	out, err := ctl.Deploy(PolicyBalanced, up("v1"), clusters)
+	out, err := ctl.Deploy(context.Background(), PolicyBalanced, up("v1"), clusters)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +102,7 @@ func TestBalancedRepShieldsCluster(t *testing.T) {
 	}
 	urr := report.New()
 	ctl := NewController(urr, fixerChain(t, map[string]string{"v1": "v2"}))
-	out, err := ctl.Deploy(PolicyBalanced, up("v1"), twoClusters(bad))
+	out, err := ctl.Deploy(context.Background(), PolicyBalanced, up("v1"), twoClusters(bad))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +134,7 @@ func TestBalancedOrderNearestFirst(t *testing.T) {
 	urr := report.New()
 	ctl := NewController(urr, nil)
 	clusters := twoClusters(nil)
-	if _, err := ctl.Deploy(PolicyBalanced, up("v1"), clusters); err != nil {
+	if _, err := ctl.Deploy(context.Background(), PolicyBalanced, up("v1"), clusters); err != nil {
 		t.Fatal(err)
 	}
 	reports := urr.ForUpgrade("v1")
@@ -153,7 +154,7 @@ func TestFrontLoadingPhase1CatchesAllReps(t *testing.T) {
 	}
 	urr := report.New()
 	ctl := NewController(urr, fixerChain(t, map[string]string{"v1": "v2"}))
-	out, err := ctl.Deploy(PolicyFrontLoading, up("v1"), twoClusters(bad))
+	out, err := ctl.Deploy(context.Background(), PolicyFrontLoading, up("v1"), twoClusters(bad))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +174,7 @@ func TestFrontLoadingPhase1CatchesAllReps(t *testing.T) {
 func TestFrontLoadingPhase2FarthestFirst(t *testing.T) {
 	urr := report.New()
 	ctl := NewController(urr, nil)
-	if _, err := ctl.Deploy(PolicyFrontLoading, up("v1"), twoClusters(nil)); err != nil {
+	if _, err := ctl.Deploy(context.Background(), PolicyFrontLoading, up("v1"), twoClusters(nil)); err != nil {
 		t.Fatal(err)
 	}
 	var nonRepClusters []string
@@ -195,7 +196,7 @@ func TestNoStagingEveryoneTests(t *testing.T) {
 	}
 	urr := report.New()
 	ctl := NewController(urr, fixerChain(t, map[string]string{"v1": "v2"}))
-	out, err := ctl.Deploy(PolicyNoStaging, up("v1"), twoClusters(bad))
+	out, err := ctl.Deploy(context.Background(), PolicyNoStaging, up("v1"), twoClusters(bad))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -213,7 +214,7 @@ func TestUrgentBypassesStaging(t *testing.T) {
 	ctl := NewController(urr, nil)
 	u := up("sec-patch")
 	u.Urgent = true
-	out, err := ctl.Deploy(PolicyBalanced, u, twoClusters(nil))
+	out, err := ctl.Deploy(context.Background(), PolicyBalanced, u, twoClusters(nil))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -230,7 +231,7 @@ func TestVendorGivesUp(t *testing.T) {
 	ctl := NewController(urr, func(*pkgmgr.Upgrade, []*report.Report) (*pkgmgr.Upgrade, bool) {
 		return nil, false
 	})
-	out, err := ctl.Deploy(PolicyBalanced, up("v1"), twoClusters(bad))
+	out, err := ctl.Deploy(context.Background(), PolicyBalanced, up("v1"), twoClusters(bad))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -251,7 +252,7 @@ func TestMaxRoundsBound(t *testing.T) {
 	urr := report.New()
 	ctl := NewController(urr, fixerChain(t, map[string]string{"v1": "v2", "v2": "v3", "v3": "v3"}))
 	ctl.MaxRounds = 2
-	out, err := ctl.Deploy(PolicyBalanced, up("v1"), twoClusters(bad))
+	out, err := ctl.Deploy(context.Background(), PolicyBalanced, up("v1"), twoClusters(bad))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -267,7 +268,7 @@ func TestNodeErrorPropagates(t *testing.T) {
 		ID: "c", Distance: 1,
 		Representatives: []Node{&erringNode{fakeNode{name: "broken"}}},
 	}}
-	if _, err := ctl.Deploy(PolicyBalanced, up("v1"), clusters); err == nil {
+	if _, err := ctl.Deploy(context.Background(), PolicyBalanced, up("v1"), clusters); err == nil {
 		t.Fatal("node error swallowed")
 	}
 }

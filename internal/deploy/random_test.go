@@ -1,6 +1,7 @@
 package deploy
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/pkgmgr"
@@ -11,7 +12,7 @@ func TestRandomStagingDeploysEveryone(t *testing.T) {
 	urr := report.New()
 	ctl := NewController(urr, nil)
 	ctl.Seed = 7
-	out, err := ctl.Deploy(PolicyRandomStaging, up("v1"), twoClusters(nil))
+	out, err := ctl.Deploy(context.Background(), PolicyRandomStaging, up("v1"), twoClusters(nil))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -32,7 +33,7 @@ func TestRandomStagingStillShieldsNonReps(t *testing.T) {
 	urr := report.New()
 	ctl := NewController(urr, fixerChain(t, map[string]string{"v1": "v2"}))
 	ctl.Seed = 99
-	out, err := ctl.Deploy(PolicyRandomStaging, up("v1"), twoClusters(bad))
+	out, err := ctl.Deploy(context.Background(), PolicyRandomStaging, up("v1"), twoClusters(bad))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +52,7 @@ func TestRandomStagingDeterministicPerSeed(t *testing.T) {
 		urr := report.New()
 		ctl := NewController(urr, nil)
 		ctl.Seed = seed
-		if _, err := ctl.Deploy(PolicyRandomStaging, up("v1"), twoClusters(nil)); err != nil {
+		if _, err := ctl.Deploy(context.Background(), PolicyRandomStaging, up("v1"), twoClusters(nil)); err != nil {
 			t.Fatal(err)
 		}
 		var seqs []int
@@ -84,7 +85,7 @@ func TestRandomStagingAbandonment(t *testing.T) {
 	ctl := NewController(urr, func(*pkgmgr.Upgrade, []*report.Report) (*pkgmgr.Upgrade, bool) {
 		return nil, false
 	})
-	out, err := ctl.Deploy(PolicyRandomStaging, up("v1"), twoClusters(bad))
+	out, err := ctl.Deploy(context.Background(), PolicyRandomStaging, up("v1"), twoClusters(bad))
 	if err != nil {
 		t.Fatal(err)
 	}

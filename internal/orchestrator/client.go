@@ -1,0 +1,159 @@
+package orchestrator
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+)
+
+// Client speaks the admin API from the other end of the wire — the
+// library behind cmd/mirage-ctl, and the proof that the HTTP surface is
+// complete: everything a Handle can do locally, a Client can do remotely.
+type Client struct {
+	// Base is the control plane's root URL, e.g. "http://127.0.0.1:7080".
+	Base string
+	// HTTP is the underlying client (http.DefaultClient if nil). Long
+	// polls (Events, Wait) hold a request open up to the server's window,
+	// so a custom client needs a generous or absent timeout.
+	HTTP *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// do issues one request and decodes the JSON reply into out, converting
+// {"error": ...} replies into errors.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.Base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 400 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+			return fmt.Errorf("mirage-ctl: %s %s: %s", method, path, e.Error)
+		}
+		return fmt.Errorf("mirage-ctl: %s %s: HTTP %d", method, path, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(raw, out)
+}
+
+// Start launches a rollout and returns its initial status (the ID field
+// is what every other verb takes).
+func (c *Client) Start(ctx context.Context, req StartRequest) (Status, error) {
+	var st Status
+	err := c.do(ctx, http.MethodPost, "/rollouts", req, &st)
+	return st, err
+}
+
+// List returns the status of every rollout the control plane knows.
+func (c *Client) List(ctx context.Context) ([]Status, error) {
+	var sts []Status
+	err := c.do(ctx, http.MethodGet, "/rollouts", nil, &sts)
+	return sts, err
+}
+
+// Get returns one rollout's status.
+func (c *Client) Get(ctx context.Context, id string) (Status, error) {
+	var st Status
+	err := c.do(ctx, http.MethodGet, "/rollouts/"+url.PathEscape(id), nil, &st)
+	return st, err
+}
+
+// Pause asks the rollout to hold at its next stage barrier.
+func (c *Client) Pause(ctx context.Context, id string) (Status, error) {
+	var st Status
+	err := c.do(ctx, http.MethodPost, "/rollouts/"+url.PathEscape(id)+"/pause", nil, &st)
+	return st, err
+}
+
+// Resume releases a paused rollout.
+func (c *Client) Resume(ctx context.Context, id string) (Status, error) {
+	var st Status
+	err := c.do(ctx, http.MethodPost, "/rollouts/"+url.PathEscape(id)+"/resume", nil, &st)
+	return st, err
+}
+
+// Abort cancels the rollout; the reply's status is terminal.
+func (c *Client) Abort(ctx context.Context, id string) (Status, error) {
+	var st Status
+	err := c.do(ctx, http.MethodPost, "/rollouts/"+url.PathEscape(id)+"/abort", nil, &st)
+	return st, err
+}
+
+// Events fetches one long-poll page of the rollout's event stream,
+// holding the request open up to `wait` when the cursor is at the tip.
+func (c *Client) Events(ctx context.Context, id string, since int, wait time.Duration) (EventsResponse, error) {
+	q := url.Values{}
+	if since > 0 {
+		q.Set("since", strconv.Itoa(since))
+	}
+	if wait > 0 {
+		q.Set("wait", wait.String())
+	}
+	path := "/rollouts/" + url.PathEscape(id) + "/events"
+	if enc := q.Encode(); enc != "" {
+		path += "?" + enc
+	}
+	var er EventsResponse
+	err := c.do(ctx, http.MethodGet, path, nil, &er)
+	return er, err
+}
+
+// Wait blocks until the rollout is terminal or ctx is done, re-issuing
+// bounded server-side waits (window per round trip) so no single HTTP
+// request outlives the server's long-poll cap. It returns the final
+// status.
+func (c *Client) Wait(ctx context.Context, id string, window time.Duration) (Status, error) {
+	if window <= 0 {
+		window = 30 * time.Second
+	}
+	for {
+		var wr WaitResponse
+		path := "/rollouts/" + url.PathEscape(id) + "/wait?timeout=" + url.QueryEscape(window.String())
+		if err := c.do(ctx, http.MethodPost, path, nil, &wr); err != nil {
+			return Status{}, err
+		}
+		if wr.Done {
+			return wr.Status, nil
+		}
+		if err := ctx.Err(); err != nil {
+			return wr.Status, err
+		}
+	}
+}

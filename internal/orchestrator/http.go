@@ -1,0 +1,220 @@
+package orchestrator
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/rollout"
+	"repro/internal/staging"
+)
+
+// StartRequest is the wire form of "start a rollout". The admin API
+// deliberately does not accept arbitrary upgrade payloads or cluster
+// topologies over HTTP: the serving vendor already owns its clustered
+// fleet and release store, so a request only picks the policy (and
+// whether to resume the journal of a previous life of this rollout).
+type StartRequest struct {
+	// Policy is the staged deployment protocol name (balanced,
+	// frontloading, nostaging, random, adaptive). Empty means balanced.
+	Policy string `json:"policy,omitempty"`
+	// Resume replays the journal named by Journal instead of starting
+	// fresh; it requires Journal (a fresh rollout ID's default path can
+	// never be the interrupted rollout's file).
+	Resume bool `json:"resume,omitempty"`
+	// Journal overrides the journal file path.
+	Journal string `json:"journal,omitempty"`
+}
+
+// Launcher maps an admin start request to a full rollout Spec — the hook
+// through which mirage-vendor supplies its fleet, upgrade artifact,
+// debugging loop and release store.
+type Launcher func(req StartRequest) (Spec, error)
+
+// EventsResponse is one long-poll page of a rollout's event stream.
+type EventsResponse struct {
+	Events []rollout.Record `json:"events"`
+	// Next is the cursor to pass as ?since= for the following page.
+	Next int `json:"next"`
+	// Done means the rollout is terminal and the log is exhausted.
+	Done bool `json:"done"`
+}
+
+// WaitResponse reports whether the rollout finished within the wait
+// window, with its (possibly still-moving) status either way.
+type WaitResponse struct {
+	Done   bool   `json:"done"`
+	Status Status `json:"status"`
+}
+
+// API is the HTTP admin surface over an orchestrator:
+//
+//	POST /rollouts                  {policy, resume?}        → Status
+//	GET  /rollouts                                           → []Status
+//	GET  /rollouts/{id}                                      → Status
+//	GET  /rollouts/{id}/events?since=N&wait=30s  (long-poll) → EventsResponse
+//	POST /rollouts/{id}/pause                                → Status
+//	POST /rollouts/{id}/resume                               → Status
+//	POST /rollouts/{id}/abort                                → Status
+//	POST /rollouts/{id}/wait?timeout=30s                     → WaitResponse
+//
+// Errors are {"error": "..."} with a 4xx/5xx status.
+type API struct {
+	Orch *Orchestrator
+	// Launch builds the Spec for POST /rollouts. A nil Launch makes
+	// starting over HTTP a 501 — list/observe/control still work.
+	Launch Launcher
+	// Base, when set, is the parent context of HTTP-started rollouts
+	// (default context.Background(): a rollout must outlive the HTTP
+	// request that started it).
+	Base context.Context
+	// MaxWait caps the ?wait=/?timeout= long-poll windows (default 60s).
+	MaxWait time.Duration
+}
+
+// Handler returns the API's routes as an http.Handler.
+func (a *API) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /rollouts", a.start)
+	mux.HandleFunc("GET /rollouts", a.list)
+	mux.HandleFunc("GET /rollouts/{id}", a.get)
+	mux.HandleFunc("GET /rollouts/{id}/events", a.events)
+	mux.HandleFunc("POST /rollouts/{id}/pause", a.pause)
+	mux.HandleFunc("POST /rollouts/{id}/resume", a.resume)
+	mux.HandleFunc("POST /rollouts/{id}/abort", a.abort)
+	mux.HandleFunc("POST /rollouts/{id}/wait", a.wait)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck — client gone is client's problem
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func (a *API) handle(w http.ResponseWriter, r *http.Request) (*Handle, bool) {
+	h, ok := a.Orch.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("no rollout "+r.PathValue("id")))
+		return nil, false
+	}
+	return h, true
+}
+
+// window resolves a client-requested wait duration against MaxWait.
+func (a *API) window(raw string) time.Duration {
+	max := a.MaxWait
+	if max <= 0 {
+		max = time.Minute
+	}
+	if raw == "" {
+		return max
+	}
+	d, err := time.ParseDuration(raw)
+	if err != nil || d <= 0 || d > max {
+		return max
+	}
+	return d
+}
+
+func (a *API) start(w http.ResponseWriter, r *http.Request) {
+	if a.Launch == nil {
+		writeError(w, http.StatusNotImplemented, errors.New("this control plane does not launch rollouts"))
+		return
+	}
+	var req StartRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Policy != "" {
+		if _, ok := staging.ParsePolicy(req.Policy); !ok {
+			writeError(w, http.StatusBadRequest, errors.New("unknown policy "+strconv.Quote(req.Policy)))
+			return
+		}
+	}
+	spec, err := a.Launch(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	base := a.Base
+	if base == nil {
+		base = context.Background()
+	}
+	h, err := a.Orch.Start(base, spec)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, h.Status())
+}
+
+func (a *API) list(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, a.Orch.Statuses())
+}
+
+func (a *API) get(w http.ResponseWriter, r *http.Request) {
+	if h, ok := a.handle(w, r); ok {
+		writeJSON(w, http.StatusOK, h.Status())
+	}
+}
+
+func (a *API) events(w http.ResponseWriter, r *http.Request) {
+	h, ok := a.handle(w, r)
+	if !ok {
+		return
+	}
+	since, _ := strconv.Atoi(r.URL.Query().Get("since"))
+	ctx, cancel := context.WithTimeout(r.Context(), a.window(r.URL.Query().Get("wait")))
+	defer cancel()
+	recs, done := h.EventsSince(ctx, since)
+	writeJSON(w, http.StatusOK, EventsResponse{
+		Events: recs,
+		Next:   since + len(recs),
+		Done:   done,
+	})
+}
+
+func (a *API) pause(w http.ResponseWriter, r *http.Request) {
+	if h, ok := a.handle(w, r); ok {
+		h.Pause()
+		writeJSON(w, http.StatusOK, h.Status())
+	}
+}
+
+func (a *API) resume(w http.ResponseWriter, r *http.Request) {
+	if h, ok := a.handle(w, r); ok {
+		h.ResumeRun()
+		writeJSON(w, http.StatusOK, h.Status())
+	}
+}
+
+func (a *API) abort(w http.ResponseWriter, r *http.Request) {
+	if h, ok := a.handle(w, r); ok {
+		h.Abort()
+		writeJSON(w, http.StatusOK, h.Status())
+	}
+}
+
+func (a *API) wait(w http.ResponseWriter, r *http.Request) {
+	h, ok := a.handle(w, r)
+	if !ok {
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), a.window(r.URL.Query().Get("timeout")))
+	defer cancel()
+	select {
+	case <-h.Done():
+		writeJSON(w, http.StatusOK, WaitResponse{Done: true, Status: h.Status()})
+	case <-ctx.Done():
+		writeJSON(w, http.StatusOK, WaitResponse{Done: false, Status: h.Status()})
+	}
+}

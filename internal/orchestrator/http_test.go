@@ -1,0 +1,198 @@
+package orchestrator
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/deploy"
+	"repro/internal/rollout"
+)
+
+// TestHTTPRoundTrip drives the full lifecycle — start → status → pause →
+// resume → wait, plus the event long-poll — through the same Client that
+// cmd/mirage-ctl wraps, against the same API handler mirage-vendor -serve
+// mounts.
+func TestHTTPRoundTrip(t *testing.T) {
+	gated := &gatedNode{
+		okNode:  okNode{name: "http-c0-rep"},
+		started: make(chan struct{}),
+		release: make(chan struct{}),
+	}
+	orch := New(t.TempDir())
+	api := &API{
+		Orch: orch,
+		Launch: func(req StartRequest) (Spec, error) {
+			policy := deploy.PolicyBalanced
+			return Spec{
+				Policy:   policy,
+				Upgrade:  upgrade("v1"),
+				Clusters: fleet("http", 2, map[string]deploy.Node{"http-c0-rep": gated}),
+				Journal:  req.Journal,
+				Resume:   req.Resume,
+			}, nil
+		},
+		MaxWait: 5 * time.Second,
+	}
+	ts := httptest.NewServer(api.Handler())
+	t.Cleanup(ts.Close)
+	c := &Client{Base: ts.URL}
+	ctx := context.Background()
+
+	// start
+	st, err := c.Start(ctx, StartRequest{Policy: "balanced"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := st.ID
+	if id == "" || st.Stages != 4 {
+		t.Fatalf("start status = %+v", st)
+	}
+
+	// status while mid-wave
+	<-gated.started
+	st, err = c.Get(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateRunning || st.Stage != 0 {
+		t.Fatalf("running status = %+v", st)
+	}
+
+	// pause, then let the in-flight stage converge into the barrier
+	if st, err = c.Pause(ctx, id); err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StatePausing {
+		t.Fatalf("pause status = %s", st.State)
+	}
+	gated.release <- struct{}{}
+	deadline := time.Now().Add(5 * time.Second)
+	for st.State != StatePaused {
+		if time.Now().After(deadline) {
+			t.Fatalf("state = %s, want paused", st.State)
+		}
+		if st, err = c.Get(ctx, id); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// a wait that cannot finish while paused reports done=false
+	short, err := c.Events(ctx, id, st.Events, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if short.Done || len(short.Events) != 0 {
+		t.Fatalf("long-poll at tip while paused = %+v", short)
+	}
+
+	// resume → wait → succeeded
+	if _, err = c.Resume(ctx, id); err != nil {
+		t.Fatal(err)
+	}
+	st, err = c.Wait(ctx, id, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateSucceeded || st.Integrated != 4 {
+		t.Fatalf("final status = %+v", st)
+	}
+
+	// the event log pages to done and walks the whole plan
+	var all []rollout.Record
+	since := 0
+	for {
+		page, err := c.Events(ctx, id, since, time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, page.Events...)
+		since = page.Next
+		if page.Done {
+			break
+		}
+	}
+	gates := 0
+	for _, ev := range all {
+		if ev.Type == rollout.RecGate {
+			gates++
+		}
+	}
+	if gates != 4 || len(all) != st.Events {
+		t.Fatalf("event log: %d records, %d gates (status says %d events)", len(all), gates, st.Events)
+	}
+
+	// list knows the rollout; unknown IDs 404 with a named error
+	sts, err := c.List(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sts) != 1 || sts[0].ID != id {
+		t.Fatalf("list = %+v", sts)
+	}
+	if _, err := c.Get(ctx, "r999"); err == nil || !strings.Contains(err.Error(), "no rollout") {
+		t.Fatalf("missing-rollout error = %v", err)
+	}
+}
+
+// TestHTTPAbort covers the remaining verb: an HTTP abort terminates the
+// rollout and reports the aborted state in the reply.
+func TestHTTPAbort(t *testing.T) {
+	stuck := &stuckNode{okNode: okNode{name: "ha-c0-rep"}, started: make(chan struct{})}
+	orch := New(t.TempDir())
+	api := &API{Orch: orch, Launch: func(StartRequest) (Spec, error) {
+		return Spec{
+			Policy:   deploy.PolicyBalanced,
+			Upgrade:  upgrade("v1"),
+			Clusters: fleet("ha", 1, map[string]deploy.Node{"ha-c0-rep": stuck}),
+		}, nil
+	}}
+	ts := httptest.NewServer(api.Handler())
+	t.Cleanup(ts.Close)
+	c := &Client{Base: ts.URL}
+	ctx := context.Background()
+
+	st, err := c.Start(ctx, StartRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-stuck.started
+	st, err = c.Abort(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateAborted {
+		t.Fatalf("abort status = %s", st.State)
+	}
+	recs, err := rollout.Load(st.Journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last := recs[len(recs)-1]; last.Type != rollout.RecAbandoned {
+		t.Fatalf("journal tail = %+v", last)
+	}
+}
+
+// TestHTTPStartValidation: bad policies and a missing launcher are typed
+// client-visible errors, not panics.
+func TestHTTPStartValidation(t *testing.T) {
+	orch := New("")
+	api := &API{Orch: orch, Launch: func(StartRequest) (Spec, error) {
+		return Spec{Policy: deploy.PolicyBalanced, Upgrade: upgrade("v1"), Clusters: fleet("hv", 1, nil)}, nil
+	}}
+	ts := httptest.NewServer(api.Handler())
+	t.Cleanup(ts.Close)
+	c := &Client{Base: ts.URL}
+	if _, err := c.Start(context.Background(), StartRequest{Policy: "warp-speed"}); err == nil || !strings.Contains(err.Error(), "unknown policy") {
+		t.Fatalf("bad policy error = %v", err)
+	}
+
+	noLaunch := httptest.NewServer((&API{Orch: orch}).Handler())
+	t.Cleanup(noLaunch.Close)
+	c2 := &Client{Base: noLaunch.URL}
+	if _, err := c2.Start(context.Background(), StartRequest{}); err == nil || !strings.Contains(err.Error(), "does not launch") {
+		t.Fatalf("no-launcher error = %v", err)
+	}
+}

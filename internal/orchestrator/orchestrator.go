@@ -1,0 +1,560 @@
+// Package orchestrator is Mirage's rollout control plane: it turns a
+// staged deployment from a blocking function call into a first-class,
+// observable, cancellable lifecycle. One Orchestrator owns any number of
+// concurrent rollouts, each identified by an ID and backed by its own
+// write-ahead deployment journal; a Handle exposes the lifecycle verbs —
+// Status snapshots and an event stream built from the deploy.Observer
+// transitions, Pause/ResumeRun (a barrier between plan stages),
+// Abort (context cancellation, journaled as abandoned so the rollout can
+// never half-resume), and Wait.
+//
+// The HTTP admin surface over this API lives in this package too
+// (API/Handler, long-poll events), together with the Go client that
+// cmd/mirage-ctl wraps, so the wire vocabulary — status and event JSON —
+// is defined exactly once. core.Vendor.StageDeployment is a thin
+// synchronous wrapper over Start+Wait, which is what keeps the one-shot
+// API and the control plane from drifting apart.
+package orchestrator
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/deploy"
+	"repro/internal/pkgmgr"
+	"repro/internal/report"
+	"repro/internal/rollout"
+)
+
+// Spec describes one rollout to start.
+type Spec struct {
+	// Policy selects the staged deployment protocol.
+	Policy deploy.Policy
+	// Upgrade is the artifact to deploy.
+	Upgrade *pkgmgr.Upgrade
+	// Clusters are the clusters of deployment to roll over.
+	Clusters []*deploy.Cluster
+	// Fix is the vendor's debugging loop (nil means no fixes: the first
+	// failure wave abandons the upgrade once rounds are exhausted).
+	Fix deploy.Fixer
+	// URR receives validation reports; a fresh repository is used if nil.
+	URR *report.URR
+	// Journal is the rollout's write-ahead journal file. Empty means
+	// <Orchestrator.JournalDir>/<id>.journal, or — when the orchestrator
+	// has no journal directory either — an unjournaled in-memory rollout.
+	Journal string
+	// Resume replays the existing journal instead of truncating it; the
+	// rollout continues exactly where the journal ends (or Start's Wait
+	// surfaces why it refuses: plan mismatch, sealed, abandoned).
+	Resume bool
+	// Rebuild maps journaled upgrade IDs back to artifacts on resume —
+	// the vendor's release store (see rollout.Engine.Rebuild).
+	Rebuild func(upgradeID string) (*pkgmgr.Upgrade, bool)
+	// Configure, when set, adjusts the freshly built controller before
+	// the rollout starts: worker-pool size, transfer counters, retry
+	// budget, shuffle seed. It must not install Observer, Cursor or
+	// StageGate — those belong to the orchestrator and the engine.
+	Configure func(*deploy.Controller)
+}
+
+// State names a phase of the rollout lifecycle.
+type State string
+
+const (
+	// StateRunning: the plan is executing.
+	StateRunning State = "running"
+	// StatePausing: a pause was requested; the rollout finishes its
+	// current stage and holds at the next stage barrier.
+	StatePausing State = "pausing"
+	// StatePaused: the rollout is holding at a stage barrier.
+	StatePaused State = "paused"
+	// StateSucceeded: the plan completed and the journal is sealed.
+	StateSucceeded State = "succeeded"
+	// StateAbandoned: the vendor gave up debugging the upgrade.
+	StateAbandoned State = "abandoned"
+	// StateAborted: the rollout was cancelled (Abort or ctx); the journal
+	// records it as abandoned, so it can never resume.
+	StateAborted State = "aborted"
+	// StateFailed: an infrastructure error halted the plan — unlike
+	// abandonment this is not a verdict on the upgrade.
+	StateFailed State = "failed"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	switch s {
+	case StateSucceeded, StateAbandoned, StateAborted, StateFailed:
+		return true
+	}
+	return false
+}
+
+// MemberStatus is one member's view in a status snapshot.
+type MemberStatus struct {
+	Cluster     string `json:"cluster"`
+	Tests       int    `json:"tests,omitempty"`
+	Failures    int    `json:"failures,omitempty"`
+	UpgradeID   string `json:"upgrade,omitempty"` // version integrated, "" if none
+	Quarantined bool   `json:"quarantined,omitempty"`
+}
+
+// Status is a point-in-time snapshot of a rollout, built by folding the
+// deploy.Observer event stream — the same records the journal holds.
+type Status struct {
+	ID     string `json:"id"`
+	State  State  `json:"state"`
+	Policy string `json:"policy"`
+	// UpgradeID is the version currently deploying (advances as fixes
+	// ship); FinalID the last version a member actually integrated.
+	UpgradeID string `json:"upgrade"`
+	FinalID   string `json:"final,omitempty"`
+	// Stage is the last plan stage that started (-1 before the first);
+	// Stages the total stage count of the plan.
+	Stage       int                      `json:"stage"`
+	Stages      int                      `json:"stages"`
+	GatesPassed int                      `json:"gates_passed"`
+	Rounds      int                      `json:"rounds"`
+	Tested      int                      `json:"tested"`
+	Failures    int                      `json:"failures"`
+	Integrated  int                      `json:"integrated"`
+	Quarantined int                      `json:"quarantined"`
+	Members     map[string]*MemberStatus `json:"members,omitempty"`
+	Journal     string                   `json:"journal,omitempty"`
+	// Events is the count of events so far — the long-poll cursor.
+	Events int    `json:"events"`
+	Error  string `json:"error,omitempty"`
+}
+
+// Orchestrator runs and tracks concurrent rollouts.
+type Orchestrator struct {
+	// JournalDir, when non-empty, gives every rollout without an explicit
+	// Spec.Journal its own journal file <JournalDir>/<id>.journal.
+	JournalDir string
+
+	mu       sync.Mutex
+	seq      int
+	rollouts map[string]*Handle
+	order    []string
+}
+
+// New returns an orchestrator journaling under dir ("" disables default
+// journaling; individual specs may still name a journal file).
+func New(dir string) *Orchestrator {
+	return &Orchestrator{JournalDir: dir, rollouts: make(map[string]*Handle)}
+}
+
+// Get returns the handle of a known rollout.
+func (o *Orchestrator) Get(id string) (*Handle, bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	h, ok := o.rollouts[id]
+	return h, ok
+}
+
+// List returns every rollout handle in start order.
+func (o *Orchestrator) List() []*Handle {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make([]*Handle, 0, len(o.order))
+	for _, id := range o.order {
+		out = append(out, o.rollouts[id])
+	}
+	return out
+}
+
+// Start launches the rollout described by spec and returns its handle.
+// The rollout runs on its own goroutine until the plan completes, the
+// vendor abandons, an error halts it, or ctx is cancelled (Abort cancels
+// a derived context, so an operator abort never requires the caller's).
+// Start itself only validates the spec; resume refusals and journal
+// errors surface from Wait, like every other terminal outcome.
+func (o *Orchestrator) Start(ctx context.Context, spec Spec) (*Handle, error) {
+	if spec.Upgrade == nil {
+		return nil, errors.New("orchestrator: spec has no upgrade")
+	}
+	if len(spec.Clusters) == 0 {
+		return nil, errors.New("orchestrator: spec has no clusters of deployment")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	urr := spec.URR
+	if urr == nil {
+		urr = report.New()
+	}
+	ctl := deploy.NewController(urr, spec.Fix)
+	if spec.Configure != nil {
+		spec.Configure(ctl)
+	}
+
+	o.mu.Lock()
+	o.seq++
+	id := fmt.Sprintf("r%d", o.seq)
+	o.mu.Unlock()
+
+	// Resume must name its journal explicitly: every Start mints a fresh
+	// ID, so the default per-ID path can never point at the interrupted
+	// rollout's file — silently resuming some other journal that happens
+	// to live there would be worse than refusing.
+	if spec.Resume && spec.Journal == "" {
+		return nil, errors.New("orchestrator: resume requires Spec.Journal to name the interrupted rollout's journal file")
+	}
+	journal := spec.Journal
+	if journal == "" && o.JournalDir != "" {
+		journal = filepath.Join(o.JournalDir, id+".journal")
+	}
+
+	// Mirror the controller's urgent bypass so the stage count describes
+	// the plan that will actually execute.
+	policy := spec.Policy
+	if spec.Upgrade.Urgent {
+		policy = deploy.PolicyNoStaging
+	}
+	plan := ctl.PlanFor(policy, spec.Clusters)
+
+	rctx, cancel := context.WithCancel(ctx)
+	h := &Handle{
+		id:      id,
+		cancel:  cancel,
+		done:    make(chan struct{}),
+		changed: make(chan struct{}),
+		unpause: make(chan struct{}),
+		status: Status{
+			ID:        id,
+			State:     StateRunning,
+			Policy:    plan.Policy.String(),
+			UpgradeID: spec.Upgrade.ID,
+			Stage:     -1,
+			Stages:    len(plan.Stages),
+			Members:   make(map[string]*MemberStatus),
+			Journal:   journal,
+		},
+	}
+	for _, c := range spec.Clusters {
+		for _, n := range c.Representatives {
+			h.status.Members[n.Name()] = &MemberStatus{Cluster: c.ID}
+		}
+		for _, n := range c.Others {
+			h.status.Members[n.Name()] = &MemberStatus{Cluster: c.ID}
+		}
+	}
+
+	o.mu.Lock()
+	o.rollouts[id] = h
+	o.order = append(o.order, id)
+	o.mu.Unlock()
+
+	go h.run(rctx, ctl, spec, journal)
+	return h, nil
+}
+
+// Statuses returns a snapshot of every rollout, in start order.
+func (o *Orchestrator) Statuses() []Status {
+	hs := o.List()
+	out := make([]Status, len(hs))
+	for i, h := range hs {
+		out[i] = h.Status()
+	}
+	return out
+}
+
+// Handle is the caller's grip on one running (or finished) rollout.
+type Handle struct {
+	id     string
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	mu      sync.Mutex
+	status  Status
+	events  []rollout.Record
+	changed chan struct{} // closed and replaced on every append/transition
+	paused  bool
+	unpause chan struct{} // closed on ResumeRun
+	out     *deploy.Outcome
+	err     error
+}
+
+// ID identifies the rollout within its orchestrator.
+func (h *Handle) ID() string { return h.id }
+
+// run executes the rollout to completion.
+func (h *Handle) run(ctx context.Context, ctl *deploy.Controller, spec Spec, journal string) {
+	ctl.StageGate = h.gate
+	var out *deploy.Outcome
+	var err error
+	if journal != "" {
+		eng := &rollout.Engine{
+			Controller: ctl,
+			Path:       journal,
+			Resume:     spec.Resume,
+			Rebuild:    spec.Rebuild,
+			Observer:   h,
+		}
+		out, err = eng.Deploy(ctx, spec.Policy, spec.Upgrade, spec.Clusters)
+	} else {
+		ctl.Observer = h
+		out, err = ctl.Deploy(ctx, spec.Policy, spec.Upgrade, spec.Clusters)
+	}
+
+	h.mu.Lock()
+	h.out, h.err = out, err
+	switch {
+	case err == nil && (out == nil || !out.Abandoned):
+		h.status.State = StateSucceeded
+	case err == nil:
+		h.status.State = StateAbandoned
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		h.status.State = StateAborted
+	default:
+		h.status.State = StateFailed
+	}
+	if err != nil {
+		h.status.Error = err.Error()
+	}
+	if out != nil {
+		h.status.FinalID = out.FinalID
+		h.status.Rounds = out.Rounds
+	}
+	h.signalLocked()
+	h.mu.Unlock()
+	close(h.done)
+}
+
+// signalLocked wakes event and status waiters; callers hold h.mu.
+func (h *Handle) signalLocked() {
+	close(h.changed)
+	h.changed = make(chan struct{})
+}
+
+// gate implements deploy.Controller.StageGate: it holds the plan at the
+// stage barrier while the rollout is paused.
+func (h *Handle) gate(ctx context.Context, stage int) error {
+	for {
+		h.mu.Lock()
+		if !h.paused {
+			if h.status.State == StatePaused || h.status.State == StatePausing {
+				h.status.State = StateRunning
+				h.signalLocked()
+			}
+			h.mu.Unlock()
+			return ctx.Err()
+		}
+		if h.status.State != StatePaused {
+			h.status.State = StatePaused
+			h.signalLocked()
+		}
+		ch := h.unpause
+		h.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// Pause asks the rollout to hold at the next stage barrier (the current
+// stage finishes; stages are the unit of consistency — a wave is never
+// stopped halfway through its gate bookkeeping). Pausing a terminal or
+// already-paused rollout is a no-op.
+func (h *Handle) Pause() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.paused || h.status.State.Terminal() {
+		return
+	}
+	h.paused = true
+	h.unpause = make(chan struct{})
+	if !h.status.State.Terminal() {
+		h.status.State = StatePausing
+		h.signalLocked()
+	}
+}
+
+// ResumeRun releases a paused rollout from its stage barrier. (Named to
+// leave "Resume" for journal resumption, which is a different thing: that
+// revives a dead process's rollout, this unblocks a live one.)
+func (h *Handle) ResumeRun() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if !h.paused {
+		return
+	}
+	h.paused = false
+	close(h.unpause)
+	if !h.status.State.Terminal() {
+		h.status.State = StateRunning
+		h.signalLocked()
+	}
+}
+
+// Abort cancels the rollout and blocks until its goroutine has fully
+// stopped: when Abort returns, no member is being tested and none will
+// be, and the journal ends with the abandoned record (unless the rollout
+// had already finished). Abort of a finished rollout is a no-op.
+func (h *Handle) Abort() {
+	h.cancel()
+	<-h.done
+}
+
+// Wait blocks until the rollout reaches a terminal state and returns its
+// outcome, or returns ctx.Err() if ctx is done first (the rollout keeps
+// running; Wait is an observer, not an owner).
+func (h *Handle) Wait(ctx context.Context) (*deploy.Outcome, error) {
+	select {
+	case <-h.done:
+		return h.out, h.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Done returns a channel closed when the rollout reaches a terminal
+// state.
+func (h *Handle) Done() <-chan struct{} { return h.done }
+
+// Status returns a point-in-time snapshot.
+func (h *Handle) Status() Status {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st := h.status
+	st.Events = len(h.events)
+	members := make(map[string]*MemberStatus, len(h.status.Members))
+	for name, m := range h.status.Members {
+		cp := *m
+		members[name] = &cp
+	}
+	st.Members = members
+	return st
+}
+
+// OnEvent implements deploy.Observer: every state transition (already
+// durable in the journal, when there is one) is appended to the event log
+// and folded into the status snapshot. It never fails — the in-memory
+// view is advisory; the journal is the arbiter.
+func (h *Handle) OnEvent(ev deploy.Event) error {
+	rec, err := rollout.RecordOf(ev)
+	if err != nil {
+		return nil // unknown event type: ignore in the advisory view
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	rec.Seq = len(h.events) + 1
+	h.events = append(h.events, rec)
+	st := &h.status
+	switch rec.Type {
+	case rollout.RecStageStart:
+		st.Stage = rec.Stage
+		st.UpgradeID = rec.UpgradeID
+	case rollout.RecGate:
+		st.GatesPassed++
+	case rollout.RecTested:
+		st.Tested++
+		if m := st.Members[rec.Node]; m != nil {
+			m.Tests++
+			if !rec.Success {
+				m.Failures++
+			}
+		}
+		if !rec.Success {
+			st.Failures++
+		}
+	case rollout.RecIntegrated:
+		st.FinalID = rec.UpgradeID
+		if m := st.Members[rec.Node]; m != nil {
+			if m.UpgradeID == "" {
+				st.Integrated++
+			}
+			m.UpgradeID = rec.UpgradeID
+		}
+	case rollout.RecQuarantined:
+		if m := st.Members[rec.Node]; m != nil && !m.Quarantined {
+			m.Quarantined = true
+			st.Quarantined++
+		}
+	case rollout.RecFix:
+		st.Rounds = rec.Round
+		st.UpgradeID = rec.UpgradeID
+	}
+	h.signalLocked()
+	return nil
+}
+
+// EventsSince returns the events after cursor `since` (0 means from the
+// beginning). When none are pending it blocks until at least one arrives,
+// the rollout reaches a terminal state, or ctx is done. done reports that
+// the rollout is terminal AND the returned slice exhausts the log — the
+// long-poll termination condition.
+func (h *Handle) EventsSince(ctx context.Context, since int) (recs []rollout.Record, done bool) {
+	for {
+		h.mu.Lock()
+		if since < 0 {
+			since = 0
+		}
+		if since > len(h.events) {
+			// A cursor past the log (stale client, restarted vendor):
+			// clamp to the tip so the poll terminates instead of waiting
+			// for events that can never exist.
+			since = len(h.events)
+		}
+		if since < len(h.events) {
+			recs = append([]rollout.Record(nil), h.events[since:]...)
+		}
+		terminal := h.status.State.Terminal()
+		total := len(h.events)
+		ch := h.changed
+		h.mu.Unlock()
+		if len(recs) > 0 || terminal {
+			return recs, terminal && since+len(recs) == total
+		}
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return nil, false
+		}
+	}
+}
+
+// Events streams the rollout's events from the beginning: the returned
+// channel replays the log and then follows it live, closing once the
+// rollout is terminal and the log is drained (or when ctx is done).
+func (h *Handle) Events(ctx context.Context) <-chan rollout.Record {
+	ch := make(chan rollout.Record)
+	go func() {
+		defer close(ch)
+		next := 0
+		for {
+			recs, done := h.EventsSince(ctx, next)
+			if len(recs) == 0 && !done {
+				return // ctx expired
+			}
+			for _, r := range recs {
+				select {
+				case ch <- r:
+				case <-ctx.Done():
+					return
+				}
+			}
+			next += len(recs)
+			if done {
+				return
+			}
+		}
+	}()
+	return ch
+}
+
+// Outcome returns the final outcome and error of a terminal rollout
+// (nil, nil while it is still running).
+func (h *Handle) Outcome() (*deploy.Outcome, error) {
+	select {
+	case <-h.done:
+		return h.out, h.err
+	default:
+		return nil, nil
+	}
+}

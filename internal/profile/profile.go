@@ -17,6 +17,7 @@
 package profile
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -87,13 +88,15 @@ func FromFingerprint(fp cluster.MachineFingerprint) Machine {
 // core.UserMachine implements it by fingerprinting in-process; the
 // transport server's agent handles implement it with a fingerprint RPC.
 // Collect may call Profile on different sources concurrently, so
-// implementations must not share mutable state across sources.
+// implementations must not share mutable state across sources. The
+// context carries the collection's cancellation; sources doing I/O
+// should abort promptly when it is done.
 type Source interface {
 	// Name identifies the machine the source profiles.
 	Name() string
 	// Profile computes the machine's diff profile against the vendor
 	// reference set for app.
-	Profile(app string, vendor *resource.Set) (Machine, error)
+	Profile(ctx context.Context, app string, vendor *resource.Set) (Machine, error)
 }
 
 // DefaultParallelism is the worker-pool size Collect uses when the caller
@@ -109,7 +112,9 @@ const DefaultParallelism = 8
 // Profile call is an RPC; issuing thousands after the outcome is already
 // an error would waste the whole fleet's work), and Collect reports the
 // earliest-ordered failure among the sources that ran, naming the source.
-func Collect(sources []Source, app string, vendor *resource.Set, parallelism int) ([]Machine, error) {
+// Cancelling ctx stops the collection the same way a source failure does:
+// sources not yet started are skipped and Collect returns ctx.Err().
+func Collect(ctx context.Context, sources []Source, app string, vendor *resource.Set, parallelism int) ([]Machine, error) {
 	if parallelism <= 0 {
 		parallelism = DefaultParallelism
 	}
@@ -121,7 +126,10 @@ func Collect(sources []Source, app string, vendor *resource.Set, parallelism int
 	var failed atomic.Bool
 	if parallelism <= 1 {
 		for i, src := range sources {
-			if out[i], errs[i] = src.Profile(app, vendor); errs[i] != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			if out[i], errs[i] = src.Profile(ctx, app, vendor); errs[i] != nil {
 				break
 			}
 		}
@@ -133,10 +141,10 @@ func Collect(sources []Source, app string, vendor *resource.Set, parallelism int
 			go func() {
 				defer wg.Done()
 				for i := range idx {
-					if failed.Load() {
+					if failed.Load() || ctx.Err() != nil {
 						continue
 					}
-					out[i], errs[i] = sources[i].Profile(app, vendor)
+					out[i], errs[i] = sources[i].Profile(ctx, app, vendor)
 					if errs[i] != nil {
 						failed.Store(true)
 					}
@@ -148,6 +156,9 @@ func Collect(sources []Source, app string, vendor *resource.Set, parallelism int
 		}
 		close(idx)
 		wg.Wait()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	for i, err := range errs {
 		if err != nil {

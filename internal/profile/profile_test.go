@@ -1,6 +1,7 @@
 package profile
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -29,7 +30,7 @@ type fakeSource struct {
 
 func (f *fakeSource) Name() string { return f.m.Name }
 
-func (f *fakeSource) Profile(app string, vendor *resource.Set) (Machine, error) {
+func (f *fakeSource) Profile(_ context.Context, app string, vendor *resource.Set) (Machine, error) {
 	if f.active != nil {
 		n := atomic.AddInt32(f.active, 1)
 		for {
@@ -80,7 +81,7 @@ func TestCollectDeterministicOrderAtAnyParallelism(t *testing.T) {
 		want = append(want, fmt.Sprintf("m%02d", i))
 	}
 	for _, par := range []int{0, 1, 3, 64} {
-		ms, err := Collect(mkSources(), "mysql", resource.NewSet(0), par)
+		ms, err := Collect(context.Background(), mkSources(), "mysql", resource.NewSet(0), par)
 		if err != nil {
 			t.Fatalf("parallelism %d: %v", par, err)
 		}
@@ -109,7 +110,7 @@ func TestCollectBoundsParallelism(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		if _, err := Collect(srcs, "mysql", nil, 4); err != nil {
+		if _, err := Collect(context.Background(), srcs, "mysql", nil, 4); err != nil {
 			t.Errorf("collect: %v", err)
 		}
 	}()
@@ -138,7 +139,7 @@ func TestCollectErrorNamesFailingSource(t *testing.T) {
 	}
 	// Concurrent: a failure stops the collection, so whichever failing
 	// source ran first is reported — never a healthy one.
-	_, err := Collect(srcs, "mysql", nil, 8)
+	_, err := Collect(context.Background(), srcs, "mysql", nil, 8)
 	if err == nil {
 		t.Fatal("collect ignored failing source")
 	}
@@ -149,7 +150,7 @@ func TestCollectErrorNamesFailingSource(t *testing.T) {
 		t.Fatalf("error blames a healthy source: %v", err)
 	}
 	// Serial: deterministic, the first failing source in order.
-	_, err = Collect(srcs, "mysql", nil, 1)
+	_, err = Collect(context.Background(), srcs, "mysql", nil, 1)
 	if err == nil || !strings.Contains(err.Error(), "bad-early") || !strings.Contains(err.Error(), "disk on fire") {
 		t.Fatalf("serial error does not name first failing source: %v", err)
 	}
@@ -174,8 +175,10 @@ func TestKeyDistinguishesProfiles(t *testing.T) {
 type nullNode struct{ name string }
 
 func (n *nullNode) Name() string                                        { return n.name }
-func (n *nullNode) TestUpgrade(*pkgmgr.Upgrade) (*report.Report, error) { return nil, nil }
-func (n *nullNode) Integrate(*pkgmgr.Upgrade) error                     { return nil }
+func (n *nullNode) TestUpgrade(context.Context, *pkgmgr.Upgrade) (*report.Report, error) {
+	return nil, nil
+}
+func (n *nullNode) Integrate(context.Context, *pkgmgr.Upgrade) error { return nil }
 
 func TestAssembleSelectsRepsInNameOrder(t *testing.T) {
 	clusters := []*cluster.Cluster{
@@ -223,7 +226,7 @@ func TestAssembleRejectsUnknownMachine(t *testing.T) {
 }
 
 func TestCollectEmptyFleet(t *testing.T) {
-	ms, err := Collect(nil, "mysql", nil, 4)
+	ms, err := Collect(context.Background(), nil, "mysql", nil, 4)
 	if err != nil || len(ms) != 0 {
 		t.Fatalf("empty fleet: %v %v", ms, err)
 	}

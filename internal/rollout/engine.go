@@ -1,6 +1,7 @@
 package rollout
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/deploy"
@@ -28,12 +29,38 @@ type Engine struct {
 	// version, not the original. Without Rebuild, resuming such a journal
 	// requires the caller to pass the matching version directly.
 	Rebuild func(upgradeID string) (*pkgmgr.Upgrade, bool)
+	// Observer, when set, additionally receives every state transition
+	// after — and only after — its journal record is durable, so an
+	// in-memory status view (the rollout orchestrator's) never runs ahead
+	// of the write-ahead journal. Its return value is ignored: the journal
+	// is the arbiter of whether the plan may continue.
+	Observer deploy.Observer
+}
+
+// teeObserver journals each event first and forwards it to the secondary
+// observer only once the record is durable.
+type teeObserver struct {
+	journal deploy.Observer
+	extra   deploy.Observer
+}
+
+func (t *teeObserver) OnEvent(ev deploy.Event) error {
+	if err := t.journal.OnEvent(ev); err != nil {
+		return err
+	}
+	if t.extra != nil {
+		t.extra.OnEvent(ev) //nolint:errcheck — advisory view, journal decides
+	}
+	return nil
 }
 
 // Deploy runs (or resumes) the upgrade across the clusters under policy,
 // journaling every state transition. On success the journal is sealed
-// with a completion record.
-func (e *Engine) Deploy(policy deploy.Policy, up *pkgmgr.Upgrade, clusters []*deploy.Cluster) (*deploy.Outcome, error) {
+// with a completion record. Cancelling ctx aborts the rollout: the
+// controller journals an abandoned record (so the journal refuses to
+// resume — an abort is terminal, not a pause) and Deploy returns the
+// partial outcome with an error wrapping ctx.Err().
+func (e *Engine) Deploy(ctx context.Context, policy deploy.Policy, up *pkgmgr.Upgrade, clusters []*deploy.Cluster) (*deploy.Outcome, error) {
 	ctl := e.Controller
 	// Mirror the controller's urgent bypass so the journaled plan is the
 	// plan that actually executes. The plan is built here for its hash and
@@ -84,10 +111,10 @@ func (e *Engine) Deploy(policy deploy.Policy, up *pkgmgr.Upgrade, clusters []*de
 		j = journal
 	}
 	defer j.Close()
-	ctl.Observer = &Recorder{J: j}
+	ctl.Observer = &teeObserver{journal: &Recorder{J: j}, extra: e.Observer}
 	defer func() { ctl.Observer, ctl.Cursor = nil, nil }()
 
-	out, err := ctl.Deploy(policy, up, clusters)
+	out, err := ctl.Deploy(ctx, policy, up, clusters)
 	if err == nil && out != nil && !out.Abandoned {
 		if aerr := j.Append(Record{Type: RecComplete, Stage: -1, UpgradeID: out.FinalID}); aerr != nil {
 			return out, aerr

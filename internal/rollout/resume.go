@@ -46,8 +46,10 @@ type Recorder struct {
 	J *Journal
 }
 
-// OnEvent implements deploy.Observer.
-func (rec *Recorder) OnEvent(ev deploy.Event) error {
+// RecordOf translates one deployment state transition into its journal
+// record form — the same vocabulary the control-plane API speaks, so a
+// journal line and a streamed rollout event are the same JSON shape.
+func RecordOf(ev deploy.Event) (Record, error) {
 	r := Record{
 		Stage:     ev.Stage,
 		Node:      ev.Node,
@@ -74,7 +76,16 @@ func (rec *Recorder) OnEvent(ev deploy.Event) error {
 	case deploy.EventAbandoned:
 		r.Type = RecAbandoned
 	default:
-		return fmt.Errorf("rollout: unknown deploy event type %d", ev.Type)
+		return Record{}, fmt.Errorf("rollout: unknown deploy event type %d", ev.Type)
+	}
+	return r, nil
+}
+
+// OnEvent implements deploy.Observer.
+func (rec *Recorder) OnEvent(ev deploy.Event) error {
+	r, err := RecordOf(ev)
+	if err != nil {
+		return err
 	}
 	return rec.J.Append(r)
 }

@@ -1,6 +1,7 @@
 package rollout
 
 import (
+	"context"
 	"errors"
 	"os"
 	"path/filepath"
@@ -29,14 +30,14 @@ func newCountingNode(name string) *countingNode {
 
 func (n *countingNode) Name() string { return n.name }
 
-func (n *countingNode) TestUpgrade(up *pkgmgr.Upgrade) (*report.Report, error) {
+func (n *countingNode) TestUpgrade(_ context.Context, up *pkgmgr.Upgrade) (*report.Report, error) {
 	n.mu.Lock()
 	n.test[up.ID]++
 	n.mu.Unlock()
 	return &report.Report{UpgradeID: up.ID, Machine: n.name, Success: true}, nil
 }
 
-func (n *countingNode) Integrate(up *pkgmgr.Upgrade) error {
+func (n *countingNode) Integrate(_ context.Context, up *pkgmgr.Upgrade) error {
 	n.mu.Lock()
 	n.ints[up.ID]++
 	n.mu.Unlock()
@@ -224,7 +225,7 @@ func TestInterruptedRolloutResumesWithoutRepeatingWork(t *testing.T) {
 		t.Fatal(err)
 	}
 	ctl1.Observer = &crashObserver{inner: &Recorder{J: j}, budget: 7}
-	if _, err := ctl1.Deploy(deploy.PolicyBalanced, up, clusters); err == nil {
+	if _, err := ctl1.Deploy(context.Background(), deploy.PolicyBalanced, up, clusters); err == nil {
 		t.Fatal("crashing journal did not halt the rollout")
 	}
 	j.Close()
@@ -245,7 +246,7 @@ func TestInterruptedRolloutResumesWithoutRepeatingWork(t *testing.T) {
 
 	// Run 2: a fresh vendor process resumes from the journal on disk.
 	eng := &Engine{Controller: deploy.NewController(report.New(), nil), Path: path, Resume: true}
-	out, err := eng.Deploy(deploy.PolicyBalanced, testUpgrade("v1"), clusters)
+	out, err := eng.Deploy(context.Background(), deploy.PolicyBalanced, testUpgrade("v1"), clusters)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -309,7 +310,7 @@ func TestResumeRebuildsFixedVersion(t *testing.T) {
 	// Without a release store the engine refuses: resuming with v1 would
 	// regress members the journal moved to v2.
 	eng := &Engine{Controller: ctl, Path: path, Resume: true}
-	if _, err := eng.Deploy(deploy.PolicyBalanced, testUpgrade("v1"), clusters); err == nil || !strings.Contains(err.Error(), "Rebuild") {
+	if _, err := eng.Deploy(context.Background(), deploy.PolicyBalanced, testUpgrade("v1"), clusters); err == nil || !strings.Contains(err.Error(), "Rebuild") {
 		t.Fatalf("err = %v, want rebuild refusal", err)
 	}
 
@@ -320,7 +321,7 @@ func TestResumeRebuildsFixedVersion(t *testing.T) {
 		}
 		return nil, false
 	}
-	out, err := eng.Deploy(deploy.PolicyBalanced, testUpgrade("v1"), clusters)
+	out, err := eng.Deploy(context.Background(), deploy.PolicyBalanced, testUpgrade("v1"), clusters)
 	if err != nil {
 		t.Fatal(err)
 	}

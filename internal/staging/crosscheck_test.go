@@ -9,6 +9,7 @@ package staging_test
 // actually follows the plan's cluster order.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -48,10 +49,10 @@ func fleet(n int) ([]simulator.ClusterSpec, []*deploy.Cluster) {
 type stubNode struct{ name string }
 
 func (s *stubNode) Name() string { return s.name }
-func (s *stubNode) TestUpgrade(up *pkgmgr.Upgrade) (*report.Report, error) {
+func (s *stubNode) TestUpgrade(_ context.Context, up *pkgmgr.Upgrade) (*report.Report, error) {
 	return &report.Report{UpgradeID: up.ID, Machine: s.name, Success: true}, nil
 }
-func (s *stubNode) Integrate(*pkgmgr.Upgrade) error { return nil }
+func (s *stubNode) Integrate(context.Context, *pkgmgr.Upgrade) error { return nil }
 
 func TestPlansByteIdenticalAcrossExecutors(t *testing.T) {
 	specs, clusters := fleet(6)
@@ -86,7 +87,7 @@ func TestDeployFollowsPlanOrder(t *testing.T) {
 		ctl.Seed = 42
 		plan := ctl.PlanFor(policy, clusters)
 		up := &pkgmgr.Upgrade{ID: "v1", Pkg: &pkgmgr.Package{Name: "app", Version: "v1"}}
-		if _, err := ctl.Deploy(policy, up, clusters); err != nil {
+		if _, err := ctl.Deploy(context.Background(), policy, up, clusters); err != nil {
 			t.Fatalf("%s: %v", policy, err)
 		}
 		// Collapse consecutive reports into (cluster, count) runs... the

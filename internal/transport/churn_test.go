@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"testing"
@@ -37,10 +38,10 @@ func startReconnectingAgent(t *testing.T, s *Server, a *Agent) {
 func TestPing(t *testing.T) {
 	m := userMachine("pingable", false)
 	s, _ := startFleet(t, m)
-	if err := s.Ping("pingable"); err != nil {
+	if err := s.Ping(context.Background(), "pingable"); err != nil {
 		t.Fatal(err)
 	}
-	err := s.Ping("nobody")
+	err := s.Ping(context.Background(), "nobody")
 	if err == nil {
 		t.Fatal("pinged an unregistered agent")
 	}
@@ -55,7 +56,7 @@ func TestDroppedAgentErrorsAreTransient(t *testing.T) {
 	if !s.DropAgent("mortal") {
 		t.Fatal("DropAgent found nothing")
 	}
-	err := s.Ping("mortal")
+	err := s.Ping(context.Background(), "mortal")
 	if !errors.Is(err, ErrAgentGone) || !deploy.IsTransient(err) {
 		t.Fatalf("err = %v, want ErrAgentGone", err)
 	}
@@ -80,12 +81,12 @@ func TestReplacedConnectionSurfacesTypedError(t *testing.T) {
 		}
 		time.Sleep(2 * time.Millisecond)
 	}
-	_, err := old.call(Frame{Op: OpPing}, time.Second)
+	_, err := old.call(context.Background(), Frame{Op: OpPing}, time.Second)
 	if !errors.Is(err, ErrAgentReplaced) || !deploy.IsTransient(err) {
 		t.Fatalf("stale-handle error = %v, want ErrAgentReplaced", err)
 	}
 	// The name resolves to the fresh channel.
-	if err := s.Ping("twin"); err != nil {
+	if err := s.Ping(context.Background(), "twin"); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -101,7 +102,7 @@ func TestAgentReconnectPreservesIdentityAndCache(t *testing.T) {
 	startReconnectingAgent(t, s, agent)
 
 	// Warm the chunk cache through a manifest-mode test RPC.
-	if _, err := s.Node("phoenix").TestUpgrade(mysql5Wire()); err != nil {
+	if _, err := s.Node("phoenix").TestUpgrade(context.Background(), mysql5Wire()); err != nil {
 		t.Fatal(err)
 	}
 	before := agent.Cache.Stats()
@@ -118,7 +119,7 @@ func TestAgentReconnectPreservesIdentityAndCache(t *testing.T) {
 	// Same identity, same cache: the re-test resolves from cache, moving
 	// zero chunk bytes.
 	pre := s.Stats().ChunkBytesSent
-	if _, err := s.Node("phoenix").TestUpgrade(mysql5Wire()); err != nil {
+	if _, err := s.Node("phoenix").TestUpgrade(context.Background(), mysql5Wire()); err != nil {
 		t.Fatal(err)
 	}
 	if moved := s.Stats().ChunkBytesSent - pre; moved != 0 {
@@ -139,9 +140,9 @@ type chaosNode struct {
 	once sync.Once
 }
 
-func (c *chaosNode) TestUpgrade(up *pkgmgr.Upgrade) (*report.Report, error) {
+func (c *chaosNode) TestUpgrade(ctx context.Context, up *pkgmgr.Upgrade) (*report.Report, error) {
 	c.once.Do(func() { c.s.DropAgent(c.name) })
-	return c.Node.TestUpgrade(up)
+	return c.Node.TestUpgrade(ctx, up)
 }
 
 func TestDeploymentSurvivesMidWaveChurn(t *testing.T) {
@@ -171,7 +172,7 @@ func TestDeploymentSurvivesMidWaveChurn(t *testing.T) {
 	ctl := deploy.NewController(report.New(), nil)
 	ctl.RetryBackoff = 10 * time.Millisecond
 	ctl.TransientRetries = 8
-	out, err := ctl.Deploy(deploy.PolicyBalanced, mysql5Wire(), clusters)
+	out, err := ctl.Deploy(context.Background(), deploy.PolicyBalanced, mysql5Wire(), clusters)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -234,7 +235,7 @@ func TestRolloutResumeOverWire(t *testing.T) {
 	// Budget 5: cA's rep stage journals fully (start, tested, integrated,
 	// gate) plus stage 1's start; the vendor dies before recording more.
 	ctl1.Observer = &dyingJournal{inner: &rollout.Recorder{J: j}, budget: 5}
-	if _, err := ctl1.Deploy(deploy.PolicyBalanced, mysql5Wire(), clusters); err == nil {
+	if _, err := ctl1.Deploy(context.Background(), deploy.PolicyBalanced, mysql5Wire(), clusters); err == nil {
 		t.Fatal("dying journal did not halt the rollout")
 	}
 	j.Close()
@@ -258,7 +259,7 @@ func TestRolloutResumeOverWire(t *testing.T) {
 		Path:       path,
 		Resume:     true,
 	}
-	out, err := eng.Deploy(deploy.PolicyBalanced, mysql5Wire(), mkClusters())
+	out, err := eng.Deploy(context.Background(), deploy.PolicyBalanced, mysql5Wire(), mkClusters())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -314,7 +315,7 @@ func TestPermanentlyDeadAgentQuarantinedOverWire(t *testing.T) {
 	}}
 	ctl := deploy.NewController(report.New(), nil)
 	ctl.RetryBackoff = time.Millisecond
-	out, err := ctl.Deploy(deploy.PolicyBalanced, mysql5Wire(), clusters)
+	out, err := ctl.Deploy(context.Background(), deploy.PolicyBalanced, mysql5Wire(), clusters)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"bytes"
 	"sync"
 	"testing"
@@ -38,17 +39,17 @@ func TestChunkedDeploymentUpgradesFleet(t *testing.T) {
 	}
 	s, _ := startFleet(t, machines...)
 	for _, m := range machines {
-		if _, err := s.Identify(m.Name, "mysql", [][]string{{"SELECT 1"}}); err != nil {
+		if _, err := s.Identify(context.Background(), m.Name, "mysql", [][]string{{"SELECT 1"}}); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := s.Record(m.Name, "mysql", []string{"SELECT 1"}); err != nil {
+		if _, err := s.Record(context.Background(), m.Name, "mysql", []string{"SELECT 1"}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if _, err := s.Identify("ck-php4", "php", [][]string{nil}); err != nil {
+	if _, err := s.Identify(context.Background(), "ck-php4", "php", [][]string{nil}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Record("ck-php4", "php", nil); err != nil {
+	if _, err := s.Record(context.Background(), "ck-php4", "php", nil); err != nil {
 		t.Fatal(err)
 	}
 
@@ -64,7 +65,7 @@ func TestChunkedDeploymentUpgradesFleet(t *testing.T) {
 		{ID: "c0", Distance: 1, Representatives: []deploy.Node{s.Node("ck-plain")}},
 		{ID: "c1", Distance: 2, Representatives: []deploy.Node{s.Node("ck-php4")}},
 	}
-	out, err := ctl.Deploy(deploy.PolicyBalanced, mysql5Wire(), clusters)
+	out, err := ctl.Deploy(context.Background(), deploy.PolicyBalanced, mysql5Wire(), clusters)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +99,7 @@ func TestIntegrateAfterTestTransfersNoChunkBytes(t *testing.T) {
 	s, _ := startFleet(t, m)
 
 	up := mysql5Wire()
-	rep, err := s.Node("cache-node").TestUpgrade(up)
+	rep, err := s.Node("cache-node").TestUpgrade(context.Background(), up)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +111,7 @@ func TestIntegrateAfterTestTransfersNoChunkBytes(t *testing.T) {
 		t.Fatal("no stats for registered agent")
 	}
 
-	if err := s.Node("cache-node").Integrate(up); err != nil {
+	if err := s.Node("cache-node").Integrate(context.Background(), up); err != nil {
 		t.Fatal(err)
 	}
 	final, _ := s.AgentStats("cache-node")
@@ -153,14 +154,14 @@ func TestVersionUpgradeTransfersOnlyChangedChunks(t *testing.T) {
 		}},
 		Replaces: "4.1.22",
 	}
-	rep, err := s.Node("delta-node").TestUpgrade(up)
+	rep, err := s.Node("delta-node").TestUpgrade(context.Background(), up)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !rep.Success {
 		t.Fatalf("test failed: %+v", rep)
 	}
-	if err := s.Node("delta-node").Integrate(up); err != nil {
+	if err := s.Node("delta-node").Integrate(context.Background(), up); err != nil {
 		t.Fatal(err)
 	}
 
@@ -207,12 +208,12 @@ func TestConcurrentPushesSharedCache(t *testing.T) {
 		wg.Add(1)
 		go func(i int, n string) {
 			defer wg.Done()
-			rep, err := s.Node(n).TestUpgrade(up)
+			rep, err := s.Node(n).TestUpgrade(context.Background(), up)
 			if err == nil && !rep.Success {
 				t.Errorf("%s: test failed", n)
 			}
 			if err == nil {
-				err = s.Node(n).Integrate(up)
+				err = s.Node(n).Integrate(context.Background(), up)
 			}
 			errs[i] = err
 		}(i, n)
@@ -243,14 +244,14 @@ func TestInlineFallback(t *testing.T) {
 	s.InlinePayloads = true
 
 	up := mysql5Wire()
-	rep, err := s.Node("inline-node").TestUpgrade(up)
+	rep, err := s.Node("inline-node").TestUpgrade(context.Background(), up)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !rep.Success {
 		t.Fatalf("inline test failed: %+v", rep)
 	}
-	if err := s.Node("inline-node").Integrate(up); err != nil {
+	if err := s.Node("inline-node").Integrate(context.Background(), up); err != nil {
 		t.Fatal(err)
 	}
 	if ref, _ := m.Package("mysql"); ref.Version != "5.0.22" {

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"net"
 	"strings"
 	"testing"
@@ -23,7 +24,7 @@ func TestRPCToDeadAgentFails(t *testing.T) {
 	conn.Close()
 	time.Sleep(20 * time.Millisecond)
 
-	if _, err := s.Identify("doomed", "mysql", [][]string{nil}); err == nil {
+	if _, err := s.Identify(context.Background(), "doomed", "mysql", [][]string{nil}); err == nil {
 		t.Fatal("RPC to dead agent succeeded")
 	}
 }
@@ -46,7 +47,7 @@ func TestDeploymentQuarantinesDeadAgent(t *testing.T) {
 		ID: "c0", Distance: 0,
 		Representatives: []deploy.Node{s.Node("victim")},
 	}}
-	out, err := ctl.Deploy(deploy.PolicyBalanced, mysql5Wire(), clusters)
+	out, err := ctl.Deploy(context.Background(), deploy.PolicyBalanced, mysql5Wire(), clusters)
 	if err != nil {
 		t.Fatalf("dead node killed the rollout: %v", err)
 	}
@@ -101,7 +102,7 @@ func TestRPCTimeout(t *testing.T) {
 	}
 
 	start := time.Now()
-	_, err = s.Identify("mute", "mysql", nil)
+	_, err = s.Identify(context.Background(), "mute", "mysql", nil)
 	if err == nil {
 		t.Fatal("RPC to mute agent succeeded")
 	}
@@ -116,7 +117,7 @@ func TestUnknownOpRejectedByAgent(t *testing.T) {
 	s.mu.Lock()
 	ac := s.agents["strict"]
 	s.mu.Unlock()
-	_, err := ac.call(Frame{Op: "format-disk"}, time.Second)
+	_, err := ac.call(context.Background(), Frame{Op: "format-disk"}, time.Second)
 	if err == nil || !strings.Contains(err.Error(), "unknown op") {
 		t.Fatalf("err = %v", err)
 	}

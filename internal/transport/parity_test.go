@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/apps"
@@ -78,7 +79,7 @@ func TestLocalAndRemoteClusteringParity(t *testing.T) {
 
 	// Remote path.
 	s, _ := startFleet(t, remoteMachines...)
-	rc, err := s.ClusterRemote("mysql", refs, regCfg, vendorItems, cfg, reps)
+	rc, err := s.ClusterRemote(context.Background(), "mysql", refs, regCfg, vendorItems, cfg, reps)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +90,7 @@ func TestLocalAndRemoteClusteringParity(t *testing.T) {
 	v := core.NewVendor(userMachine("vendor-ref", false))
 	v.Resources["mysql"] = refs
 	fleet := core.NewFleet(v, localMachines...)
-	cl, err := v.ClusterFleet(fleet, "mysql", cfg, reps)
+	cl, err := v.ClusterFleet(context.Background(), fleet, "mysql", cfg, reps)
 	if err != nil {
 		t.Fatal(err)
 	}

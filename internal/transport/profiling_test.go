@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"net"
 	"strings"
 	"testing"
@@ -43,7 +44,7 @@ func TestFingerprintAllDeterministicAcrossParallelism(t *testing.T) {
 			userMachine(names[5], true),
 		)
 		s.ProfileParallelism = par
-		ms, err := s.CollectProfiles("mysql", refs, regCfg, vendorItems)
+		ms, err := s.CollectProfiles(context.Background(), "mysql", refs, regCfg, vendorItems)
 		if err != nil {
 			t.Fatalf("parallelism %d: %v", par, err)
 		}
@@ -84,7 +85,7 @@ func TestFingerprintAllNamesFailingAgent(t *testing.T) {
 	time.Sleep(20 * time.Millisecond)
 
 	refs, regCfg, vendorItems := mysqlVendorItems(t)
-	_, err := s.FingerprintAll("mysql", refs, regCfg, vendorItems)
+	_, err := s.FingerprintAll(context.Background(), "mysql", refs, regCfg, vendorItems)
 	if err == nil {
 		t.Fatal("fingerprinting a dead agent succeeded")
 	}
@@ -126,7 +127,7 @@ func TestUnacknowledgedReplyRejected(t *testing.T) {
 		}
 	}()
 
-	_, err = s.Record("shrug", "mysql", nil)
+	_, err = s.Record(context.Background(), "shrug", "mysql", nil)
 	if err == nil {
 		t.Fatal("unacknowledged reply accepted")
 	}

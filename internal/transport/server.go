@@ -2,6 +2,7 @@ package transport
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -37,6 +38,13 @@ var ErrAgentGone = fmt.Errorf("agent unreachable: %w", deploy.ErrTransient)
 // channel was closed deliberately). Also transient: retrying resolves the
 // name to the fresh channel.
 var ErrAgentReplaced = fmt.Errorf("agent connection replaced: %w", deploy.ErrTransient)
+
+// ErrServerClosed marks an operation refused or cut short because the
+// vendor server was shut down. Deliberately NOT transient: unlike an agent
+// that dropped (and will redial), a closed server is infrastructure going
+// away — retrying per member would only quarantine the whole fleet, so
+// the deployment controller halts the plan instead.
+var ErrServerClosed = errors.New("transport: server closed")
 
 // Stats is a snapshot of the vendor-side transfer counters, kept per
 // connection and aggregated per server. It is what makes the distribution
@@ -106,19 +114,36 @@ type agentConn struct {
 // fail classifies an I/O failure on the channel: the channel is dead
 // either way (a timed-out call would desynchronize reply IDs), so it is
 // closed and dropped from the registry, and the caller gets a typed
-// transient error — ErrAgentReplaced if a newer registration superseded
-// this channel, ErrAgentGone otherwise.
-func (ac *agentConn) fail(op string, err error) error {
+// error — the context's error if the caller cancelled or timed out,
+// ErrServerClosed if the server was shut down, ErrAgentReplaced if a
+// newer registration superseded this channel, ErrAgentGone (transient)
+// otherwise.
+func (ac *agentConn) fail(ctx context.Context, op string, err error) error {
 	ac.conn.Close()
 	ac.srv.drop(ac)
+	if cerr := ctx.Err(); cerr != nil {
+		// The I/O failure is the abort's own doing (the conn deadline was
+		// yanked); surface the cancellation, which is not transient.
+		return fmt.Errorf("transport: %s to %s: %w", op, ac.name, cerr)
+	}
+	if ac.srv.isClosed() {
+		return fmt.Errorf("transport: %s to %s: %w", op, ac.name, ErrServerClosed)
+	}
 	if ac.replaced.Load() {
 		return fmt.Errorf("transport: %s to %s: %w", op, ac.name, ErrAgentReplaced)
 	}
 	return fmt.Errorf("transport: %s to %s: %w: %v", op, ac.name, ErrAgentGone, err)
 }
 
-// call performs one synchronous RPC on the agent channel.
-func (ac *agentConn) call(req Frame, timeout time.Duration) (Frame, error) {
+// call performs one synchronous RPC on the agent channel. The deadline is
+// the tighter of the server timeout and the context's; cancelling ctx
+// mid-call yanks the connection deadline, so a blocked read returns
+// immediately and the call surfaces ctx.Err() — Server.Call-level
+// cancellation, the primitive every higher layer's abort rides on.
+func (ac *agentConn) call(ctx context.Context, req Frame, timeout time.Duration) (Frame, error) {
+	if err := ctx.Err(); err != nil {
+		return Frame{}, fmt.Errorf("transport: %s to %s: %w", req.Op, ac.name, err)
+	}
 	ac.mu.Lock()
 	defer ac.mu.Unlock()
 	if ac.replaced.Load() {
@@ -127,23 +152,42 @@ func (ac *agentConn) call(req Frame, timeout time.Duration) (Frame, error) {
 	ac.nextID++
 	req.ID = ac.nextID
 	deadline := time.Now().Add(timeout)
-	if err := ac.conn.SetDeadline(deadline); err != nil {
-		return Frame{}, ac.fail(req.Op, err)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
 	}
+	if err := ac.conn.SetDeadline(deadline); err != nil {
+		return Frame{}, ac.fail(ctx, req.Op, err)
+	}
+	// A cancelled context forces the in-flight I/O to fail now rather than
+	// at the deadline. The channel dies with it — acceptable: aborts are
+	// rare, and a reconnecting agent redials in milliseconds. If the
+	// callback has already started when the call returns, wait it out:
+	// a stale deadline-yank landing after a *successful* call would
+	// poison the channel's next RPC with a spurious agent-gone failure.
+	yanked := make(chan struct{})
+	stop := context.AfterFunc(ctx, func() {
+		defer close(yanked)
+		ac.conn.SetDeadline(time.Unix(1, 0))
+	})
+	defer func() {
+		if !stop() {
+			<-yanked
+		}
+	}()
 	if err := ac.enc.Encode(req); err != nil {
-		return Frame{}, ac.fail("sending "+req.Op, err)
+		return Frame{}, ac.fail(ctx, "sending "+req.Op, err)
 	}
 	if err := ac.bw.Flush(); err != nil {
-		return Frame{}, ac.fail("sending "+req.Op, err)
+		return Frame{}, ac.fail(ctx, "sending "+req.Op, err)
 	}
 	ac.stats.frames.Add(1)
 	ac.total.frames.Add(1)
 	var resp Frame
 	if err := ac.dec.Decode(&resp); err != nil {
-		return Frame{}, ac.fail("reading "+req.Op+" reply", err)
+		return Frame{}, ac.fail(ctx, "reading "+req.Op+" reply", err)
 	}
 	if resp.ID != req.ID {
-		return Frame{}, ac.fail(req.Op, fmt.Errorf("reply id %d for request %d", resp.ID, req.ID))
+		return Frame{}, ac.fail(ctx, req.Op, fmt.Errorf("reply id %d for request %d", resp.ID, req.ID))
 	}
 	if resp.Err != "" {
 		return Frame{}, errors.New("transport: agent " + ac.name + ": " + resp.Err)
@@ -168,9 +212,20 @@ type Server struct {
 
 	mu     sync.Mutex
 	agents map[string]*agentConn
+	// pending holds connections whose registration handshake is still in
+	// flight, so Close can tear them down too.
+	pending map[net.Conn]bool
 	// reg is closed and replaced whenever the registry changes, waking
 	// WaitForAgents/WaitForAgent waiters (no polling).
-	reg     chan struct{}
+	reg chan struct{}
+	// done is closed by Close: registry waiters return immediately and
+	// new operations are refused with ErrServerClosed.
+	done   chan struct{}
+	closed bool
+	// serving tracks the accept loop and every in-flight registration
+	// goroutine, so Close can wait for them instead of leaking.
+	serving sync.WaitGroup
+
 	Timeout time.Duration
 
 	// ProfileParallelism bounds how many agents are fingerprinted
@@ -208,10 +263,13 @@ func Listen(addr string) (*Server, error) {
 	s := &Server{
 		ln:      ln,
 		agents:  make(map[string]*agentConn),
+		pending: make(map[net.Conn]bool),
 		reg:     make(chan struct{}),
+		done:    make(chan struct{}),
 		Timeout: DefaultRPCTimeout,
 		dist:    distrib.NewStore(),
 	}
+	s.serving.Add(1)
 	go s.acceptLoop()
 	return s, nil
 }
@@ -252,37 +310,86 @@ func (s *Server) TransferSnapshot() deploy.TransferStats {
 // Addr returns the server's listen address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close shuts the server down and closes all agent channels.
+// Close shuts the server down: the listener closes, every agent channel
+// is torn down, registry waiters (WaitForAgents/WaitForAgent) wake
+// immediately, and in-flight Calls fail with the typed ErrServerClosed
+// instead of a spoofed agent-gone error. Close blocks until the accept
+// loop and every registration goroutine have exited — a closed server
+// leaks nothing. Idempotent.
 func (s *Server) Close() error {
-	err := s.ln.Close()
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	close(s.done)
+	err := s.ln.Close()
 	for _, ac := range s.agents {
 		ac.conn.Close()
 	}
+	for conn := range s.pending {
+		conn.Close()
+	}
 	s.agents = make(map[string]*agentConn)
+	s.signalLocked()
+	s.mu.Unlock()
+	s.serving.Wait()
 	return err
 }
 
+// Shutdown is Close under the name net/http made idiomatic.
+func (s *Server) Shutdown() error { return s.Close() }
+
+// isClosed reports whether Close has begun.
+func (s *Server) isClosed() bool {
+	select {
+	case <-s.done:
+		return true
+	default:
+		return false
+	}
+}
+
 func (s *Server) acceptLoop() {
+	defer s.serving.Done()
 	for {
 		conn, err := s.ln.Accept()
 		if err != nil {
 			return
 		}
+		s.serving.Add(1)
 		go s.register(conn)
 	}
 }
 
 // register reads the agent's registration frame and records the channel.
+// The handshaking connection is tracked in pending so Close tears it down
+// instead of waiting out the handshake deadline.
 func (s *Server) register(conn net.Conn) {
+	defer s.serving.Done()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		conn.Close()
+		return
+	}
+	s.pending[conn] = true
+	s.mu.Unlock()
+	unpend := func() {
+		s.mu.Lock()
+		delete(s.pending, conn)
+		s.mu.Unlock()
+	}
 	dec := json.NewDecoder(bufio.NewReader(conn))
 	if err := conn.SetReadDeadline(time.Now().Add(10 * time.Second)); err != nil {
+		unpend()
 		conn.Close()
 		return
 	}
 	var hello Frame
 	if err := dec.Decode(&hello); err != nil || hello.Op != OpRegister || hello.Register == nil {
+		unpend()
 		conn.Close()
 		return
 	}
@@ -295,6 +402,14 @@ func (s *Server) register(conn net.Conn) {
 		stats: st, total: &s.stats,
 	}
 	s.mu.Lock()
+	delete(s.pending, conn)
+	if s.closed {
+		// Lost the race with Close: this channel must not outlive the
+		// registry Close already emptied.
+		s.mu.Unlock()
+		conn.Close()
+		return
+	}
 	if old, dup := s.agents[ac.name]; dup {
 		// Mark the superseded channel replaced BEFORE closing its socket,
 		// so a racing in-flight call classifies as ErrAgentReplaced rather
@@ -356,9 +471,9 @@ func (s *Server) Agents() []string {
 	return out
 }
 
-// WaitForAgents blocks until n agents are registered or the timeout
-// elapses; it returns the registered count. Waiters sleep on a
-// registration signal channel — no polling.
+// WaitForAgents blocks until n agents are registered, the timeout
+// elapses, or the server is closed; it returns the registered count.
+// Waiters sleep on a registration signal channel — no polling.
 func (s *Server) WaitForAgents(n int, timeout time.Duration) int {
 	timer := time.NewTimer(timeout)
 	defer timer.Stop()
@@ -372,6 +487,8 @@ func (s *Server) WaitForAgents(n int, timeout time.Duration) int {
 		}
 		select {
 		case <-ch:
+		case <-s.done:
+			return got
 		case <-timer.C:
 			s.mu.Lock()
 			got = len(s.agents)
@@ -381,9 +498,10 @@ func (s *Server) WaitForAgents(n int, timeout time.Duration) int {
 	}
 }
 
-// WaitForAgent blocks until the named agent is registered or the timeout
-// elapses — the natural companion to reconnecting agents ("wait for the
-// machine to come back before proceeding").
+// WaitForAgent blocks until the named agent is registered, the timeout
+// elapses, or the server is closed — the natural companion to
+// reconnecting agents ("wait for the machine to come back before
+// proceeding").
 func (s *Server) WaitForAgent(name string, timeout time.Duration) bool {
 	timer := time.NewTimer(timeout)
 	defer timer.Stop()
@@ -397,6 +515,8 @@ func (s *Server) WaitForAgent(name string, timeout time.Duration) bool {
 		}
 		select {
 		case <-ch:
+		case <-s.done:
+			return false
 		case <-timer.C:
 			s.mu.Lock()
 			_, ok = s.agents[name]
@@ -409,6 +529,9 @@ func (s *Server) WaitForAgent(name string, timeout time.Duration) bool {
 func (s *Server) agent(name string) (*agentConn, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("transport: no agent %q: %w", name, ErrServerClosed)
+	}
 	ac, ok := s.agents[name]
 	if !ok {
 		return nil, fmt.Errorf("transport: no agent registered as %q: %w", name, ErrAgentGone)
@@ -420,22 +543,22 @@ func (s *Server) agent(name string) (*agentConn, error) {
 // channel: one tiny frame, no payload. It is how the vendor distinguishes
 // "machine reachable" from "machine failing work" without spending a
 // validation run.
-func (s *Server) Ping(name string) error {
+func (s *Server) Ping(ctx context.Context, name string) error {
 	ac, err := s.agent(name)
 	if err != nil {
 		return err
 	}
-	_, err = ac.call(Frame{Op: OpPing}, s.Timeout)
+	_, err = ac.call(ctx, Frame{Op: OpPing}, s.Timeout)
 	return err
 }
 
 // Identify asks the named agent to run local resource identification.
-func (s *Server) Identify(machineName, app string, workloads [][]string) ([]string, error) {
+func (s *Server) Identify(ctx context.Context, machineName, app string, workloads [][]string) ([]string, error) {
 	ac, err := s.agent(machineName)
 	if err != nil {
 		return nil, err
 	}
-	resp, err := ac.call(Frame{Op: OpIdentify, Identify: &IdentifyReq{App: app, Workloads: workloads}}, s.Timeout)
+	resp, err := ac.call(ctx, Frame{Op: OpIdentify, Identify: &IdentifyReq{App: app, Workloads: workloads}}, s.Timeout)
 	if err != nil {
 		return nil, err
 	}
@@ -443,12 +566,12 @@ func (s *Server) Identify(machineName, app string, workloads [][]string) ([]stri
 }
 
 // Record asks the named agent to record a baseline trace.
-func (s *Server) Record(machineName, app string, inputs []string) (string, error) {
+func (s *Server) Record(ctx context.Context, machineName, app string, inputs []string) (string, error) {
 	ac, err := s.agent(machineName)
 	if err != nil {
 		return "", err
 	}
-	resp, err := ac.call(Frame{Op: OpRecord, Record: &RecordReq{App: app, Inputs: inputs}}, s.Timeout)
+	resp, err := ac.call(ctx, Frame{Op: OpRecord, Record: &RecordReq{App: app, Inputs: inputs}}, s.Timeout)
 	if err != nil {
 		return "", err
 	}
@@ -500,7 +623,7 @@ type agentSource struct {
 func (as *agentSource) Name() string { return as.name }
 
 // Profile implements profile.Source over the wire.
-func (as *agentSource) Profile(app string, vendor *resource.Set) (profile.Machine, error) {
+func (as *agentSource) Profile(ctx context.Context, app string, vendor *resource.Set) (profile.Machine, error) {
 	ac, err := as.s.agent(as.name)
 	if err != nil {
 		return profile.Machine{}, err
@@ -509,7 +632,7 @@ func (as *agentSource) Profile(app string, vendor *resource.Set) (profile.Machin
 	if err != nil {
 		return profile.Machine{}, err
 	}
-	resp, err := ac.call(Frame{Op: OpFingerprint, Fingerprint: raw}, as.s.Timeout)
+	resp, err := ac.call(ctx, Frame{Op: OpFingerprint, Fingerprint: raw}, as.s.Timeout)
 	if err != nil {
 		return profile.Machine{}, err
 	}
@@ -539,14 +662,14 @@ func (s *Server) ProfileSources(refs []string, reg RegistryConfig) []profile.Sou
 // The per-agent fingerprint RPCs fan out concurrently on the shared
 // profile pipeline (bounded by s.ProfileParallelism), with deterministic
 // sorted-name output order; a failure names the failing agent.
-func (s *Server) CollectProfiles(app string, refs []string, reg RegistryConfig, vendorItems *resource.Set) ([]profile.Machine, error) {
-	return profile.Collect(s.ProfileSources(refs, reg), app, vendorItems, s.ProfileParallelism)
+func (s *Server) CollectProfiles(ctx context.Context, app string, refs []string, reg RegistryConfig, vendorItems *resource.Set) ([]profile.Machine, error) {
+	return profile.Collect(ctx, s.ProfileSources(refs, reg), app, vendorItems, s.ProfileParallelism)
 }
 
 // FingerprintAll collects item diffs from every registered agent for app,
 // as clustering inputs. See CollectProfiles for concurrency and ordering.
-func (s *Server) FingerprintAll(app string, refs []string, reg RegistryConfig, vendorItems *resource.Set) ([]cluster.MachineFingerprint, error) {
-	ms, err := s.CollectProfiles(app, refs, reg, vendorItems)
+func (s *Server) FingerprintAll(ctx context.Context, app string, refs []string, reg RegistryConfig, vendorItems *resource.Set) ([]cluster.MachineFingerprint, error) {
+	ms, err := s.CollectProfiles(ctx, app, refs, reg, vendorItems)
 	if err != nil {
 		return nil, err
 	}
@@ -587,19 +710,19 @@ func upgradeFrame(op string, up *WireUpgrade, man *WireManifest) Frame {
 // exactly those chunks are pushed with OpFetchChunks and the request is
 // re-issued — the manifest is small, so the retry costs a few hundred
 // bytes, never a payload re-send.
-func (s *Server) pushUpgrade(name, op string, up *pkgmgr.Upgrade) (Frame, error) {
+func (s *Server) pushUpgrade(ctx context.Context, name, op string, up *pkgmgr.Upgrade) (Frame, error) {
 	ac, err := s.agent(name)
 	if err != nil {
 		return Frame{}, err
 	}
 	if s.InlinePayloads {
 		w := UpgradeToWire(up)
-		return ac.call(upgradeFrame(op, &w, nil), s.Timeout)
+		return ac.call(ctx, upgradeFrame(op, &w, nil), s.Timeout)
 	}
 	man := s.dist.Manifest(up)
 	first := true
 	for attempt := 0; attempt < 3; attempt++ {
-		resp, err := ac.call(upgradeFrame(op, nil, man), s.Timeout)
+		resp, err := ac.call(ctx, upgradeFrame(op, nil, man), s.Timeout)
 		if err != nil {
 			return Frame{}, err
 		}
@@ -638,7 +761,7 @@ func (s *Server) pushUpgrade(name, op string, up *pkgmgr.Upgrade) (Frame, error)
 		}
 		ac.stats.chunkBytes.Add(n)
 		ac.total.chunkBytes.Add(n)
-		if _, err := ac.call(Frame{Op: OpFetchChunks, FetchChunks: &FetchChunksReq{Chunks: chunks}}, s.Timeout); err != nil {
+		if _, err := ac.call(ctx, Frame{Op: OpFetchChunks, FetchChunks: &FetchChunksReq{Chunks: chunks}}, s.Timeout); err != nil {
 			return Frame{}, err
 		}
 	}
@@ -646,8 +769,8 @@ func (s *Server) pushUpgrade(name, op string, up *pkgmgr.Upgrade) (Frame, error)
 }
 
 // TestUpgrade implements deploy.Node over the wire.
-func (r *RemoteNode) TestUpgrade(up *pkgmgr.Upgrade) (*report.Report, error) {
-	resp, err := r.s.pushUpgrade(r.name, OpTest, up)
+func (r *RemoteNode) TestUpgrade(ctx context.Context, up *pkgmgr.Upgrade) (*report.Report, error) {
+	resp, err := r.s.pushUpgrade(ctx, r.name, OpTest, up)
 	if err != nil {
 		return nil, err
 	}
@@ -658,8 +781,8 @@ func (r *RemoteNode) TestUpgrade(up *pkgmgr.Upgrade) (*report.Report, error) {
 }
 
 // Integrate implements deploy.Node over the wire.
-func (r *RemoteNode) Integrate(up *pkgmgr.Upgrade) error {
-	_, err := r.s.pushUpgrade(r.name, OpIntegrate, up)
+func (r *RemoteNode) Integrate(ctx context.Context, up *pkgmgr.Upgrade) error {
+	_, err := r.s.pushUpgrade(ctx, r.name, OpIntegrate, up)
 	return err
 }
 
@@ -677,8 +800,8 @@ type RemoteClustering struct {
 // Assemble pipeline core.Vendor.ClusterFleet runs over a local fleet, so
 // a local and a networked fleet with identical fingerprints cluster
 // identically.
-func (s *Server) ClusterRemote(app string, refs []string, reg RegistryConfig, vendorItems *resource.Set, cfg cluster.Config, repsPerCluster int) (*RemoteClustering, error) {
-	ms, err := s.CollectProfiles(app, refs, reg, vendorItems)
+func (s *Server) ClusterRemote(ctx context.Context, app string, refs []string, reg RegistryConfig, vendorItems *resource.Set, cfg cluster.Config, repsPerCluster int) (*RemoteClustering, error) {
+	ms, err := s.CollectProfiles(ctx, app, refs, reg, vendorItems)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"testing"
@@ -128,7 +129,7 @@ func TestRegisterAndRPCs(t *testing.T) {
 		t.Fatalf("Agents = %v", got)
 	}
 
-	res, err := s.Identify("agent-1", "mysql", [][]string{{"SELECT 1"}, {"SELECT 2"}})
+	res, err := s.Identify(context.Background(), "agent-1", "mysql", [][]string{{"SELECT 1"}, {"SELECT 2"}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,15 +137,15 @@ func TestRegisterAndRPCs(t *testing.T) {
 		t.Fatalf("identify resources = %v", res)
 	}
 
-	status, err := s.Record("agent-1", "mysql", []string{"SELECT 1"})
+	status, err := s.Record(context.Background(), "agent-1", "mysql", []string{"SELECT 1"})
 	if err != nil || status != "ok" {
 		t.Fatalf("record = %q %v", status, err)
 	}
 
-	if _, err := s.Identify("missing", "mysql", nil); err == nil {
+	if _, err := s.Identify(context.Background(), "missing", "mysql", nil); err == nil {
 		t.Fatal("RPC to unregistered agent succeeded")
 	}
-	if _, err := s.Identify("agent-1", "no-such-app", nil); err == nil {
+	if _, err := s.Identify(context.Background(), "agent-1", "no-such-app", nil); err == nil {
 		t.Fatal("unknown app accepted")
 	}
 }
@@ -155,29 +156,29 @@ func TestRemoteValidationAndIntegration(t *testing.T) {
 	s, _ := startFleet(t, mPlain, mPHP)
 
 	for _, name := range []string{"plain", "php4"} {
-		if _, err := s.Identify(name, "mysql", [][]string{{"SELECT 1"}}); err != nil {
+		if _, err := s.Identify(context.Background(), name, "mysql", [][]string{{"SELECT 1"}}); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := s.Record(name, "mysql", []string{"SELECT 1"}); err != nil {
+		if _, err := s.Record(context.Background(), name, "mysql", []string{"SELECT 1"}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if _, err := s.Identify("php4", "php", [][]string{nil}); err != nil {
+	if _, err := s.Identify(context.Background(), "php4", "php", [][]string{nil}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Record("php4", "php", nil); err != nil {
+	if _, err := s.Record(context.Background(), "php4", "php", nil); err != nil {
 		t.Fatal(err)
 	}
 
 	up := mysql5Wire()
-	repPlain, err := s.Node("plain").TestUpgrade(up)
+	repPlain, err := s.Node("plain").TestUpgrade(context.Background(), up)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !repPlain.Success {
 		t.Fatalf("plain machine failed: %+v", repPlain)
 	}
-	repPHP, err := s.Node("php4").TestUpgrade(up)
+	repPHP, err := s.Node("php4").TestUpgrade(context.Background(), up)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,7 +195,7 @@ func TestRemoteValidationAndIntegration(t *testing.T) {
 	}
 
 	// Integration applies to the real remote machine.
-	if err := s.Node("plain").Integrate(up); err != nil {
+	if err := s.Node("plain").Integrate(context.Background(), up); err != nil {
 		t.Fatal(err)
 	}
 	if ref, _ := mPlain.Package("mysql"); ref.Version != "5.0.22" {
@@ -212,17 +213,17 @@ func TestClusterRemoteAndStagedDeployment(t *testing.T) {
 	s, _ := startFleet(t, machines...)
 
 	for _, m := range machines {
-		if _, err := s.Identify(m.Name, "mysql", [][]string{{"SELECT 1"}}); err != nil {
+		if _, err := s.Identify(context.Background(), m.Name, "mysql", [][]string{{"SELECT 1"}}); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := s.Record(m.Name, "mysql", []string{"SELECT 1"}); err != nil {
+		if _, err := s.Record(context.Background(), m.Name, "mysql", []string{"SELECT 1"}); err != nil {
 			t.Fatal(err)
 		}
 		if _, ok := m.Package("php"); ok {
-			if _, err := s.Identify(m.Name, "php", [][]string{nil}); err != nil {
+			if _, err := s.Identify(context.Background(), m.Name, "php", [][]string{nil}); err != nil {
 				t.Fatal(err)
 			}
-			if _, err := s.Record(m.Name, "php", nil); err != nil {
+			if _, err := s.Record(context.Background(), m.Name, "php", nil); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -238,7 +239,7 @@ func TestClusterRemoteAndStagedDeployment(t *testing.T) {
 	}
 	vendorItems := parser.NewFingerprinter(reg).Fingerprint(ref, refs)
 
-	rc, err := s.ClusterRemote("mysql", refs, regCfg, vendorItems, cluster.Config{Diameter: 3}, 1)
+	rc, err := s.ClusterRemote(context.Background(), "mysql", refs, regCfg, vendorItems, cluster.Config{Diameter: 3}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -257,7 +258,7 @@ func TestClusterRemoteAndStagedDeployment(t *testing.T) {
 	ctl := deploy.NewController(urr, func(up *pkgmgr.Upgrade, fails []*report.Report) (*pkgmgr.Upgrade, bool) {
 		return fixed, true
 	})
-	out, err := ctl.Deploy(deploy.PolicyBalanced, mysql5Wire(), dcs)
+	out, err := ctl.Deploy(context.Background(), deploy.PolicyBalanced, mysql5Wire(), dcs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -294,7 +295,7 @@ func TestDuplicateRegistrationReplaces(t *testing.T) {
 	if got := s.Agents(); len(got) != 1 {
 		t.Fatalf("agents = %v", got)
 	}
-	if _, err := s.Identify("dup", "mysql", [][]string{nil}); err != nil {
+	if _, err := s.Identify(context.Background(), "dup", "mysql", [][]string{nil}); err != nil {
 		t.Fatal(err)
 	}
 }
