@@ -590,6 +590,179 @@ func BenchmarkDistribution(b *testing.B) {
 	}
 }
 
+// --- Peer swarming (vendor egress vs fleet size) ---
+
+const (
+	swarmClusters = 5
+	swarmFileSize = 512 * 1024
+)
+
+// swarmUpgrade carries a payload unrelated to anything the fleet has
+// installed, so every chunk misses every seeded cache — the worst case
+// for vendor egress and exactly what the peer tier exists to absorb.
+func swarmUpgrade() *pkgmgr.Upgrade {
+	return &pkgmgr.Upgrade{
+		ID: "mysql-swarm-5.0.22",
+		Pkg: &pkgmgr.Package{Name: "mysql", Version: "5.0.22", Files: []*machine.File{
+			{Path: apps.MySQLExec, Type: machine.TypeExecutable, Data: distribPayload(7, swarmFileSize), Version: "5.0.22"},
+			{Path: apps.LibMySQLPath, Type: machine.TypeSharedLib, Data: distribPayload(8, 16*1024), Version: "5.0"},
+		}},
+		Replaces: "4.1.22",
+	}
+}
+
+// runSwarmDeployment stages swarmUpgrade over a fleet of peer-serving
+// agents on loopback TCP, with peer hinting on or off, and returns the
+// deployment's transfer delta. Every agent runs a peer chunk server and
+// gated waves are marked eligible, so with swarming on the vendor seeds
+// roughly one payload copy per cluster and the rest moves peer-to-peer.
+func runSwarmDeployment(b *testing.B, fleet int, swarm bool) deploy.TransferStats {
+	b.Helper()
+	s, err := transport.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	s.DisablePeers = !swarm
+
+	agents := make([]*transport.Agent, fleet)
+	for i := 0; i < fleet; i++ {
+		m := machine.New(fmt.Sprintf("swarm-%03d", i))
+		m.SetEnv("HOME", "/home/user")
+		m.WriteFile(&machine.File{Path: apps.MySQLExec, Type: machine.TypeExecutable,
+			Data: distribPayload(1, 64*1024), Version: "4.1.22"})
+		m.InstallPackage(machine.PackageRef{Name: "mysql", Version: "4.1.22"}, []string{apps.MySQLExec})
+		a := transport.NewAgent(m)
+		if _, err := a.ServePeers("127.0.0.1:0"); err != nil {
+			b.Fatal(err)
+		}
+		agents[i] = a
+		go a.Run(s.Addr())
+	}
+	defer func() {
+		for _, a := range agents {
+			a.ClosePeers()
+		}
+	}()
+	if got := s.WaitForAgents(fleet, 10*time.Second); got != fleet {
+		b.Fatalf("only %d/%d agents registered", got, fleet)
+	}
+
+	names := s.Agents()
+	perCluster := fleet / swarmClusters
+	var clusters []*deploy.Cluster
+	for c := 0; c < swarmClusters; c++ {
+		cl := &deploy.Cluster{ID: deploy.ClusterName(c), Distance: c + 1}
+		for n, name := range names[c*perCluster : (c+1)*perCluster] {
+			if n == 0 {
+				cl.Representatives = append(cl.Representatives, s.Node(name))
+			} else {
+				cl.Others = append(cl.Others, s.Node(name))
+			}
+		}
+		clusters = append(clusters, cl)
+	}
+
+	ctl := deploy.NewController(report.New(), nil)
+	ctl.Transfer = s.TransferSnapshot
+	if swarm {
+		ctl.GatedMembers = s.MarkPeerEligible
+	}
+	out, err := ctl.Deploy(context.Background(), deploy.PolicyBalanced, swarmUpgrade(), clusters)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if out.Integrated() != fleet {
+		b.Fatalf("integrated = %d/%d", out.Integrated(), fleet)
+	}
+	return out.Transfer
+}
+
+// BenchmarkSwarm measures vendor chunk egress against fleet size with the
+// peer tier on and off, and re-asserts the tier's headline property:
+// with swarming, doubling the fleet grows vendor egress by less than
+// 1.5x (the vendor seeds ~one copy per cluster and gated waves serve the
+// rest), while without it egress is O(fleet). Set MIRAGE_BENCH_SWARM_JSON
+// to a path to emit the machine-readable summary (the CI perf artifact).
+func BenchmarkSwarm(b *testing.B) {
+	fleets := []int{25, 50, 100}
+	type sizeResult struct {
+		VendorChunkBytes int64 `json:"vendor_chunk_bytes"`
+		VendorBytes      int64 `json:"vendor_bytes"`
+		PeerBytes        int64 `json:"peer_bytes"`
+		PeerHits         int64 `json:"peer_hits"`
+		VendorFallbacks  int64 `json:"vendor_fallbacks"`
+	}
+	results := map[string]map[int]*sizeResult{"swarm": {}, "noswarm": {}}
+	for _, mode := range []string{"swarm", "noswarm"} {
+		for _, fleet := range fleets {
+			mode, fleet := mode, fleet
+			b.Run(fmt.Sprintf("%s/agents%d", mode, fleet), func(b *testing.B) {
+				var last deploy.TransferStats
+				for i := 0; i < b.N; i++ {
+					last = runSwarmDeployment(b, fleet, mode == "swarm")
+				}
+				b.ReportMetric(float64(last.ChunkBytes), "vendorchunkbytes/op")
+				b.ReportMetric(float64(last.PeerBytes), "peerbytes/op")
+				results[mode][fleet] = &sizeResult{
+					VendorChunkBytes: last.ChunkBytes,
+					VendorBytes:      last.Bytes,
+					PeerBytes:        last.PeerBytes,
+					PeerHits:         last.PeerHits,
+					VendorFallbacks:  last.VendorFallbacks,
+				}
+			})
+		}
+	}
+	for _, fleet := range fleets {
+		if results["swarm"][fleet] == nil || results["noswarm"][fleet] == nil {
+			b.Fatal("benchmark sub-runs missing")
+		}
+	}
+	// Swarming on: vendor egress must be sublinear — 2x fleet, < 1.5x
+	// chunk bytes. Off: O(fleet) — 2x fleet, > 1.7x chunk bytes (the
+	// control proving the swarm, not some cache artifact, flattens it).
+	for i := 1; i < len(fleets); i++ {
+		small, big := fleets[i-1], fleets[i]
+		on := float64(results["swarm"][big].VendorChunkBytes) / float64(results["swarm"][small].VendorChunkBytes)
+		off := float64(results["noswarm"][big].VendorChunkBytes) / float64(results["noswarm"][small].VendorChunkBytes)
+		if on >= 1.5 {
+			b.Fatalf("swarm vendor egress grew %.2fx from %d to %d agents (%d -> %d bytes), want < 1.5x",
+				on, small, big, results["swarm"][small].VendorChunkBytes, results["swarm"][big].VendorChunkBytes)
+		}
+		if off <= 1.7 {
+			b.Fatalf("no-swarm vendor egress grew only %.2fx from %d to %d agents — control broken",
+				off, small, big)
+		}
+		b.Logf("%d -> %d agents: vendor egress x%.2f with swarm, x%.2f without", small, big, on, off)
+	}
+	// The flat egress must be real offload, not caching: the peer tier
+	// carried at least half the fleet's payload copies at every size.
+	for _, fleet := range fleets {
+		r := results["swarm"][fleet]
+		if r.PeerBytes < int64(fleet/2)*swarmFileSize {
+			b.Fatalf("swarm at %d agents served %d peer bytes, want >= %d",
+				fleet, r.PeerBytes, int64(fleet/2)*swarmFileSize)
+		}
+	}
+	if path := os.Getenv("MIRAGE_BENCH_SWARM_JSON"); path != "" {
+		blob, err := json.MarshalIndent(map[string]interface{}{
+			"benchmark": "BenchmarkSwarm",
+			"clusters":  swarmClusters,
+			"payload":   swarmFileSize + 16*1024,
+			"fleets":    fleets,
+			"swarm":     results["swarm"],
+			"noswarm":   results["noswarm"],
+		}, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // --- Rollout engine (durability + agent churn) ---
 
 const (

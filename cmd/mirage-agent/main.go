@@ -21,6 +21,7 @@ func main() {
 	seedCache := flag.Bool("seed-cache", true, "prime the chunk cache from installed files, so version upgrades transfer only changed chunks")
 	reconnect := flag.Bool("reconnect", true, "redial the vendor with backoff when the control channel drops, preserving identity and chunk cache; the agent exits once redials stop succeeding")
 	reconnectAttempts := flag.Int("reconnect-attempts", 5, "consecutive failed redials before concluding the vendor is gone")
+	peerListen := flag.String("peer-listen", "", "address to serve the chunk cache to peer agents on (e.g. 127.0.0.1:0; empty = peer serving disabled); the bound address is advertised to the vendor, which hints this agent to later waves once its wave gates")
 	flag.Parse()
 
 	specs := scenario.MySQLTable2()
@@ -48,6 +49,14 @@ func main() {
 	m := scenario.BuildMySQLMachine(*found)
 	agent := transport.NewAgent(m)
 	agent.SeedCache = *seedCache
+	if *peerListen != "" {
+		addr, err := agent.ServePeers(*peerListen)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer agent.ClosePeers()
+		log.Printf("agent %s serving peer chunks on %s", m.Name, addr)
+	}
 	log.Printf("agent %s connecting to %s", m.Name, *connect)
 	var err error
 	if *reconnect {
@@ -63,4 +72,9 @@ func main() {
 	cs := agent.Cache.Stats()
 	log.Printf("agent %s: chunk cache: %d chunks / %d bytes, %d hits / %d misses",
 		m.Name, cs.Chunks, cs.Bytes, cs.Hits, cs.Misses)
+	if *peerListen != "" {
+		ps := agent.PeerStats()
+		log.Printf("agent %s: peer serving: %d requests, %d chunks / %d bytes served",
+			m.Name, ps.Requests, ps.Chunks, ps.Bytes)
+	}
 }

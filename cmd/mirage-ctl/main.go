@@ -185,6 +185,12 @@ func printStatus(st orchestrator.Status) {
 	fmt.Println()
 	fmt.Printf("  tested=%d failures=%d integrated=%d/%d quarantined=%d events=%d\n",
 		st.Tested, st.Failures, st.Integrated, len(st.Members), st.Quarantined, st.Events)
+	if st.Transfer != nil {
+		fmt.Printf("  transfer bytes=%d chunk_bytes=%d chunk_hits=%d chunk_misses=%d peer_bytes=%d peer_hits=%d vendor_fallbacks=%d\n",
+			st.Transfer.Bytes, st.Transfer.ChunkBytes, st.Transfer.ChunkHits,
+			st.Transfer.ChunkMisses, st.Transfer.PeerBytes, st.Transfer.PeerHits,
+			st.Transfer.VendorFallbacks)
+	}
 	if st.Journal != "" {
 		fmt.Printf("  journal=%s\n", st.Journal)
 	}

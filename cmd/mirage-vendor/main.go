@@ -71,6 +71,8 @@ func main() {
 	parallel := flag.Int("parallel", deploy.DefaultParallelism, "worker-pool size for node testing within a wave")
 	profilePar := flag.Int("profile-parallel", 0, "concurrent agent fingerprint RPCs while profiling the fleet (0 = default)")
 	inline := flag.Bool("inline", false, "legacy distribution: ship the full upgrade payload inline in every test/integrate frame instead of content-addressed chunk manifests")
+	jsonChunks := flag.Bool("json-chunks", false, "legacy chunk encoding: push missed chunks base64-encoded inside JSON frames instead of the binary chunk framing")
+	noPeers := flag.Bool("no-peers", false, "disable peer swarming: every missed chunk is pushed by the vendor even when gated agents could serve it")
 	showPlan := flag.Bool("plan", false, "print the staged wave schedule before deploying")
 	urrFile := flag.String("urr", "", "save the report repository to this file after deployment")
 	journal := flag.String("journal", "", "write-ahead deployment journal file for the one-shot rollout: every state transition is persisted, making the deployment durable and resumable")
@@ -91,6 +93,8 @@ func main() {
 	}
 	defer srv.Close()
 	srv.InlinePayloads = *inline
+	srv.JSONChunks = *jsonChunks
+	srv.DisablePeers = *noPeers
 	log.Printf("vendor listening on %s, waiting for %d agent(s)", srv.Addr(), *agents)
 	if got := srv.WaitForAgents(*agents, *wait); got < *agents {
 		log.Fatalf("only %d/%d agents registered", got, *agents)
@@ -244,6 +248,8 @@ func main() {
 	fmt.Printf("transfer mode=%s frames=%d bytes=%d chunk_bytes=%d chunk_hits=%d chunk_misses=%d\n",
 		mode, out.Transfer.Frames, out.Transfer.Bytes, out.Transfer.ChunkBytes,
 		out.Transfer.ChunkHits, out.Transfer.ChunkMisses)
+	fmt.Printf("peer tier peer_bytes=%d peer_hits=%d vendor_fallbacks=%d\n",
+		out.Transfer.PeerBytes, out.Transfer.PeerHits, out.Transfer.VendorFallbacks)
 	for _, g := range urr.GroupFailures("mysql-5.0.22") {
 		fmt.Printf("failure mode %q: %d report(s) from clusters %v\n",
 			g.Signature, len(g.Reports), g.Clusters)
@@ -262,6 +268,10 @@ func configure(parallel int, srv *transport.Server) func(*deploy.Controller) {
 	return func(ctl *deploy.Controller) {
 		ctl.Parallelism = parallel
 		ctl.Transfer = srv.TransferSnapshot
+		// Each gated wave's members become peer chunk servers for the
+		// waves that follow — the hook that turns staged order into swarm
+		// seeding.
+		ctl.GatedMembers = srv.MarkPeerEligible
 	}
 }
 

@@ -16,7 +16,13 @@
 // content-addressed distribution layer (internal/distrib): chunk
 // manifests in place of inline payloads, persistent agent-side chunk
 // caches seeded from installed files, and batched fetches of only the
-// missing chunks. The user-machine testing subsystem is
+// missing chunks — pushed as binary chunk frames (raw bytes behind a
+// JSON header; the -json-chunks flag restores the legacy base64
+// encoding) and, once a rollout's early waves gate, served mostly
+// peer-to-peer: agents opt in with -peer-listen, the vendor hints gated
+// peers that hold the missing addresses, and every peer-fetched chunk
+// self-verifies against its content digest before the vendor uplink is
+// asked for the remainder. The user-machine testing subsystem is
 // internal/vmtest and the Upgrade Report Repository is internal/report.
 // Deployments run as first-class rollout lifecycles on the control plane
 // (internal/orchestrator): Start(ctx, Spec) returns a Handle with Status

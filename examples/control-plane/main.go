@@ -55,7 +55,11 @@ func main() {
 	ctx := context.Background()
 
 	// 1. A networked fleet: vendor server, six agents over loopback TCP,
-	// grouped into three clusters of deployment.
+	// grouped into three clusters of deployment. Chunks travel as binary
+	// frames on the control channel; a production fleet would additionally
+	// start each agent with -peer-listen so later waves pull chunk misses
+	// from already-gated peers (and -json-chunks on the vendor restores the
+	// legacy base64 encoding for old agents).
 	srv, err := transport.Listen("127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)

@@ -113,6 +113,10 @@ func main() {
 	// returns a handle — the rollout is observable (Status, Events),
 	// pausable and abortable while it runs; Wait gives the outcome. The
 	// one-call form of the same thing is vendor.StageDeployment(ctx, ...).
+	// Over real TCP the same rollout ships upgrade bytes as binary chunk
+	// frames, and agents started with -peer-listen fetch misses from
+	// already-gated peers before falling back to the vendor (-json-chunks
+	// keeps the legacy base64 wire format for old agents).
 	orch := orchestrator.New("")
 	h, err := vendor.StartDeployment(ctx, orch, deploy.PolicyBalanced, upgrade, clustering, fix)
 	if err != nil {

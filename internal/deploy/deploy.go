@@ -111,16 +111,26 @@ type TransferStats struct {
 	ChunkBytes  int64 // content-addressed chunk payload bytes
 	ChunkHits   int64 // manifest chunks already held by agents
 	ChunkMisses int64 // manifest chunks that had to be transferred
+
+	// Peer tier counters: chunk traffic that moved agent-to-agent instead
+	// of over the vendor uplink, plus the chunks the vendor pushed only
+	// after the peer tier missed them.
+	PeerBytes       int64 // chunk bytes served peer-to-peer
+	PeerHits        int64 // chunks the peer tier satisfied
+	VendorFallbacks int64 // chunks pushed by the vendor after peers missed
 }
 
 // Sub returns the counter delta t−o.
 func (t TransferStats) Sub(o TransferStats) TransferStats {
 	return TransferStats{
-		Frames:      t.Frames - o.Frames,
-		Bytes:       t.Bytes - o.Bytes,
-		ChunkBytes:  t.ChunkBytes - o.ChunkBytes,
-		ChunkHits:   t.ChunkHits - o.ChunkHits,
-		ChunkMisses: t.ChunkMisses - o.ChunkMisses,
+		Frames:          t.Frames - o.Frames,
+		Bytes:           t.Bytes - o.Bytes,
+		ChunkBytes:      t.ChunkBytes - o.ChunkBytes,
+		ChunkHits:       t.ChunkHits - o.ChunkHits,
+		ChunkMisses:     t.ChunkMisses - o.ChunkMisses,
+		PeerBytes:       t.PeerBytes - o.PeerBytes,
+		PeerHits:        t.PeerHits - o.PeerHits,
+		VendorFallbacks: t.VendorFallbacks - o.VendorFallbacks,
 	}
 }
 
@@ -279,6 +289,12 @@ type Controller struct {
 	// counters (e.g. transport.Server.TransferSnapshot). Deploy snapshots
 	// it around the rollout and records the delta in Outcome.Transfer.
 	Transfer func() TransferStats
+	// GatedMembers, when set, receives the sorted names of a stage's
+	// integrated, non-quarantined members each time the stage's gate
+	// passes (e.g. transport.Server.MarkPeerEligible). A gated member
+	// holds the full validated upgrade, which is exactly what clears it
+	// to serve chunks to later waves over the peer tier.
+	GatedMembers func(names []string)
 
 	// TransientRetries bounds how many times a member's test or integrate
 	// is retried after a transient error before the member is quarantined
@@ -626,6 +642,9 @@ func (r *waveRunner) RunStage(st staging.Stage, done func()) {
 				r.promoted = append(r.promoted, w)
 			}
 		}
+		// Members this stage integrated on the previous run are gated
+		// again: peer eligibility must survive a journal resume.
+		r.notifyGated(st)
 		done()
 		return
 	}
@@ -653,7 +672,51 @@ func (r *waveRunner) RunStage(st staging.Stage, done func()) {
 		// anyway would let the plan outrun its journal.
 		return
 	}
+	r.notifyGated(st)
 	done()
+}
+
+// notifyGated reports a gated stage's integrated, non-quarantined members
+// to the controller's GatedMembers hook, sorted for determinism. Promoted
+// members are deliberately absent: they have not integrated yet, only
+// been released past the barrier.
+func (r *waveRunner) notifyGated(st staging.Stage) {
+	if r.ctl.GatedMembers == nil {
+		return
+	}
+	seen := make(map[string]bool)
+	var names []string
+	consider := func(n Node) {
+		name := n.Name()
+		if seen[name] {
+			return
+		}
+		seen[name] = true
+		if nst := r.out.Nodes[name]; nst != nil && nst.UpgradeID != "" && !nst.Quarantined {
+			names = append(names, name)
+		}
+	}
+	for _, w := range st.Waves {
+		c := r.clusters[w.Cluster]
+		if c == nil {
+			continue
+		}
+		if w.Group != staging.GroupOthers {
+			for _, n := range c.Representatives {
+				consider(n)
+			}
+		}
+		if w.Group != staging.GroupReps {
+			for _, n := range c.Others {
+				consider(n)
+			}
+		}
+	}
+	if len(names) == 0 {
+		return
+	}
+	sort.Strings(names)
+	r.ctl.GatedMembers(names)
 }
 
 // flushPromoted runs the waves promoted past their barriers as one merged

@@ -345,6 +345,25 @@ func (c *Cache) Missing(m *Manifest) []uint64 {
 	return out
 }
 
+// Chunks returns the cached chunks among addrs, in request order,
+// silently skipping addresses the cache does not hold — the serving
+// primitive of the peer tier, where "give me what you have" is the
+// protocol and the requester falls back to the vendor for the rest.
+// The returned Data slices alias the cache's internal storage: stored
+// chunks are immutable (add-only map, every insert copies), so they are
+// safe to read concurrently but must never be modified.
+func (c *Cache) Chunks(addrs []uint64) []Chunk {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Chunk, 0, len(addrs))
+	for _, a := range addrs {
+		if data, ok := c.chunks[a]; ok {
+			out = append(out, Chunk{Hash: a, Data: data})
+		}
+	}
+	return out
+}
+
 // Assemble reconstructs the full upgrade from cached chunks. Every chunk
 // the manifest references must be present (fetch the Missing set first);
 // an absent chunk is an error naming its address.

@@ -240,3 +240,30 @@ func TestConcurrentStoreAndCache(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestCacheChunksServesWhatItHolds pins the peer-serving primitive: only
+// held addresses come back, in request order, and the miss is silent —
+// "what I have" is the peer protocol, the requester's fallback handles
+// the rest.
+func TestCacheChunksServesWhatItHolds(t *testing.T) {
+	cache := NewCache()
+	a := payload(1, 2000)
+	b := payload(2, 2000)
+	addrA, addrB := fingerprint.HashBytes(a), fingerprint.HashBytes(b)
+	if err := cache.Add(addrA, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := cache.Add(addrB, b); err != nil {
+		t.Fatal(err)
+	}
+	got := cache.Chunks([]uint64{addrB, 999, addrA})
+	if len(got) != 2 || got[0].Hash != addrB || got[1].Hash != addrA {
+		t.Fatalf("Chunks = %+v, want [B, A] with the unknown address skipped", got)
+	}
+	if !bytes.Equal(got[0].Data, b) || !bytes.Equal(got[1].Data, a) {
+		t.Fatal("served chunk bytes differ from what was added")
+	}
+	if out := cache.Chunks(nil); len(out) != 0 {
+		t.Fatalf("empty request served %d chunks", len(out))
+	}
+}

@@ -122,7 +122,11 @@ type Status struct {
 	Integrated  int                      `json:"integrated"`
 	Quarantined int                      `json:"quarantined"`
 	Members     map[string]*MemberStatus `json:"members,omitempty"`
-	Journal     string                   `json:"journal,omitempty"`
+	// Transfer is the wire-traffic delta the rollout caused (set on
+	// terminal snapshots when the controller has a Transfer source): total
+	// vendor bytes, chunk hit/miss split, and the peer tier's share.
+	Transfer *deploy.TransferStats `json:"transfer,omitempty"`
+	Journal  string                `json:"journal,omitempty"`
 	// Events is the count of events so far — the long-poll cursor.
 	Events int    `json:"events"`
 	Error  string `json:"error,omitempty"`
@@ -318,6 +322,10 @@ func (h *Handle) run(ctx context.Context, ctl *deploy.Controller, spec Spec, jou
 	if out != nil {
 		h.status.FinalID = out.FinalID
 		h.status.Rounds = out.Rounds
+		if out.Transfer != (deploy.TransferStats{}) {
+			tr := out.Transfer
+			h.status.Transfer = &tr
+		}
 	}
 	h.signalLocked()
 	h.mu.Unlock()
@@ -429,6 +437,10 @@ func (h *Handle) Status() Status {
 		members[name] = &cp
 	}
 	st.Members = members
+	if h.status.Transfer != nil {
+		tr := *h.status.Transfer
+		st.Transfer = &tr
+	}
 	return st
 }
 

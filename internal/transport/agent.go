@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/apps"
@@ -38,10 +39,21 @@ type Agent struct {
 	// only to measure the unseeded transfer cost.
 	SeedCache bool
 
+	// PeerAddr is the advertised address of the agent's peer chunk
+	// server, set by ServePeers (empty: this agent does not serve peers).
+	// It travels in the registration frame, so set it before Run.
+	PeerAddr string
+	// PeerTimeout bounds each peer conversation during a vendor-directed
+	// peer fetch (0 means DefaultPeerTimeout).
+	PeerTimeout time.Duration
+
 	// local caches locally identified resources per application.
 	local map[string][]string
 	// vendorRefs caches the vendor-sent resource references per app.
 	vendorRefs map[string][]string
+
+	peerLn                          net.Listener
+	peerReqs, peerChunks, peerBytes atomic.Int64
 }
 
 // NewAgent returns an agent managing machine m.
@@ -77,11 +89,12 @@ func (a *Agent) serve(conn net.Conn) error {
 	defer conn.Close()
 
 	// Buffer frame writes: one reply is one flushed burst, not a stream
-	// of small unbuffered writes straight to the socket.
+	// of small unbuffered writes straight to the socket. Reads go through
+	// the line-based frame codec (not a json.Decoder, whose read-ahead
+	// would swallow the raw body of a binary chunk frame).
 	bw := bufio.NewWriter(conn)
-	enc := json.NewEncoder(bw)
-	dec := json.NewDecoder(bufio.NewReader(conn))
-	if err := enc.Encode(Frame{Op: OpRegister, Register: &RegisterReq{Machine: a.M.Name}}); err != nil {
+	fc := newFrameConn(bufio.NewReader(conn), bw)
+	if err := fc.WriteFrame(Frame{Op: OpRegister, Register: &RegisterReq{Machine: a.M.Name, Peer: a.PeerAddr}}); err != nil {
 		return nil // connection already dead; session over
 	}
 	if err := bw.Flush(); err != nil {
@@ -90,12 +103,20 @@ func (a *Agent) serve(conn net.Conn) error {
 
 	for {
 		var req Frame
-		if err := dec.Decode(&req); err != nil {
+		if err := fc.ReadFrame(&req); err != nil {
 			return nil // vendor closed the channel (or it broke)
 		}
-		resp := a.handle(req)
+		var resp Frame
+		if req.Op == OpFetchChunks && len(req.ChunkMeta) > 0 {
+			// Binary chunk push: the raw body follows the header on this
+			// very stream, so it must be consumed here, in frame order,
+			// before the next request can be read.
+			resp = a.handleFetchBinary(fc, req.ChunkMeta)
+		} else {
+			resp = a.handle(req)
+		}
 		resp.ID = req.ID
-		if err := enc.Encode(resp); err != nil {
+		if err := fc.WriteFrame(resp); err != nil {
 			return nil
 		}
 		if err := bw.Flush(); err != nil {
@@ -220,6 +241,11 @@ func (a *Agent) handle(req Frame) Frame {
 			return errFrame("fetch_chunks payload missing")
 		}
 		return a.handleFetchChunks(*req.FetchChunks)
+	case OpPeerFetch:
+		if req.PeerFetch == nil {
+			return errFrame("peer_fetch payload missing")
+		}
+		return a.handlePeerFetch(*req.PeerFetch)
 	default:
 		return errFrame("unknown op " + req.Op)
 	}
@@ -278,6 +304,18 @@ func (a *Agent) handleFetchChunks(req FetchChunksReq) Frame {
 		if err := a.Cache.Add(ch.Hash, ch.Data); err != nil {
 			return errFrame(err.Error())
 		}
+	}
+	return Frame{OK: true}
+}
+
+// handleFetchBinary consumes a binary chunk push: the raw body announced
+// by meta is streamed through a pooled buffer into the cache, each chunk
+// verified against its content address by Cache.Add. The body is fully
+// consumed even when a chunk is rejected, keeping the control channel's
+// framing intact; the error travels back in the reply.
+func (a *Agent) handleFetchBinary(fc *frameConn, meta []distrib.ChunkRef) Frame {
+	if err := fc.ReadChunkBody(meta, a.Cache.Add); err != nil {
+		return errFrame(err.Error())
 	}
 	return Frame{OK: true}
 }

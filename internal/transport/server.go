@@ -52,23 +52,37 @@ var ErrServerClosed = errors.New("transport: server closed")
 type Stats struct {
 	FramesSent     int64 // request frames written
 	BytesSent      int64 // total bytes written to agent sockets
-	ChunkBytesSent int64 // bytes of chunk payload inside OpFetchChunks pushes
+	ChunkBytesSent int64 // bytes of chunk payload the vendor itself pushed
 	ChunkHits      int64 // manifest chunks the agent already held
-	ChunkMisses    int64 // manifest chunks that had to be pushed
+	ChunkMisses    int64 // manifest chunks that had to be transferred
+
+	// Peer tier counters. The vendor never sees peer traffic on its own
+	// sockets; these book what agents report back after each directed
+	// peer fetch, which is what lets BenchmarkSwarm assert vendor egress
+	// stays ~flat while total bytes moved grows with the fleet.
+	PeerBytesIn     int64 // chunk bytes this/these agent(s) pulled from peers
+	PeerBytesOut    int64 // chunk bytes this/these agent(s) served to peers
+	PeerChunkHits   int64 // chunks the peer tier satisfied
+	VendorFallbacks int64 // chunks pushed by the vendor after peers missed them
 }
 
 // statsCounters is the mutable (atomic) form behind Stats snapshots.
 type statsCounters struct {
 	frames, bytes, chunkBytes, hits, misses atomic.Int64
+	peerIn, peerOut, peerHits, fallbacks    atomic.Int64
 }
 
 func (c *statsCounters) snapshot() Stats {
 	return Stats{
-		FramesSent:     c.frames.Load(),
-		BytesSent:      c.bytes.Load(),
-		ChunkBytesSent: c.chunkBytes.Load(),
-		ChunkHits:      c.hits.Load(),
-		ChunkMisses:    c.misses.Load(),
+		FramesSent:      c.frames.Load(),
+		BytesSent:       c.bytes.Load(),
+		ChunkBytesSent:  c.chunkBytes.Load(),
+		ChunkHits:       c.hits.Load(),
+		ChunkMisses:     c.misses.Load(),
+		PeerBytesIn:     c.peerIn.Load(),
+		PeerBytesOut:    c.peerOut.Load(),
+		PeerChunkHits:   c.peerHits.Load(),
+		VendorFallbacks: c.fallbacks.Load(),
 	}
 }
 
@@ -93,10 +107,10 @@ type agentConn struct {
 	srv  *Server
 	// bw buffers frame writes so one frame is one buffered write burst
 	// with an explicit flush, not a stream of tiny unbuffered socket
-	// writes from the JSON encoder.
-	bw  *bufio.Writer
-	enc *json.Encoder
-	dec *json.Decoder
+	// writes; fc is the line-based frame codec over it (and the reader),
+	// which is what lets a binary chunk body ride behind a JSON header.
+	bw *bufio.Writer
+	fc *frameConn
 
 	stats *statsCounters // this connection's counters
 	total *statsCounters // the server-wide counters
@@ -141,6 +155,13 @@ func (ac *agentConn) fail(ctx context.Context, op string, err error) error {
 // immediately and the call surfaces ctx.Err() — Server.Call-level
 // cancellation, the primitive every higher layer's abort rides on.
 func (ac *agentConn) call(ctx context.Context, req Frame, timeout time.Duration) (Frame, error) {
+	return ac.callBody(ctx, req, nil, timeout)
+}
+
+// callBody is call with an optional binary chunk body: when body is
+// non-nil, req.ChunkMeta must announce it and the raw bytes are written
+// immediately after the header, inside the same buffered burst.
+func (ac *agentConn) callBody(ctx context.Context, req Frame, body []distrib.Chunk, timeout time.Duration) (Frame, error) {
 	if err := ctx.Err(); err != nil {
 		return Frame{}, fmt.Errorf("transport: %s to %s: %w", req.Op, ac.name, err)
 	}
@@ -174,8 +195,13 @@ func (ac *agentConn) call(ctx context.Context, req Frame, timeout time.Duration)
 			<-yanked
 		}
 	}()
-	if err := ac.enc.Encode(req); err != nil {
+	if err := ac.fc.WriteFrame(req); err != nil {
 		return Frame{}, ac.fail(ctx, "sending "+req.Op, err)
+	}
+	if body != nil {
+		if err := ac.fc.WriteChunkBody(body); err != nil {
+			return Frame{}, ac.fail(ctx, "sending "+req.Op+" body", err)
+		}
 	}
 	if err := ac.bw.Flush(); err != nil {
 		return Frame{}, ac.fail(ctx, "sending "+req.Op, err)
@@ -183,7 +209,7 @@ func (ac *agentConn) call(ctx context.Context, req Frame, timeout time.Duration)
 	ac.stats.frames.Add(1)
 	ac.total.frames.Add(1)
 	var resp Frame
-	if err := ac.dec.Decode(&resp); err != nil {
+	if err := ac.fc.ReadFrame(&resp); err != nil {
 		return Frame{}, ac.fail(ctx, "reading "+req.Op+" reply", err)
 	}
 	if resp.ID != req.ID {
@@ -243,6 +269,23 @@ type Server struct {
 	// chunk bytes ever cross the wire.
 	InlinePayloads bool
 
+	// JSONChunks restores the legacy chunk-push encoding: OpFetchChunks
+	// frames carry chunk bytes base64-encoded inside the JSON body. The
+	// default is the binary chunk frame — a JSON header listing per-chunk
+	// address+length followed by the raw bytes — which moves chunk
+	// payload with zero encode expansion and no per-chunk allocation.
+	JSONChunks bool
+
+	// DisablePeers turns off peer hinting: every missed chunk is pushed
+	// by the vendor, as before the peer tier existed. Agents that do not
+	// run a peer server are simply never hinted, so this switch matters
+	// only for measurement (BenchmarkSwarm's O(fleet) baseline).
+	DisablePeers bool
+
+	// peerMu guards peers, the chunk-location index behind peer hinting.
+	peerMu sync.Mutex
+	peers  *peerIndex
+
 	// dist is the vendor-side chunk store backing manifest distribution;
 	// it accumulates across upgrades, so a corrected re-release shares
 	// every chunk with the version it fixes.
@@ -268,6 +311,7 @@ func Listen(addr string) (*Server, error) {
 		done:    make(chan struct{}),
 		Timeout: DefaultRPCTimeout,
 		dist:    distrib.NewStore(),
+		peers:   newPeerIndex(),
 	}
 	s.serving.Add(1)
 	go s.acceptLoop()
@@ -299,11 +343,107 @@ func (s *Server) AgentStats(name string) (Stats, bool) {
 func (s *Server) TransferSnapshot() deploy.TransferStats {
 	st := s.Stats()
 	return deploy.TransferStats{
-		Frames:      st.FramesSent,
-		Bytes:       st.BytesSent,
-		ChunkBytes:  st.ChunkBytesSent,
-		ChunkHits:   st.ChunkHits,
-		ChunkMisses: st.ChunkMisses,
+		Frames:          st.FramesSent,
+		Bytes:           st.BytesSent,
+		ChunkBytes:      st.ChunkBytesSent,
+		ChunkHits:       st.ChunkHits,
+		ChunkMisses:     st.ChunkMisses,
+		PeerBytes:       st.PeerBytesOut,
+		PeerHits:        st.PeerChunkHits,
+		VendorFallbacks: st.VendorFallbacks,
+	}
+}
+
+// MarkPeerEligible clears the named agents to serve chunks to their
+// peers. The deployment controller calls it as each wave's gate passes
+// (Controller.GatedMembers): a gated member has validated and integrated
+// the upgrade, so its chunk cache is both complete and trustworthy-fresh
+// — exactly the population the staging order guarantees exists before any
+// later wave asks.
+func (s *Server) MarkPeerEligible(names []string) {
+	s.peerMu.Lock()
+	defer s.peerMu.Unlock()
+	for _, n := range names {
+		s.peers.eligible[n] = true
+	}
+}
+
+// AddPeerSource registers an external peer chunk source by hand: name is
+// recorded as eligible, reachable at addr, and holding the given chunk
+// addresses. It is the seeding/test hook — degradation tests point it at
+// fake peers that die or serve corrupt bytes, and a pre-seeded mirror can
+// be injected the same way.
+func (s *Server) AddPeerSource(name, addr string, addrs []uint64) {
+	s.peerMu.Lock()
+	defer s.peerMu.Unlock()
+	s.peers.addrs[name] = addr
+	s.peers.eligible[name] = true
+	s.peers.markHeld(name, addrs)
+}
+
+// peerHintsFor returns up to MaxPeerHints peer addresses likely to hold
+// some of need, best coverage first; nil when hinting is off or no
+// eligible peer covers anything.
+func (s *Server) peerHintsFor(requester string, need []uint64) []string {
+	if s.DisablePeers {
+		return nil
+	}
+	s.peerMu.Lock()
+	defer s.peerMu.Unlock()
+	return s.peers.hints(requester, need)
+}
+
+// manifestAddrs flattens a manifest to its distinct chunk addresses.
+func manifestAddrs(man *WireManifest) []uint64 {
+	seen := make(map[uint64]bool)
+	out := make([]uint64, 0, len(man.Files))
+	for _, f := range man.Files {
+		for _, ref := range f.Chunks {
+			if !seen[ref.Hash] {
+				seen[ref.Hash] = true
+				out = append(out, ref.Hash)
+			}
+		}
+	}
+	return out
+}
+
+// markPeerHeld records that name resolved man completely — every address
+// in it is now in the agent's cache. This passive bookkeeping is the only
+// feed the chunk-location index has (besides AddPeerSource); no RPC ever
+// asks an agent what it holds.
+func (s *Server) markPeerHeld(name string, man *WireManifest) {
+	s.peerMu.Lock()
+	defer s.peerMu.Unlock()
+	s.peers.markHeld(name, manifestAddrs(man))
+}
+
+// creditPeerResult books one OpPeerFetch round into the transfer
+// counters: the fetching agent's peer-in bytes and chunk hits, and each
+// serving agent's peer-out bytes (resolved from the reported peer
+// address; an unresolvable server — an AddPeerSource fake, or an agent
+// that re-registered meanwhile — still counts toward the server totals).
+func (s *Server) creditPeerResult(ac *agentConn, res *PeerResult) {
+	if res == nil || res.Bytes == 0 {
+		return
+	}
+	ac.stats.peerIn.Add(res.Bytes)
+	ac.total.peerIn.Add(res.Bytes)
+	ac.stats.peerHits.Add(int64(res.Chunks))
+	ac.total.peerHits.Add(int64(res.Chunks))
+	for addr, n := range res.Served {
+		s.peerMu.Lock()
+		name, ok := s.peers.nameByAddr(addr)
+		s.peerMu.Unlock()
+		if ok {
+			s.mu.Lock()
+			server := s.agents[name]
+			s.mu.Unlock()
+			if server != nil {
+				server.stats.peerOut.Add(n)
+			}
+		}
+		s.stats.peerOut.Add(n)
 	}
 }
 
@@ -381,14 +521,14 @@ func (s *Server) register(conn net.Conn) {
 		delete(s.pending, conn)
 		s.mu.Unlock()
 	}
-	dec := json.NewDecoder(bufio.NewReader(conn))
+	fc := newFrameConn(bufio.NewReader(conn), nil)
 	if err := conn.SetReadDeadline(time.Now().Add(10 * time.Second)); err != nil {
 		unpend()
 		conn.Close()
 		return
 	}
 	var hello Frame
-	if err := dec.Decode(&hello); err != nil || hello.Op != OpRegister || hello.Register == nil {
+	if err := fc.ReadFrame(&hello); err != nil || hello.Op != OpRegister || hello.Register == nil {
 		unpend()
 		conn.Close()
 		return
@@ -396,10 +536,16 @@ func (s *Server) register(conn net.Conn) {
 	conn.SetReadDeadline(time.Time{})
 	st := &statsCounters{}
 	bw := bufio.NewWriter(&countingWriter{w: conn, conn: st, total: &s.stats})
+	fc.bw = bw
 	ac := &agentConn{
 		name: hello.Register.Machine, conn: conn, srv: s,
-		bw: bw, enc: json.NewEncoder(bw), dec: dec,
+		bw: bw, fc: fc,
 		stats: st, total: &s.stats,
+	}
+	if hello.Register.Peer != "" {
+		s.peerMu.Lock()
+		s.peers.addrs[ac.name] = hello.Register.Peer
+		s.peerMu.Unlock()
 	}
 	s.mu.Lock()
 	delete(s.pending, conn)
@@ -707,9 +853,13 @@ func upgradeFrame(op string, up *WireUpgrade, man *WireManifest) Frame {
 // pushUpgrade performs one test or integrate RPC on the agent. In inline
 // mode the complete upgrade travels in the frame. In chunked mode the
 // frame carries only the manifest; if the agent reports missing chunks,
-// exactly those chunks are pushed with OpFetchChunks and the request is
-// re-issued — the manifest is small, so the retry costs a few hundred
-// bytes, never a payload re-send.
+// the peer tier is tried first (a directed OpPeerFetch against hinted
+// gated peers), the remainder is pushed with OpFetchChunks — a binary
+// chunk frame by default, base64-in-JSON under s.JSONChunks — and the
+// request is re-issued; the manifest is small, so the retry costs a few
+// hundred bytes, never a payload re-send. A manifest that resolves
+// completely marks its addresses held by the agent in the chunk-location
+// index, feeding future peer hints.
 func (s *Server) pushUpgrade(ctx context.Context, name, op string, up *pkgmgr.Upgrade) (Frame, error) {
 	ac, err := s.agent(name)
 	if err != nil {
@@ -749,9 +899,27 @@ func (s *Server) pushUpgrade(ctx context.Context, name, op string, up *pkgmgr.Up
 			first = false
 		}
 		if len(resp.NeedChunks) == 0 {
+			s.markPeerHeld(name, man)
 			return resp, nil
 		}
-		chunks, err := s.dist.Chunks(resp.NeedChunks)
+		need := resp.NeedChunks
+		hinted := false
+		if hints := s.peerHintsFor(name, need); len(hints) > 0 {
+			presp, err := ac.call(ctx, Frame{Op: OpPeerFetch,
+				PeerFetch: &PeerFetchReq{Addrs: need, Peers: hints}}, s.Timeout)
+			if err != nil {
+				return Frame{}, err
+			}
+			s.creditPeerResult(ac, presp.Peer)
+			need = presp.NeedChunks
+			hinted = true
+		}
+		if len(need) == 0 {
+			// The swarm served everything; re-issue the manifest request,
+			// which now resolves from cache.
+			continue
+		}
+		chunks, err := s.dist.Chunks(need)
 		if err != nil {
 			return Frame{}, fmt.Errorf("transport: agent %s requested %w", name, err)
 		}
@@ -761,8 +929,20 @@ func (s *Server) pushUpgrade(ctx context.Context, name, op string, up *pkgmgr.Up
 		}
 		ac.stats.chunkBytes.Add(n)
 		ac.total.chunkBytes.Add(n)
-		if _, err := ac.call(ctx, Frame{Op: OpFetchChunks, FetchChunks: &FetchChunksReq{Chunks: chunks}}, s.Timeout); err != nil {
-			return Frame{}, err
+		if hinted {
+			// These chunks were offered to the peer tier and came back:
+			// vendor fallback, the swarm's miss counter.
+			ac.stats.fallbacks.Add(int64(len(chunks)))
+			ac.total.fallbacks.Add(int64(len(chunks)))
+		}
+		if s.JSONChunks {
+			if _, err := ac.call(ctx, Frame{Op: OpFetchChunks, FetchChunks: &FetchChunksReq{Chunks: chunks}}, s.Timeout); err != nil {
+				return Frame{}, err
+			}
+		} else {
+			if _, err := ac.callBody(ctx, Frame{Op: OpFetchChunks, ChunkMeta: chunkMeta(chunks)}, chunks, s.Timeout); err != nil {
+				return Frame{}, err
+			}
 		}
 	}
 	return Frame{}, fmt.Errorf("transport: agent %s still missing chunks after fetch", name)

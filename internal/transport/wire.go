@@ -41,6 +41,14 @@ type Frame struct {
 	Test        *TestReq        `json:"test,omitempty"`
 	Integrate   *IntegrateReq   `json:"integrate,omitempty"`
 	FetchChunks *FetchChunksReq `json:"fetch_chunks,omitempty"`
+	PeerFetch   *PeerFetchReq   `json:"peer_fetch,omitempty"`
+
+	// ChunkMeta announces a binary chunk body: immediately after this
+	// frame's newline follow the raw bytes of each listed chunk, in
+	// order, ref.Size bytes each — no base64, no per-chunk framing. Used
+	// by OpFetchChunks pushes (unless Server.JSONChunks restores the
+	// legacy inline format) and by every OpPeerGet response.
+	ChunkMeta []distrib.ChunkRef `json:"chunk_meta,omitempty"`
 
 	// Response payloads.
 	Resources []string       `json:"resources,omitempty"`
@@ -52,6 +60,10 @@ type Frame struct {
 	// content addresses. The vendor answers with an OpFetchChunks push and
 	// then re-issues the original request, which by then resolves locally.
 	NeedChunks []uint64 `json:"need_chunks,omitempty"`
+	// Peer is the agent's report of an OpPeerFetch round: how much the
+	// peer tier served (and which peers were dropped), so the vendor's
+	// transfer counters see bytes it never itself moved.
+	Peer *PeerResult `json:"peer,omitempty"`
 	// OK acknowledges a successful response. Deliberately NOT omitempty:
 	// with omitempty a false value serialized identically to an absent
 	// one, so a handler that forgot to acknowledge was indistinguishable
@@ -78,12 +90,29 @@ const (
 	// agent sits behind its persistent control channel), so "fetch" is
 	// realized as a push of exactly the requested set.
 	OpFetchChunks = "fetch_chunks"
+	// OpPeerFetch asks the agent to pull the listed chunk addresses from
+	// the hinted peers — members of already-gated waves the vendor knows
+	// hold them — before the vendor falls back to pushing the remainder
+	// itself. The reply's NeedChunks is what the peer tier could not
+	// serve; its Peer payload books the bytes that moved peer-to-peer.
+	OpPeerFetch = "peer_fetch"
+	// OpPeerGet is the peer tier's own request, sent agent-to-agent on a
+	// short-lived connection to the serving agent's peer port: "send me
+	// whichever of these addresses you hold". The response is a binary
+	// chunk frame (ChunkMeta header + raw bytes); content addresses make
+	// the transfer self-verifying, so a peer needs no trust beyond the
+	// digest check every fetched chunk already passes.
+	OpPeerGet = "peer_get"
 )
 
 // RegisterReq is the only agent-initiated message: it announces the
 // machine to the vendor.
 type RegisterReq struct {
 	Machine string `json:"machine"`
+	// Peer, when non-empty, advertises the address of the agent's peer
+	// chunk server (Agent.ServePeers): the vendor may hint this agent to
+	// others once its waves gate.
+	Peer string `json:"peer,omitempty"`
 }
 
 // IdentifyReq asks the agent to run local resource identification for app
@@ -129,9 +158,34 @@ type IntegrateReq struct {
 	Manifest *WireManifest `json:"manifest,omitempty"`
 }
 
-// FetchChunksReq carries the chunk bytes for a reported missing set.
+// FetchChunksReq carries the chunk bytes for a reported missing set in
+// the legacy JSON format (base64 bodies inside the frame). The default
+// transport ships the same content as a binary chunk frame (ChunkMeta +
+// raw bytes); Server.JSONChunks restores this form.
 type FetchChunksReq struct {
 	Chunks []distrib.Chunk `json:"chunks"`
+}
+
+// PeerFetchReq directs an agent to pull chunk addresses from peers, in
+// hint order. The vendor pre-filters Peers to gated-wave members whose
+// chunk-location index entries cover some of Addrs, so the agent tries
+// them blindly and reports what remains.
+type PeerFetchReq struct {
+	Addrs []uint64 `json:"addrs"`
+	Peers []string `json:"peers"`
+}
+
+// PeerResult books one OpPeerFetch round from the agent's side.
+type PeerResult struct {
+	// Chunks and Bytes total what the peer tier delivered.
+	Chunks int   `json:"chunks,omitempty"`
+	Bytes  int64 `json:"bytes,omitempty"`
+	// Served maps peer address to the chunk bytes it served, so the
+	// vendor can credit the serving agent's egress counters.
+	Served map[string]int64 `json:"served,omitempty"`
+	// Failed lists peers dropped mid-fetch: dead, unreachable, or
+	// serving bytes whose digest did not match the requested address.
+	Failed []string `json:"failed,omitempty"`
 }
 
 // WireItem is a serialized resource item.
