@@ -12,6 +12,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"sync"
+	"syscall"
 	"testing"
 	"time"
 
@@ -1092,4 +1095,235 @@ func runConcurrentRollouts(b *testing.B, dir string) ([]orchestrator.Status, []*
 		}
 	}
 	return sts, outs
+}
+
+// --- 100k-agent control plane ---
+
+// scaleUpgrade is the sim fleet's payload: one executable big enough to
+// chunk but small enough that transfer cost never dominates — the scale
+// bench measures the control plane (registration, scheduling, journal,
+// budget), not the distribution tier, which has its own benchmarks.
+func scaleUpgrade() *pkgmgr.Upgrade {
+	return &pkgmgr.Upgrade{
+		ID: "scaled-app-2.0",
+		Pkg: &pkgmgr.Package{Name: "scaled-app", Version: "2.0", Files: []*machine.File{
+			{Path: "/usr/bin/scaled-app", Type: machine.TypeExecutable,
+				Data: distribPayload(0x5c, 64<<10), Version: "2.0"},
+		}},
+		Replaces: "1.0",
+	}
+}
+
+// registryThroughput measures mixed register/lookup throughput (ops/sec)
+// on a registry pre-populated with every name, across the given worker
+// count. One op in 16 is a registration (the steady-state fleet churns
+// slowly); the rest are the lookups every RPC performs.
+func registryThroughput(names []string, shards, workers, opsPerWorker int) float64 {
+	r := transport.NewRegistry[int](shards)
+	for i, name := range names {
+		r.Put(name, i)
+	}
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			idx := w * 7919 // stride the shards differently per worker
+			for i := 0; i < opsPerWorker; i++ {
+				name := names[idx%len(names)]
+				idx += 7919
+				if i%16 == 0 {
+					r.Put(name, i)
+				} else {
+					r.Get(name)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return float64(workers*opsPerWorker) / time.Since(start).Seconds()
+}
+
+// fdBudgetAllows reports whether the process may hold `need` file
+// descriptors, raising the soft limit toward the hard limit first. The
+// scale tiers use it to pick their transport: real TCP when the
+// descriptor budget covers two sockets per agent, in-process pipes
+// (Server.ServeConn — identical protocol, zero descriptors) when not.
+func fdBudgetAllows(need uint64) bool {
+	var rl syscall.Rlimit
+	if err := syscall.Getrlimit(syscall.RLIMIT_NOFILE, &rl); err != nil {
+		return false
+	}
+	if rl.Cur < rl.Max {
+		raised := rl
+		raised.Cur = rl.Max
+		if err := syscall.Setrlimit(syscall.RLIMIT_NOFILE, &raised); err == nil {
+			rl = raised
+		}
+	}
+	return rl.Cur >= need
+}
+
+// scaleTier is one fleet-size measurement of the scale benchmark.
+type scaleTier struct {
+	Members             int     `json:"members"`
+	Mode                string  `json:"mode"` // "tcp" or "pipe"
+	RegisterSecs        float64 `json:"register_secs"`
+	RegistrationsPerSec float64 `json:"registrations_per_sec"`
+	RolloutSecs         float64 `json:"rollout_secs"`
+	Integrated          int     `json:"integrated"`
+	Tested              int64   `json:"tested"`
+	Shards              int     `json:"shards"`
+}
+
+// runScaleRollout registers an n-agent sim fleet against a fresh vendor
+// and drives one journaled Balanced rollout across ~1000-member clusters
+// under a 256-slot worker budget, asserting full integration.
+func runScaleRollout(b *testing.B, dir string, n, iter int) scaleTier {
+	b.Helper()
+	mode := "tcp"
+	if !fdBudgetAllows(uint64(2*n + 512)) {
+		mode = "pipe"
+	}
+	s, err := transport.ListenWith("127.0.0.1:0", transport.ListenOpts{MaxPending: 4096})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+
+	opts := transport.SimOptions{Prefix: fmt.Sprintf("scale%dk", n/1000)}
+	if mode == "pipe" {
+		opts.Server = s
+	} else {
+		opts.Addr = s.Addr()
+	}
+	t0 := time.Now()
+	fleet, err := transport.StartSimFleet(n, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer fleet.Close()
+	if got := s.WaitForAgents(n, 5*time.Minute); got != n {
+		b.Fatalf("only %d/%d sim agents registered", got, n)
+	}
+	regSecs := time.Since(t0).Seconds()
+
+	names := fleet.Names()
+	per := 1000
+	if n < per {
+		per = n
+	}
+	var clusters []*deploy.Cluster
+	for c := 0; c*per < n; c++ {
+		end := (c + 1) * per
+		if end > n {
+			end = n
+		}
+		cl := &deploy.Cluster{ID: deploy.ClusterName(c), Distance: c + 1}
+		for i, name := range names[c*per : end] {
+			if i == 0 {
+				cl.Representatives = append(cl.Representatives, s.Node(name))
+			} else {
+				cl.Others = append(cl.Others, s.Node(name))
+			}
+		}
+		clusters = append(clusters, cl)
+	}
+
+	ctl := deploy.NewController(report.New(), nil)
+	ctl.Parallelism = 64
+	ctl.Budget = deploy.NewBudget(256)
+	ctl.Transfer = s.TransferSnapshot
+	eng := &rollout.Engine{Controller: ctl,
+		Path: filepath.Join(dir, fmt.Sprintf("scale-%d-%d.journal", n, iter))}
+	t1 := time.Now()
+	out, err := eng.Deploy(context.Background(), deploy.PolicyBalanced, scaleUpgrade(), clusters)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rolloutSecs := time.Since(t1).Seconds()
+	if out.Integrated() != n {
+		b.Fatalf("scale tier %d: integrated %d/%d (quarantined %v)", n, out.Integrated(), n, out.Quarantined)
+	}
+	return scaleTier{
+		Members: n, Mode: mode,
+		RegisterSecs: regSecs, RegistrationsPerSec: float64(n) / regSecs,
+		RolloutSecs: rolloutSecs, Integrated: out.Integrated(),
+		Tested: fleet.Tested(), Shards: len(s.ShardSizes()),
+	}
+}
+
+// BenchmarkScale measures the control plane at fleet sizes the paper's
+// testbed could only simulate: registry throughput as shard count grows,
+// then full journaled rollouts over sim-agent fleets (10k always; 50k and
+// 100k behind MIRAGE_BENCH_SCALE_100K=1). When real parallelism is
+// available (GOMAXPROCS >= 8) the sharded registry must beat a single
+// shard by at least 4x on the 100k-name working set; on smaller hosts the
+// ratio is recorded but not asserted, since shards only relieve lock
+// contention that a serial scheduler never creates. Set
+// MIRAGE_BENCH_SCALE_JSON to a path to emit the machine-readable summary
+// (the CI perf-trajectory artifact).
+func BenchmarkScale(b *testing.B) {
+	names := make([]string, 100_000)
+	for i := range names {
+		names[i] = fmt.Sprintf("agent-%06d", i)
+	}
+	workers := runtime.GOMAXPROCS(0) * 2
+	if workers < 8 {
+		workers = 8
+	}
+	const opsPerWorker = 100_000
+	shardCounts := []int{1, 4, 16}
+	if d := transport.DefaultShards(); d > 16 {
+		shardCounts = append(shardCounts, d)
+	}
+	sizes := []int{10_000}
+	if os.Getenv("MIRAGE_BENCH_SCALE_100K") != "" {
+		sizes = append(sizes, 50_000, 100_000)
+	}
+
+	dir := b.TempDir()
+	throughput := make([]float64, len(shardCounts))
+	var tiers []scaleTier
+	for i := 0; i < b.N; i++ {
+		for j, sc := range shardCounts {
+			throughput[j] = registryThroughput(names, sc, workers, opsPerWorker)
+		}
+		tiers = tiers[:0]
+		for _, n := range sizes {
+			tiers = append(tiers, runScaleRollout(b, dir, n, i))
+		}
+	}
+	ratio := throughput[len(throughput)-1] / throughput[0]
+	last := tiers[len(tiers)-1]
+	b.ReportMetric(ratio, "shard-speedup")
+	b.ReportMetric(last.RegistrationsPerSec, "reg/s")
+	b.ReportMetric(last.RolloutSecs, "rollout-s")
+	if runtime.GOMAXPROCS(0) >= 8 && ratio < 4 {
+		b.Fatalf("sharded registry (%d shards) is only %.2fx a single shard over %d names at GOMAXPROCS=%d; want >= 4x",
+			shardCounts[len(shardCounts)-1], ratio, len(names), runtime.GOMAXPROCS(0))
+	}
+	if path := os.Getenv("MIRAGE_BENCH_SCALE_JSON"); path != "" {
+		reg := make([]map[string]interface{}, len(shardCounts))
+		for j, sc := range shardCounts {
+			reg[j] = map[string]interface{}{"shards": sc, "ops_per_sec": throughput[j]}
+		}
+		blob, err := json.MarshalIndent(map[string]interface{}{
+			"benchmark":     "BenchmarkScale",
+			"gomaxprocs":    runtime.GOMAXPROCS(0),
+			"workers":       workers,
+			"names":         len(names),
+			"registry":      reg,
+			"shard_speedup": ratio,
+			"speedup_gated": runtime.GOMAXPROCS(0) < 8,
+			"tiers":         tiers,
+		}, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

@@ -22,7 +22,23 @@ func main() {
 	reconnect := flag.Bool("reconnect", true, "redial the vendor with backoff when the control channel drops, preserving identity and chunk cache; the agent exits once redials stop succeeding")
 	reconnectAttempts := flag.Int("reconnect-attempts", 5, "consecutive failed redials before concluding the vendor is gone")
 	peerListen := flag.String("peer-listen", "", "address to serve the chunk cache to peer agents on (e.g. 127.0.0.1:0; empty = peer serving disabled); the bound address is advertised to the vendor, which hints this agent to later waves once its wave gates")
+	sim := flag.Int("sim", 0, "scale harness: instead of one full agent, run this many protocol-faithful simulated agents (canned validation, shared chunk cache) against the vendor — thousands per process")
+	simPrefix := flag.String("sim-prefix", "sim", "machine-name prefix for -sim agents (names are <prefix>-000000 ...)")
 	flag.Parse()
+
+	if *sim > 0 {
+		fleet, err := transport.StartSimFleet(*sim, transport.SimOptions{
+			Addr: *connect, Prefix: *simPrefix,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("sim fleet: %d agents connected to %s (prefix %s)", *sim, *connect, *simPrefix)
+		fleet.Wait()
+		log.Printf("sim fleet: vendor closed; %d validations, %d integrations",
+			fleet.Tested(), fleet.Integrated())
+		return
+	}
 
 	specs := scenario.MySQLTable2()
 	if *machineName == "list" {

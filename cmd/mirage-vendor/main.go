@@ -39,6 +39,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"time"
 
@@ -80,6 +81,11 @@ func main() {
 	serve := flag.Bool("serve", false, "control-plane mode: expose the HTTP admin API on -admin and start rollouts on demand (mirage-ctl) instead of running one and exiting")
 	admin := flag.String("admin", "127.0.0.1:7080", "address for the HTTP control plane (one-shot mode serves it too, so a running rollout can be paused or aborted)")
 	journalDir := flag.String("journal-dir", "", "directory for per-rollout journals in -serve mode (empty = unjournaled rollouts unless the start request names a journal)")
+	shards := flag.Int("shards", 0, "agent-registry shard count, rounded up to a power of two (0 = derive from GOMAXPROCS); more shards mean less lock contention under registration storms and concurrent rollouts")
+	workerBudget := flag.Int("worker-budget", 0, "vendor-wide cap on concurrently in-flight member RPCs shared by ALL rollouts (0 = unlimited); individual rollouts still honor -parallel within it")
+	maxRollouts := flag.Int("max-rollouts", 0, "admission control: rollouts allowed to execute concurrently (0 = unbounded); POST /rollouts beyond this and -max-queued returns 429")
+	maxQueued := flag.Int("max-queued", 0, "rollouts allowed to queue for an execution slot when -max-rollouts are active (0 = reject immediately)")
+	pprofFlag := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ on the admin API")
 	flag.Parse()
 	if *resume && *journal == "" {
 		fmt.Fprintln(os.Stderr, "-resume requires -journal")
@@ -87,7 +93,7 @@ func main() {
 	}
 	pol := parsePolicy(*policy) // validate before waiting on agents
 
-	srv, err := transport.Listen(*listen)
+	srv, err := transport.ListenWith(*listen, transport.ListenOpts{Shards: *shards})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -150,6 +156,9 @@ func main() {
 	// observe and control whatever is running.
 	urr := report.New()
 	orch := orchestrator.New(*journalDir)
+	orch.Budget = deploy.NewBudget(*workerBudget)
+	orch.MaxActive = *maxRollouts
+	orch.MaxQueued = *maxQueued
 	launch := func(req orchestrator.StartRequest) (orchestrator.Spec, error) {
 		p := pol
 		if req.Policy != "" {
@@ -171,7 +180,11 @@ func main() {
 			Configure: configure(*parallel, srv),
 		}, nil
 	}
-	api := &orchestrator.API{Orch: orch, Launch: launch, Base: ctx}
+	api := &orchestrator.API{
+		Orch: orch, Launch: launch, Base: ctx,
+		EnablePprof: *pprofFlag,
+		Metrics:     []orchestrator.MetricsFunc{transportMetrics(srv)},
+	}
 	httpSrv := &http.Server{Addr: *admin, Handler: api.Handler()}
 	go func() {
 		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
@@ -260,6 +273,40 @@ func main() {
 	if out.Abandoned {
 		fmt.Printf("rollout %s abandoned: the upgrade could not be fixed\n", h.ID())
 		os.Exit(exitRollout)
+	}
+}
+
+// transportMetrics exposes the transport tier on GET /metrics: registry
+// occupancy per shard plus the cumulative transfer and peer-tier
+// counters. It lives here rather than in either package because the
+// transport must not import the orchestrator (or vice versa) — the
+// binary that owns both is the right place to bridge them.
+func transportMetrics(srv *transport.Server) orchestrator.MetricsFunc {
+	counter := func(name, help string, v int64) orchestrator.Metric {
+		return orchestrator.Metric{Name: name, Help: help, Type: "counter", Value: float64(v)}
+	}
+	return func() []orchestrator.Metric {
+		sizes := srv.ShardSizes()
+		ms := make([]orchestrator.Metric, 0, len(sizes)+9)
+		ms = append(ms, orchestrator.Metric{Name: "mirage_registry_agents_total",
+			Help: "Registered agents.", Type: "gauge", Value: float64(srv.AgentCount())})
+		for i, n := range sizes {
+			ms = append(ms, orchestrator.Metric{Name: "mirage_registry_agents",
+				Help: "Registered agents per registry shard.", Type: "gauge",
+				Labels: [][2]string{{"shard", strconv.Itoa(i)}}, Value: float64(n)})
+		}
+		t := srv.TransferSnapshot()
+		ms = append(ms,
+			counter("mirage_transfer_frames_total", "Request frames sent to agents.", t.Frames),
+			counter("mirage_transfer_bytes_total", "Total bytes on the wire.", t.Bytes),
+			counter("mirage_transfer_chunk_bytes_total", "Content-addressed chunk payload bytes.", t.ChunkBytes),
+			counter("mirage_transfer_chunk_hits_total", "Manifest chunks agents already held.", t.ChunkHits),
+			counter("mirage_transfer_chunk_misses_total", "Manifest chunks that had to be transferred.", t.ChunkMisses),
+			counter("mirage_peer_bytes_total", "Chunk bytes served agent-to-agent.", t.PeerBytes),
+			counter("mirage_peer_hits_total", "Chunks served by the peer tier.", t.PeerHits),
+			counter("mirage_peer_fallbacks_total", "Chunks the peer tier missed and the vendor pushed.", t.VendorFallbacks),
+		)
+		return ms
 	}
 }
 

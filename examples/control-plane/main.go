@@ -98,6 +98,14 @@ func main() {
 	}
 	defer os.RemoveAll(dir)
 	orch := orchestrator.New(dir)
+	// Production sizing knobs (all exposed as mirage-vendor flags): the
+	// agent registry shards with -shards (default 4x GOMAXPROCS — matters
+	// from ~10k agents up); orch.Budget = deploy.NewBudget(n) is
+	// -worker-budget, one vendor-wide cap on in-flight member RPCs shared
+	// by every rollout; orch.MaxActive/MaxQueued are
+	// -max-rollouts/-max-queued — beyond them POST /rollouts returns 429
+	// with a Retry-After header. Unset here: a six-agent walkthrough
+	// needs none of them.
 	api := &orchestrator.API{
 		Orch: orch,
 		Launch: func(req orchestrator.StartRequest) (orchestrator.Spec, error) {

@@ -1,0 +1,90 @@
+package deploy
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// Budget is a vendor-wide weighted semaphore bounding how many member
+// RPCs (test or integrate attempts) are in flight at once across every
+// concurrent rollout. Per-rollout Parallelism sizes one rollout's worker
+// pool; the Budget is the box-level cap that keeps ten concurrent
+// rollouts from oversubscribing the vendor. It is owned by the
+// orchestrator and installed on each controller it starts.
+//
+// A slot is held only while an RPC attempt runs — never across retry
+// backoff sleeps — so a fleet of quarantining members cannot starve
+// healthy rollouts. Acquisition respects the caller's context, and a
+// cancelled wait surfaces ctx.Err() (non-transient), which is exactly the
+// abort path the controller already handles.
+//
+// A nil *Budget is valid and unlimited: every method is nil-safe, so the
+// controller wires calls unconditionally.
+type Budget struct {
+	sem chan struct{}
+
+	inFlight  atomic.Int64
+	highWater atomic.Int64
+}
+
+// NewBudget creates a budget of n concurrent member RPCs; n <= 0 returns
+// nil (unlimited).
+func NewBudget(n int) *Budget {
+	if n <= 0 {
+		return nil
+	}
+	return &Budget{sem: make(chan struct{}, n)}
+}
+
+// Acquire takes one slot, blocking until one frees or ctx is cancelled.
+func (b *Budget) Acquire(ctx context.Context) error {
+	if b == nil {
+		return nil
+	}
+	select {
+	case b.sem <- struct{}{}:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	n := b.inFlight.Add(1)
+	for {
+		hw := b.highWater.Load()
+		if n <= hw || b.highWater.CompareAndSwap(hw, n) {
+			return nil
+		}
+	}
+}
+
+// Release returns a slot taken by Acquire.
+func (b *Budget) Release() {
+	if b == nil {
+		return
+	}
+	b.inFlight.Add(-1)
+	<-b.sem
+}
+
+// Cap returns the budget size (0 when unlimited).
+func (b *Budget) Cap() int {
+	if b == nil {
+		return 0
+	}
+	return cap(b.sem)
+}
+
+// InFlight returns the number of slots currently held.
+func (b *Budget) InFlight() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.inFlight.Load()
+}
+
+// HighWater returns the maximum concurrently held slots ever observed —
+// the number a budget-enforcement test asserts never exceeds Cap.
+func (b *Budget) HighWater() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.highWater.Load()
+}

@@ -285,6 +285,13 @@ type Controller struct {
 	// pool size: reports are deposited and nodes integrated in
 	// deterministic wave order after the pool drains.
 	Parallelism int
+	// Budget, when set, is the vendor-wide cap on concurrently in-flight
+	// member RPCs shared by every rollout (the orchestrator owns one and
+	// installs it on each controller it starts). A slot is acquired per
+	// test/integrate attempt and released before any retry backoff.
+	// Determinism is unaffected: the budget only throttles when attempts
+	// run, and outcomes are booked in member order after the pool drains.
+	Budget *Budget
 	// Transfer, when set, reports the transport's cumulative transfer
 	// counters (e.g. transport.Server.TransferSnapshot). Deploy snapshots
 	// it around the rollout and records the delta in Outcome.Transfer.
@@ -813,6 +820,10 @@ func (r *waveRunner) debug(stage int) bool {
 func (r *waveRunner) testWithRetry(n Node) (*report.Report, error) {
 	var rep *report.Report
 	err := r.ctl.retryTransient(r.ctx, func(ctx context.Context) error {
+		if err := r.ctl.Budget.Acquire(ctx); err != nil {
+			return err
+		}
+		defer r.ctl.Budget.Release()
 		var e error
 		rep, e = n.TestUpgrade(ctx, r.up)
 		return e
@@ -959,7 +970,13 @@ func (ctl *Controller) notifyFinal(ctx context.Context, final *pkgmgr.Upgrade, c
 // actually reaches a node — so that on abandonment the outcome names the
 // last version that deployed, never a fix that no node integrated.
 func (r *waveRunner) integrateMember(stage int, m member) {
-	err := r.ctl.retryTransient(r.ctx, func(ctx context.Context) error { return m.node.Integrate(ctx, r.up) })
+	err := r.ctl.retryTransient(r.ctx, func(ctx context.Context) error {
+		if err := r.ctl.Budget.Acquire(ctx); err != nil {
+			return err
+		}
+		defer r.ctl.Budget.Release()
+		return m.node.Integrate(ctx, r.up)
+	})
 	if err != nil {
 		if IsTransient(err) {
 			r.quarantine(stage, m, err.Error())

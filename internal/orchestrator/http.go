@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"time"
 
@@ -73,6 +74,23 @@ type API struct {
 	Base context.Context
 	// MaxWait caps the ?wait=/?timeout= long-poll windows (default 60s).
 	MaxWait time.Duration
+	// RetryAfter is the Retry-After hint (in seconds) sent with a 429
+	// when the rollout admission queue is full (default 1).
+	RetryAfter int
+	// Metrics contributes additional metric families to GET /metrics
+	// beyond the orchestrator's own (see Metric); mirage-vendor wires the
+	// transport registry, transfer counters and worker budget here.
+	Metrics []MetricsFunc
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ — off by
+	// default because the admin mux may be reachable beyond localhost.
+	EnablePprof bool
+}
+
+func (a *API) retryAfter() string {
+	if a.RetryAfter > 0 {
+		return strconv.Itoa(a.RetryAfter)
+	}
+	return "1"
 }
 
 // Handler returns the API's routes as an http.Handler.
@@ -86,6 +104,15 @@ func (a *API) Handler() http.Handler {
 	mux.HandleFunc("POST /rollouts/{id}/resume", a.resume)
 	mux.HandleFunc("POST /rollouts/{id}/abort", a.abort)
 	mux.HandleFunc("POST /rollouts/{id}/wait", a.wait)
+	mux.HandleFunc("GET /healthz", a.healthz)
+	mux.HandleFunc("GET /metrics", a.metrics)
+	if a.EnablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -151,6 +178,14 @@ func (a *API) start(w http.ResponseWriter, r *http.Request) {
 	}
 	h, err := a.Orch.Start(base, spec)
 	if err != nil {
+		if errors.Is(err, ErrSaturated) {
+			// Backpressure, not failure: the vendor is at its in-flight
+			// rollout bound and the admission queue is full. Tell the
+			// client when to come back instead of letting it pile on.
+			w.Header().Set("Retry-After", a.retryAfter())
+			writeError(w, http.StatusTooManyRequests, err)
+			return
+		}
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}

@@ -1,0 +1,113 @@
+package orchestrator
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Metric is one sample in Prometheus text exposition format. The control
+// plane hand-writes the format (it is three lines per family) rather than
+// pulling in a client library; everything the vendor exports is a gauge
+// or a monotonic counter, so the tiny subset below is the whole story.
+type Metric struct {
+	// Name is the metric family name, e.g. "mirage_registry_agents".
+	Name string
+	// Help is the one-line # HELP text (first sample of a family wins).
+	Help string
+	// Type is "gauge" or "counter" (default gauge).
+	Type string
+	// Labels are rendered in the given order, e.g. {{"shard","3"}}.
+	Labels [][2]string
+	// Value is the sample value.
+	Value float64
+}
+
+// MetricsFunc contributes metrics to one GET /metrics scrape. Each call
+// must return a fresh snapshot; funcs run on the request goroutine.
+type MetricsFunc func() []Metric
+
+// ownMetrics is the orchestrator's built-in contribution: rollout
+// lifecycle gauges and, when a worker budget is installed, its occupancy.
+func (a *API) ownMetrics() []Metric {
+	ms := []Metric{
+		{Name: "mirage_rollouts_active", Help: "Rollouts currently holding an execution slot.", Value: float64(a.Orch.Active())},
+		{Name: "mirage_rollouts_queued", Help: "Rollouts waiting in the admission queue.", Value: float64(a.Orch.Queued())},
+	}
+	states := make(map[State]int)
+	for _, st := range a.Orch.Statuses() {
+		states[st.State]++
+	}
+	names := make([]string, 0, len(states))
+	for s := range states {
+		names = append(names, string(s))
+	}
+	sort.Strings(names)
+	for _, s := range names {
+		ms = append(ms, Metric{
+			Name: "mirage_rollouts", Help: "Rollouts by lifecycle state.",
+			Labels: [][2]string{{"state", s}}, Value: float64(states[State(s)]),
+		})
+	}
+	if b := a.Orch.Budget; b != nil {
+		ms = append(ms,
+			Metric{Name: "mirage_worker_budget_cap", Help: "Global worker budget size (concurrent member RPCs).", Value: float64(b.Cap())},
+			Metric{Name: "mirage_worker_budget_in_flight", Help: "Member RPCs currently holding a budget slot.", Value: float64(b.InFlight())},
+			Metric{Name: "mirage_worker_budget_high_water", Help: "Maximum concurrently held budget slots observed.", Value: float64(b.HighWater())},
+		)
+	}
+	return ms
+}
+
+// renderMetrics writes samples in Prometheus text format, grouping HELP
+// and TYPE headers per family in first-appearance order.
+func renderMetrics(w *strings.Builder, ms []Metric) {
+	seen := make(map[string]bool)
+	for _, m := range ms {
+		if !seen[m.Name] {
+			seen[m.Name] = true
+			typ := m.Type
+			if typ == "" {
+				typ = "gauge"
+			}
+			if m.Help != "" {
+				fmt.Fprintf(w, "# HELP %s %s\n", m.Name, m.Help)
+			}
+			fmt.Fprintf(w, "# TYPE %s %s\n", m.Name, typ)
+		}
+		w.WriteString(m.Name)
+		if len(m.Labels) > 0 {
+			w.WriteByte('{')
+			for i, kv := range m.Labels {
+				if i > 0 {
+					w.WriteByte(',')
+				}
+				fmt.Fprintf(w, "%s=%s", kv[0], strconv.Quote(kv[1]))
+			}
+			w.WriteByte('}')
+		}
+		fmt.Fprintf(w, " %s\n", strconv.FormatFloat(m.Value, 'g', -1, 64))
+	}
+}
+
+func (a *API) metrics(w http.ResponseWriter, _ *http.Request) {
+	var b strings.Builder
+	renderMetrics(&b, a.ownMetrics())
+	for _, f := range a.Metrics {
+		renderMetrics(&b, f())
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	w.Write([]byte(b.String())) //nolint:errcheck — client gone is client's problem
+}
+
+func (a *API) healthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"rollouts": len(a.Orch.Statuses()),
+		"active":   a.Orch.Active(),
+		"queued":   a.Orch.Queued(),
+	})
+}

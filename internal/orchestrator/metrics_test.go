@@ -1,0 +1,122 @@
+package orchestrator
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/deploy"
+)
+
+func TestHealthzAndMetrics(t *testing.T) {
+	orch := New(t.TempDir())
+	orch.Budget = deploy.NewBudget(16)
+	api := &API{
+		Orch: orch,
+		Launch: func(req StartRequest) (Spec, error) {
+			return Spec{Policy: deploy.PolicyBalanced, Upgrade: upgrade("v1"), Clusters: fleet("met", 1, nil)}, nil
+		},
+		Metrics: []MetricsFunc{func() []Metric {
+			return []Metric{
+				{Name: "mirage_registry_agents", Help: "Registered agents per shard.", Type: "gauge",
+					Labels: [][2]string{{"shard", "0"}}, Value: 3},
+				{Name: "mirage_registry_agents",
+					Labels: [][2]string{{"shard", "1"}}, Value: 4},
+			}
+		}},
+	}
+	ts := httptest.NewServer(api.Handler())
+	t.Cleanup(ts.Close)
+
+	h, err := orch.Start(context.Background(), Spec{
+		Policy: deploy.PolicyBalanced, Upgrade: upgrade("v1"), Clusters: fleet("met0", 1, nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /healthz = %d", resp.StatusCode)
+	}
+	var hz struct {
+		Status   string `json:"status"`
+		Rollouts int    `json:"rollouts"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
+		t.Fatal(err)
+	}
+	if hz.Status != "ok" || hz.Rollouts != 1 {
+		t.Fatalf("healthz = %+v", hz)
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	if mresp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", mresp.StatusCode)
+	}
+	if ct := mresp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("metrics Content-Type = %q", ct)
+	}
+	body, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"# HELP mirage_rollouts_active",
+		"# TYPE mirage_rollouts_active gauge",
+		"mirage_rollouts_active 0",
+		`mirage_rollouts{state="succeeded"} 1`,
+		"mirage_worker_budget_cap 16",
+		"mirage_worker_budget_in_flight 0",
+		`mirage_registry_agents{shard="0"} 3`,
+		`mirage_registry_agents{shard="1"} 4`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics output missing %q:\n%s", want, text)
+		}
+	}
+	// HELP/TYPE must render once per family, not once per sample.
+	if n := strings.Count(text, "# HELP mirage_registry_agents"); n != 1 {
+		t.Fatalf("HELP for mirage_registry_agents rendered %d times, want 1", n)
+	}
+}
+
+func TestPprofGated(t *testing.T) {
+	orch := New(t.TempDir())
+	plain := httptest.NewServer((&API{Orch: orch}).Handler())
+	t.Cleanup(plain.Close)
+	resp, err := http.Get(plain.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("pprof served without EnablePprof")
+	}
+
+	prof := httptest.NewServer((&API{Orch: orch, EnablePprof: true}).Handler())
+	t.Cleanup(prof.Close)
+	resp, err = http.Get(prof.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/pprof/ with EnablePprof = %d", resp.StatusCode)
+	}
+}

@@ -55,15 +55,25 @@ type Spec struct {
 	Rebuild func(upgradeID string) (*pkgmgr.Upgrade, bool)
 	// Configure, when set, adjusts the freshly built controller before
 	// the rollout starts: worker-pool size, transfer counters, retry
-	// budget, shuffle seed. It must not install Observer, Cursor or
-	// StageGate — those belong to the orchestrator and the engine.
+	// budget, shuffle seed. It must not install Observer, Cursor,
+	// StageGate or Budget — those belong to the orchestrator and the
+	// engine.
 	Configure func(*deploy.Controller)
 }
+
+// ErrSaturated is returned by Start (and mapped to HTTP 429 by the admin
+// API) when the orchestrator is at its in-flight rollout bound and the
+// admission queue is full — the backpressure signal that tells the caller
+// to retry later rather than pile more work onto a loaded vendor.
+var ErrSaturated = errors.New("orchestrator: too many rollouts in flight")
 
 // State names a phase of the rollout lifecycle.
 type State string
 
 const (
+	// StateQueued: admitted into the queue, waiting for an active-rollout
+	// slot (Orchestrator.MaxActive) to free.
+	StateQueued State = "queued"
 	// StateRunning: the plan is executing.
 	StateRunning State = "running"
 	// StatePausing: a pause was requested; the rollout finishes its
@@ -138,10 +148,28 @@ type Orchestrator struct {
 	// Spec.Journal its own journal file <JournalDir>/<id>.journal.
 	JournalDir string
 
+	// Budget is the vendor-wide worker budget (cap on concurrently
+	// in-flight member RPCs across ALL rollouts). The orchestrator owns
+	// it and installs it on every controller it starts, so ten concurrent
+	// rollouts share one box-level bound instead of multiplying their
+	// per-rollout Parallelism. Nil means unlimited.
+	Budget *deploy.Budget
+
+	// MaxActive bounds concurrently executing rollouts (0 = unlimited).
+	// Starts beyond the bound queue (up to MaxQueued) in FIFO order and
+	// run as slots free.
+	MaxActive int
+	// MaxQueued bounds rollouts waiting for an active slot; a Start that
+	// fits neither bound is refused with ErrSaturated. Ignored when
+	// MaxActive is 0.
+	MaxQueued int
+
 	mu       sync.Mutex
 	seq      int
 	rollouts map[string]*Handle
 	order    []string
+	active   int
+	queue    []*Handle // FIFO admission queue (waiting handles)
 }
 
 // New returns an orchestrator journaling under dir ("" disables default
@@ -194,6 +222,11 @@ func (o *Orchestrator) Start(ctx context.Context, spec Spec) (*Handle, error) {
 	if spec.Configure != nil {
 		spec.Configure(ctl)
 	}
+	if o.Budget != nil {
+		// The global worker budget overrides anything Configure set: it is
+		// the orchestrator's bound, shared by every rollout it runs.
+		ctl.Budget = o.Budget
+	}
 
 	o.mu.Lock()
 	o.seq++
@@ -223,6 +256,7 @@ func (o *Orchestrator) Start(ctx context.Context, spec Spec) (*Handle, error) {
 	rctx, cancel := context.WithCancel(ctx)
 	h := &Handle{
 		id:      id,
+		orch:    o,
 		cancel:  cancel,
 		done:    make(chan struct{}),
 		changed: make(chan struct{}),
@@ -248,12 +282,81 @@ func (o *Orchestrator) Start(ctx context.Context, spec Spec) (*Handle, error) {
 	}
 
 	o.mu.Lock()
+	if o.MaxActive > 0 {
+		switch {
+		case o.active < o.MaxActive:
+			o.active++
+		case len(o.queue) < o.MaxQueued:
+			h.admit = make(chan struct{})
+			h.status.State = StateQueued
+			o.queue = append(o.queue, h)
+		default:
+			o.mu.Unlock()
+			cancel()
+			return nil, ErrSaturated
+		}
+	}
 	o.rollouts[id] = h
 	o.order = append(o.order, id)
 	o.mu.Unlock()
 
 	go h.run(rctx, ctl, spec, journal)
 	return h, nil
+}
+
+// Active returns the number of rollouts currently holding an execution
+// slot (every non-terminal rollout when MaxActive is 0).
+func (o *Orchestrator) Active() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.MaxActive > 0 {
+		return o.active
+	}
+	n := 0
+	for _, h := range o.rollouts {
+		if !h.Status().State.Terminal() {
+			n++
+		}
+	}
+	return n
+}
+
+// Queued returns the number of rollouts waiting in the admission queue.
+func (o *Orchestrator) Queued() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return len(o.queue)
+}
+
+// releaseSlot returns an execution slot and grants it to the queue head,
+// preserving FIFO drain order.
+func (o *Orchestrator) releaseSlot() {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.active--
+	for len(o.queue) > 0 && o.active < o.MaxActive {
+		next := o.queue[0]
+		o.queue = o.queue[1:]
+		o.active++
+		close(next.admit)
+	}
+}
+
+// abandonQueued is called by a queued rollout that was aborted before
+// being granted a slot: it removes the handle from the queue, or — when
+// the grant raced the abort — gives the already-granted slot back.
+func (o *Orchestrator) abandonQueued(h *Handle) {
+	o.mu.Lock()
+	for i, q := range o.queue {
+		if q == h {
+			o.queue = append(o.queue[:i], o.queue[i+1:]...)
+			o.mu.Unlock()
+			return
+		}
+	}
+	o.mu.Unlock()
+	// Not queued anymore: the slot was granted; return it.
+	o.releaseSlot()
 }
 
 // Statuses returns a snapshot of every rollout, in start order.
@@ -269,8 +372,12 @@ func (o *Orchestrator) Statuses() []Status {
 // Handle is the caller's grip on one running (or finished) rollout.
 type Handle struct {
 	id     string
+	orch   *Orchestrator
 	cancel context.CancelFunc
 	done   chan struct{}
+	// admit is non-nil when the rollout was queued at Start: it is closed
+	// by the orchestrator when an execution slot is granted.
+	admit chan struct{}
 
 	mu      sync.Mutex
 	status  Status
@@ -285,8 +392,33 @@ type Handle struct {
 // ID identifies the rollout within its orchestrator.
 func (h *Handle) ID() string { return h.id }
 
-// run executes the rollout to completion.
+// run executes the rollout to completion. A queued handle first waits for
+// its admission grant; aborting while queued terminates it without ever
+// occupying a slot (or touching its journal).
 func (h *Handle) run(ctx context.Context, ctl *deploy.Controller, spec Spec, journal string) {
+	if h.admit != nil {
+		select {
+		case <-h.admit:
+		case <-ctx.Done():
+			h.orch.abandonQueued(h)
+			h.mu.Lock()
+			h.err = ctx.Err()
+			h.status.State = StateAborted
+			h.status.Error = h.err.Error()
+			h.signalLocked()
+			h.mu.Unlock()
+			close(h.done)
+			return
+		}
+		h.mu.Lock()
+		h.status.State = StateRunning
+		h.signalLocked()
+		h.mu.Unlock()
+	}
+	releaseSlot := func() {}
+	if h.orch != nil && h.orch.MaxActive > 0 {
+		releaseSlot = h.orch.releaseSlot
+	}
 	ctl.StageGate = h.gate
 	var out *deploy.Outcome
 	var err error
@@ -329,6 +461,10 @@ func (h *Handle) run(ctx context.Context, ctl *deploy.Controller, spec Spec, jou
 	}
 	h.signalLocked()
 	h.mu.Unlock()
+	// The slot must be free before done closes: a caller that sees this
+	// rollout terminal may immediately Start another, and admission must
+	// not bounce it off a slot the finished rollout still holds.
+	releaseSlot()
 	close(h.done)
 }
 

@@ -30,10 +30,11 @@ type Engine struct {
 	// requires the caller to pass the matching version directly.
 	Rebuild func(upgradeID string) (*pkgmgr.Upgrade, bool)
 	// Observer, when set, additionally receives every state transition
-	// after — and only after — its journal record is durable, so an
-	// in-memory status view (the rollout orchestrator's) never runs ahead
-	// of the write-ahead journal. Its return value is ignored: the journal
-	// is the arbiter of whether the plan may continue.
+	// after its journal record is written (and, for boundary records —
+	// stage start, gate, abandoned — fsynced; member records are group-
+	// committed and become durable within the journal's group window at
+	// the latest). Its return value is ignored: the journal is the
+	// arbiter of whether the plan may continue.
 	Observer deploy.Observer
 }
 
@@ -111,7 +112,7 @@ func (e *Engine) Deploy(ctx context.Context, policy deploy.Policy, up *pkgmgr.Up
 		j = journal
 	}
 	defer j.Close()
-	ctl.Observer = &teeObserver{journal: &Recorder{J: j}, extra: e.Observer}
+	ctl.Observer = &teeObserver{journal: &Recorder{J: j, Group: true}, extra: e.Observer}
 	defer func() { ctl.Observer, ctl.Cursor = nil, nil }()
 
 	out, err := ctl.Deploy(ctx, policy, up, clusters)

@@ -1,0 +1,120 @@
+package rollout
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/deploy"
+)
+
+// TestGroupCommitGateDurabilityOrder pins the write-ahead guarantee group
+// commit must not weaken: when a gate record's OnEvent returns (i.e.
+// before the gate releases the next stage), every record appended before
+// it — including group-committed member records — is already on disk.
+func TestGroupCommitGateDurabilityOrder(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "gate.journal")
+	j, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	// A huge window keeps the background flush out of the picture: only
+	// the gate's own sync can make the member records durable.
+	j.GroupWindow = time.Hour
+	rec := &Recorder{J: j, Group: true}
+
+	events := []deploy.Event{
+		{Type: deploy.EventStageStarted, Stage: 0, UpgradeID: "u1"},
+		{Type: deploy.EventTested, Stage: 0, Node: "m1", Cluster: "c", UpgradeID: "u1", Success: true},
+		{Type: deploy.EventIntegrated, Stage: 0, Node: "m1", Cluster: "c", UpgradeID: "u1"},
+		{Type: deploy.EventTested, Stage: 0, Node: "m2", Cluster: "c", UpgradeID: "u1", Success: true},
+		{Type: deploy.EventIntegrated, Stage: 0, Node: "m2", Cluster: "c", UpgradeID: "u1"},
+	}
+	for _, ev := range events {
+		if err := rec.OnEvent(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p := j.Pending(); p != 4 {
+		// Stage start synced; the four member records should be batched.
+		t.Fatalf("pending before gate = %d, want 4", p)
+	}
+	if err := rec.OnEvent(deploy.Event{Type: deploy.EventGatePassed, Stage: 0, UpgradeID: "u1"}); err != nil {
+		t.Fatal(err)
+	}
+	if p := j.Pending(); p != 0 {
+		t.Fatalf("pending after gate = %d, want 0 — the gate released before its records were durable", p)
+	}
+	// The on-disk journal must already hold every record, gate last.
+	recs, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(events)+1 {
+		t.Fatalf("journal holds %d records, want %d", len(recs), len(events)+1)
+	}
+	if last := recs[len(recs)-1]; last.Type != RecGate {
+		t.Fatalf("last record = %q, want gate", last.Type)
+	}
+	// The whole point: far fewer fsyncs than records. Stage start + gate
+	// is 2; Create-era syncs are 0.
+	if got := j.Syncs(); got != 2 {
+		t.Fatalf("syncs = %d, want 2 (stage start + gate)", got)
+	}
+}
+
+// TestGroupCommitWindowFlush verifies a buffered record becomes durable
+// on its own within the group window, without any boundary record.
+func TestGroupCommitWindowFlush(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "window.journal")
+	j, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	j.GroupWindow = time.Millisecond
+	if err := j.AppendBuffered(Record{Type: RecTested, Stage: 0, Node: "m1"}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for j.Pending() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("group window never flushed the buffered record")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	recs, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Type != RecTested {
+		t.Fatalf("journal = %+v, want the one tested record", recs)
+	}
+}
+
+// TestGroupCommitCloseFlushes verifies Close settles buffered records
+// before closing, so a clean shutdown never loses journal tail.
+func TestGroupCommitCloseFlushes(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "close.journal")
+	j, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.GroupWindow = time.Hour
+	for i := 0; i < 3; i++ {
+		if err := j.AppendBuffered(Record{Type: RecTested, Stage: 0, Node: "m"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("journal holds %d records after Close, want 3", len(recs))
+	}
+}

@@ -44,6 +44,18 @@ func PlanRecord(plan *staging.Plan, refs []staging.ClusterRef, upgradeID string)
 // progress the journal cannot record must not happen.
 type Recorder struct {
 	J *Journal
+	// Group enables group-committed appends: member-level records (tested,
+	// integrated, quarantined, fix) are written immediately but fsynced in
+	// batches — by the journal's group window, or by the next boundary
+	// record. Boundary records (stage start, gate, abandoned) always sync,
+	// and a file sync commits everything written before it, so the
+	// write-ahead guarantee that matters is untouched: a gate never
+	// releases before every record preceding it is durable. What group
+	// commit trades away is only the crash freshness of an unsynced
+	// within-stage suffix, and losing those records merely makes resume
+	// redo that work — the same window a crash between RPC and fsync
+	// always had.
+	Group bool
 }
 
 // RecordOf translates one deployment state transition into its journal
@@ -86,6 +98,16 @@ func (rec *Recorder) OnEvent(ev deploy.Event) error {
 	r, err := RecordOf(ev)
 	if err != nil {
 		return err
+	}
+	if rec.Group {
+		switch r.Type {
+		case RecStageStart, RecGate, RecAbandoned:
+			// Boundary records sync (committing the batch before them);
+			// everything else rides a later sync or the group window.
+			return rec.J.Append(r)
+		default:
+			return rec.J.AppendBuffered(r)
+		}
 	}
 	return rec.J.Append(r)
 }

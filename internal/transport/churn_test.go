@@ -65,9 +65,7 @@ func TestDroppedAgentErrorsAreTransient(t *testing.T) {
 func TestReplacedConnectionSurfacesTypedError(t *testing.T) {
 	m1 := userMachine("twin", false)
 	s, _ := startFleet(t, m1)
-	s.mu.Lock()
-	old := s.agents["twin"]
-	s.mu.Unlock()
+	old, _ := s.registry.Get("twin")
 
 	// A second agent registers under the same name; the old channel is
 	// deliberately closed. A call on the stale handle must say "replaced",

@@ -18,9 +18,8 @@ func TestRPCToDeadAgentFails(t *testing.T) {
 	m := userMachine("doomed", false)
 	s, _ := startFleet(t, m)
 	// Grab the connection and kill it from the agent side.
-	s.mu.Lock()
-	conn := s.agents["doomed"].conn
-	s.mu.Unlock()
+	ac, _ := s.registry.Get("doomed")
+	conn := ac.conn
 	conn.Close()
 	time.Sleep(20 * time.Millisecond)
 
@@ -35,9 +34,9 @@ func TestDeploymentQuarantinesDeadAgent(t *testing.T) {
 	// without it.
 	m := userMachine("victim", false)
 	s, _ := startFleet(t, m)
-	s.mu.Lock()
-	s.agents["victim"].conn.Close()
-	s.mu.Unlock()
+	if ac, ok := s.registry.Get("victim"); ok {
+		ac.conn.Close()
+	}
 	time.Sleep(20 * time.Millisecond)
 
 	urr := report.New()
@@ -114,9 +113,7 @@ func TestRPCTimeout(t *testing.T) {
 func TestUnknownOpRejectedByAgent(t *testing.T) {
 	m := userMachine("strict", false)
 	s, _ := startFleet(t, m)
-	s.mu.Lock()
-	ac := s.agents["strict"]
-	s.mu.Unlock()
+	ac, _ := s.registry.Get("strict")
 	_, err := ac.call(context.Background(), Frame{Op: "format-disk"}, time.Second)
 	if err == nil || !strings.Contains(err.Error(), "unknown op") {
 		t.Fatalf("err = %v", err)

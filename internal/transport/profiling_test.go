@@ -79,9 +79,9 @@ func TestFingerprintAllNamesFailingAgent(t *testing.T) {
 		userMachine("unlucky", false),
 		userMachine("healthy-2", false),
 	)
-	s.mu.Lock()
-	s.agents["unlucky"].conn.Close()
-	s.mu.Unlock()
+	if ac, ok := s.registry.Get("unlucky"); ok {
+		ac.conn.Close()
+	}
 	time.Sleep(20 * time.Millisecond)
 
 	refs, regCfg, vendorItems := mysqlVendorItems(t)

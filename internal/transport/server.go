@@ -8,7 +8,6 @@ import (
 	"fmt"
 	"io"
 	"net"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -236,14 +235,20 @@ func (ac *agentConn) addChunkAccounting(hits, misses int64) {
 type Server struct {
 	ln net.Listener
 
-	mu     sync.Mutex
-	agents map[string]*agentConn
+	// registry is the hash-sharded agent index: RPC dispatch, registration,
+	// and the WaitForAgents/WaitForAgent waiters all go through it, so no
+	// single mutex serializes a 100k-agent fleet.
+	registry *Registry[*agentConn]
+
+	mu sync.Mutex
 	// pending holds connections whose registration handshake is still in
 	// flight, so Close can tear them down too.
 	pending map[net.Conn]bool
-	// reg is closed and replaced whenever the registry changes, waking
-	// WaitForAgents/WaitForAgent waiters (no polling).
-	reg chan struct{}
+	// pendingSem bounds how many registration handshakes run at once: the
+	// accept loop blocks when the bound is hit, which turns a registration
+	// storm into natural TCP backpressure instead of an unbounded goroutine
+	// and FD spike.
+	pendingSem chan struct{}
 	// done is closed by Close: registry waiters return immediately and
 	// new operations are refused with ErrServerClosed.
 	done   chan struct{}
@@ -296,22 +301,46 @@ type Server struct {
 	stats statsCounters
 }
 
+// DefaultMaxPending bounds concurrent registration handshakes per accept
+// loop when ListenOpts.MaxPending is zero.
+const DefaultMaxPending = 1024
+
+// ListenOpts tunes the control-plane scaling knobs fixed at listen time.
+type ListenOpts struct {
+	// Shards is the agent-registry shard count; <= 0 selects
+	// DefaultShards (GOMAXPROCS-derived, rounded to a power of two).
+	Shards int
+	// MaxPending bounds in-flight registration handshakes; <= 0 selects
+	// DefaultMaxPending.
+	MaxPending int
+}
+
 // Listen starts the vendor server on addr (use "127.0.0.1:0" in tests) and
 // begins accepting agent registrations.
 func Listen(addr string) (*Server, error) {
+	return ListenWith(addr, ListenOpts{})
+}
+
+// ListenWith is Listen with explicit registry sharding and handshake
+// admission bounds.
+func ListenWith(addr string, opts ListenOpts) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen: %w", err)
 	}
+	maxPending := opts.MaxPending
+	if maxPending <= 0 {
+		maxPending = DefaultMaxPending
+	}
 	s := &Server{
-		ln:      ln,
-		agents:  make(map[string]*agentConn),
-		pending: make(map[net.Conn]bool),
-		reg:     make(chan struct{}),
-		done:    make(chan struct{}),
-		Timeout: DefaultRPCTimeout,
-		dist:    distrib.NewStore(),
-		peers:   newPeerIndex(),
+		ln:         ln,
+		registry:   NewRegistry[*agentConn](opts.Shards),
+		pending:    make(map[net.Conn]bool),
+		pendingSem: make(chan struct{}, maxPending),
+		done:       make(chan struct{}),
+		Timeout:    DefaultRPCTimeout,
+		dist:       distrib.NewStore(),
+		peers:      newPeerIndex(),
 	}
 	s.serving.Add(1)
 	go s.acceptLoop()
@@ -328,14 +357,20 @@ func (s *Server) Stats() Stats { return s.stats.snapshot() }
 // AgentStats returns the transfer counters of the named agent's current
 // connection.
 func (s *Server) AgentStats(name string) (Stats, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	ac, ok := s.agents[name]
+	ac, ok := s.registry.Get(name)
 	if !ok {
 		return Stats{}, false
 	}
 	return ac.stats.snapshot(), true
 }
+
+// AgentCount returns the number of currently registered agents without
+// materializing their names.
+func (s *Server) AgentCount() int { return s.registry.Len() }
+
+// ShardSizes returns the registry's per-shard agent counts — the /metrics
+// feed for registry balance and size.
+func (s *Server) ShardSizes() []int { return s.registry.ShardSizes() }
 
 // TransferSnapshot exposes the server-wide counters in the deployment
 // controller's vocabulary, so Controller.Transfer can record per-rollout
@@ -436,10 +471,7 @@ func (s *Server) creditPeerResult(ac *agentConn, res *PeerResult) {
 		name, ok := s.peers.nameByAddr(addr)
 		s.peerMu.Unlock()
 		if ok {
-			s.mu.Lock()
-			server := s.agents[name]
-			s.mu.Unlock()
-			if server != nil {
+			if server, live := s.registry.Get(name); live {
 				server.stats.peerOut.Add(n)
 			}
 		}
@@ -465,15 +497,16 @@ func (s *Server) Close() error {
 	s.closed = true
 	close(s.done)
 	err := s.ln.Close()
-	for _, ac := range s.agents {
-		ac.conn.Close()
-	}
 	for conn := range s.pending {
 		conn.Close()
 	}
-	s.agents = make(map[string]*agentConn)
-	s.signalLocked()
 	s.mu.Unlock()
+	// done is closed, so a registration racing this sweep re-checks after
+	// publishing itself and tears its own connection down; waiters watch
+	// done and wake on their own.
+	for _, ac := range s.registry.Clear() {
+		ac.conn.Close()
+	}
 	s.serving.Wait()
 	return err
 }
@@ -498,9 +531,51 @@ func (s *Server) acceptLoop() {
 		if err != nil {
 			return
 		}
-		s.serving.Add(1)
-		go s.register(conn)
+		if err := s.serveConn(conn); err != nil {
+			conn.Close()
+			return
+		}
 	}
+}
+
+// ServeConn hands the server one side of an already-established connection
+// to run the normal registration handshake and agent protocol on — the
+// injection point for transports the listener never sees (net.Pipe fleets
+// in the scale harness, pre-dialed sockets). It obeys the same pending
+// handshake bound as accepted connections and refuses with ErrServerClosed
+// after Close.
+func (s *Server) ServeConn(conn net.Conn) error {
+	if err := s.serveConn(conn); err != nil {
+		conn.Close()
+		return err
+	}
+	return nil
+}
+
+// serveConn admits conn under the pending-handshake bound and spawns its
+// registration goroutine; the caller owns conn on error.
+func (s *Server) serveConn(conn net.Conn) error {
+	select {
+	case s.pendingSem <- struct{}{}:
+	case <-s.done:
+		return ErrServerClosed
+	}
+	// The closed check and serving.Add share s.mu with Close, so a
+	// registration goroutine is either covered by Close's serving.Wait or
+	// refused — never started after Wait returned.
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		<-s.pendingSem
+		return ErrServerClosed
+	}
+	s.serving.Add(1)
+	s.mu.Unlock()
+	go func() {
+		defer func() { <-s.pendingSem }()
+		s.register(conn)
+	}()
+	return nil
 }
 
 // register reads the agent's registration frame and records the channel.
@@ -556,34 +631,27 @@ func (s *Server) register(conn net.Conn) {
 		conn.Close()
 		return
 	}
-	if old, dup := s.agents[ac.name]; dup {
+	s.mu.Unlock()
+	if old, dup := s.registry.Put(ac.name, ac); dup {
 		// Mark the superseded channel replaced BEFORE closing its socket,
 		// so a racing in-flight call classifies as ErrAgentReplaced rather
 		// than failing with a raw JSON decode error.
 		old.replaced.Store(true)
 		old.conn.Close()
 	}
-	s.agents[ac.name] = ac
-	s.signalLocked()
-	s.mu.Unlock()
-}
-
-// signalLocked wakes registry waiters; callers hold s.mu.
-func (s *Server) signalLocked() {
-	close(s.reg)
-	s.reg = make(chan struct{})
+	if s.isClosed() {
+		// Close began after the pending check: its registry sweep may have
+		// run before our Put landed, so undo it ourselves.
+		s.registry.RemoveIf(ac.name, func(cur *agentConn) bool { return cur == ac })
+		conn.Close()
+	}
 }
 
 // drop removes ac from the registry if it is still the current channel
 // for its name (a replacement must not be evicted by its predecessor's
 // death throes).
 func (s *Server) drop(ac *agentConn) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.agents[ac.name] == ac {
-		delete(s.agents, ac.name)
-		s.signalLocked()
-	}
+	s.registry.RemoveIf(ac.name, func(cur *agentConn) bool { return cur == ac })
 }
 
 // DropAgent forcibly closes the named agent's control channel and removes
@@ -591,14 +659,8 @@ func (s *Server) drop(ac *agentConn) {
 // disconnection and for fault injection in churn tests. A reconnecting
 // agent will simply redial and re-register under the same identity.
 func (s *Server) DropAgent(name string) bool {
-	s.mu.Lock()
-	ac := s.agents[name]
-	if ac != nil {
-		delete(s.agents, name)
-		s.signalLocked()
-	}
-	s.mu.Unlock()
-	if ac == nil {
+	ac, ok := s.registry.Remove(name)
+	if !ok {
 		return false
 	}
 	ac.conn.Close()
@@ -607,78 +669,32 @@ func (s *Server) DropAgent(name string) bool {
 
 // Agents returns the names of registered agents, sorted.
 func (s *Server) Agents() []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]string, 0, len(s.agents))
-	for n := range s.agents {
-		out = append(out, n)
-	}
-	sort.Strings(out)
-	return out
+	return s.registry.Names()
 }
 
 // WaitForAgents blocks until n agents are registered, the timeout
 // elapses, or the server is closed; it returns the registered count.
-// Waiters sleep on a registration signal channel — no polling.
+// The waiter parks on a count threshold in the sharded registry and is
+// woken exactly once — by the registration that reaches n — instead of
+// once per registry change.
 func (s *Server) WaitForAgents(n int, timeout time.Duration) int {
-	timer := time.NewTimer(timeout)
-	defer timer.Stop()
-	for {
-		s.mu.Lock()
-		got := len(s.agents)
-		ch := s.reg
-		s.mu.Unlock()
-		if got >= n {
-			return got
-		}
-		select {
-		case <-ch:
-		case <-s.done:
-			return got
-		case <-timer.C:
-			s.mu.Lock()
-			got = len(s.agents)
-			s.mu.Unlock()
-			return got
-		}
-	}
+	return s.registry.WaitCount(n, timeout, s.done)
 }
 
 // WaitForAgent blocks until the named agent is registered, the timeout
 // elapses, or the server is closed — the natural companion to
 // reconnecting agents ("wait for the machine to come back before
-// proceeding").
+// proceeding"). The waiter parks on the shard owning the name; unrelated
+// registrations never wake it.
 func (s *Server) WaitForAgent(name string, timeout time.Duration) bool {
-	timer := time.NewTimer(timeout)
-	defer timer.Stop()
-	for {
-		s.mu.Lock()
-		_, ok := s.agents[name]
-		ch := s.reg
-		s.mu.Unlock()
-		if ok {
-			return true
-		}
-		select {
-		case <-ch:
-		case <-s.done:
-			return false
-		case <-timer.C:
-			s.mu.Lock()
-			_, ok = s.agents[name]
-			s.mu.Unlock()
-			return ok
-		}
-	}
+	return s.registry.WaitName(name, timeout, s.done)
 }
 
 func (s *Server) agent(name string) (*agentConn, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	if s.isClosed() {
 		return nil, fmt.Errorf("transport: no agent %q: %w", name, ErrServerClosed)
 	}
-	ac, ok := s.agents[name]
+	ac, ok := s.registry.Get(name)
 	if !ok {
 		return nil, fmt.Errorf("transport: no agent registered as %q: %w", name, ErrAgentGone)
 	}

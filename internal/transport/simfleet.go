@@ -1,0 +1,293 @@
+package transport
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/distrib"
+	"repro/internal/report"
+)
+
+// SimFleet is the scale harness: thousands of protocol-faithful simulated
+// agents in one process. Each sim agent speaks the real wire protocol on
+// a real connection — registration handshake, manifest negotiation,
+// NeedChunks, binary and JSON chunk bodies — but replaces the expensive
+// agent internals with the cheapest possible stand-ins: validation is a
+// canned successful report instead of a vmtest run, integration is a
+// counter bump instead of a package-manager transaction, and every agent
+// shares one verifying chunk cache, so an upgrade's bytes cross the wire
+// once per fleet instead of once per agent.
+//
+// Two transports:
+//
+//   - TCP (Addr): each agent dials the vendor like a real one. This is the
+//     honest end-to-end configuration ("over real TCP"), and what CI's 10k
+//     tier runs — but two sockets per agent makes a 100k fleet hostage to
+//     the file-descriptor limit.
+//   - Pipes (Server): each agent is one net.Pipe injected straight into
+//     the server via ServeConn — zero descriptors, identical protocol and
+//     server-side code paths, which is what lets a 100k-member rollout run
+//     on an ordinary box.
+type SimFleet struct {
+	names []string
+	cache *distrib.Cache
+
+	mu     sync.Mutex
+	conns  []net.Conn
+	closed bool
+
+	wg         sync.WaitGroup
+	tested     atomic.Int64
+	integrated atomic.Int64
+}
+
+// SimOptions configures StartSimFleet. Exactly one of Server (pipe
+// transport) and Addr (TCP transport) must be set.
+type SimOptions struct {
+	// Prefix names the agents "<Prefix>-000000" …; default "sim".
+	Prefix string
+	// Cache is the shared chunk cache; nil starts an empty one.
+	Cache *distrib.Cache
+	// Server injects agents as in-process pipes via Server.ServeConn.
+	Server *Server
+	// Addr dials each agent over TCP.
+	Addr string
+	// DialTimeout bounds each TCP dial (default 10s).
+	DialTimeout time.Duration
+	// Spawn bounds how many agents connect concurrently (default 256) —
+	// enough to saturate registration without a 100k-goroutine dial storm.
+	Spawn int
+}
+
+// StartSimFleet launches n simulated agents and returns once every
+// connection attempt has been made (use Server.WaitForAgents to wait for
+// the registrations to land). Close tears the fleet down.
+func StartSimFleet(n int, opts SimOptions) (*SimFleet, error) {
+	if (opts.Server == nil) == (opts.Addr == "") {
+		return nil, fmt.Errorf("transport: SimOptions must set exactly one of Server and Addr")
+	}
+	prefix := opts.Prefix
+	if prefix == "" {
+		prefix = "sim"
+	}
+	cache := opts.Cache
+	if cache == nil {
+		cache = distrib.NewCache()
+	}
+	dialTimeout := opts.DialTimeout
+	if dialTimeout <= 0 {
+		dialTimeout = 10 * time.Second
+	}
+	spawn := opts.Spawn
+	if spawn <= 0 {
+		spawn = 256
+	}
+	if spawn > n {
+		spawn = n
+	}
+
+	f := &SimFleet{cache: cache, names: make([]string, n), conns: make([]net.Conn, 0, n)}
+	for i := range f.names {
+		f.names[i] = fmt.Sprintf("%s-%06d", prefix, i)
+	}
+
+	var firstErr error
+	var errMu sync.Mutex
+	sem := make(chan struct{}, spawn)
+	var launch sync.WaitGroup
+	for i := 0; i < n; i++ {
+		launch.Add(1)
+		sem <- struct{}{}
+		go func(name string) {
+			defer func() { <-sem; launch.Done() }()
+			var conn net.Conn
+			if opts.Server != nil {
+				client, srvEnd := net.Pipe()
+				if err := opts.Server.ServeConn(srvEnd); err != nil {
+					client.Close()
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					return
+				}
+				conn = client
+			} else {
+				c, err := net.DialTimeout("tcp", opts.Addr, dialTimeout)
+				if err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					return
+				}
+				conn = c
+			}
+			f.mu.Lock()
+			if f.closed {
+				f.mu.Unlock()
+				conn.Close()
+				return
+			}
+			f.conns = append(f.conns, conn)
+			f.mu.Unlock()
+			f.wg.Add(1)
+			go f.serve(name, conn)
+		}(f.names[i])
+	}
+	launch.Wait()
+	if firstErr != nil {
+		f.Close()
+		return nil, fmt.Errorf("transport: sim fleet launch: %w", firstErr)
+	}
+	return f, nil
+}
+
+// Names returns the fleet's agent names in spawn order.
+func (f *SimFleet) Names() []string { return f.names }
+
+// Cache returns the shared chunk cache.
+func (f *SimFleet) Cache() *distrib.Cache { return f.cache }
+
+// Tested returns how many validations the fleet performed.
+func (f *SimFleet) Tested() int64 { return f.tested.Load() }
+
+// Integrated returns how many integrations the fleet performed.
+func (f *SimFleet) Integrated() int64 { return f.integrated.Load() }
+
+// Wait blocks until every agent's connection has ended (the vendor
+// closed, or Close was called).
+func (f *SimFleet) Wait() { f.wg.Wait() }
+
+// Close disconnects every agent and waits for their goroutines.
+func (f *SimFleet) Close() {
+	f.mu.Lock()
+	f.closed = true
+	conns := f.conns
+	f.conns = nil
+	f.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+	f.wg.Wait()
+}
+
+// serve is one sim agent: register, then answer vendor RPCs until the
+// connection dies. Buffers are deliberately small — at 100k agents every
+// per-connection kilobyte is 100MB.
+func (f *SimFleet) serve(name string, conn net.Conn) {
+	defer f.wg.Done()
+	defer conn.Close()
+	br := bufio.NewReaderSize(conn, 2048)
+	bw := bufio.NewWriterSize(conn, 1024)
+	fc := newFrameConn(br, bw)
+	if err := fc.WriteFrame(Frame{Op: OpRegister, Register: &RegisterReq{Machine: name}}); err != nil {
+		return
+	}
+	if err := bw.Flush(); err != nil {
+		return
+	}
+	for {
+		var req Frame
+		if err := fc.ReadFrame(&req); err != nil {
+			return
+		}
+		resp, err := f.handle(name, fc, &req)
+		if err != nil {
+			return // the stream is desynchronized; die like a real agent
+		}
+		resp.ID = req.ID
+		if err := fc.WriteFrame(resp); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// resolve performs the manifest-or-inline negotiation for a test or
+// integrate request: report what the shared cache is missing, or accept.
+func (f *SimFleet) resolve(up *WireUpgrade, man *WireManifest) (id string, need []uint64) {
+	if man != nil {
+		if miss := f.cache.Missing(man); len(miss) > 0 {
+			return man.ID, miss
+		}
+		return man.ID, nil
+	}
+	if up != nil {
+		return up.ID, nil
+	}
+	return "", nil
+}
+
+// handle answers one vendor RPC with the cheapest protocol-correct
+// response. An error return means the connection must die (unreadable
+// binary body).
+func (f *SimFleet) handle(name string, fc *frameConn, req *Frame) (Frame, error) {
+	switch req.Op {
+	case OpPing:
+		return Frame{OK: true}, nil
+	case OpTest:
+		if req.Test == nil {
+			return Frame{Err: "sim: test without payload"}, nil
+		}
+		id, need := f.resolve(req.Test.Upgrade, req.Test.Manifest)
+		if len(need) > 0 {
+			return Frame{OK: true, NeedChunks: need}, nil
+		}
+		f.tested.Add(1)
+		return Frame{OK: true, Report: &report.Report{
+			UpgradeID: id, Machine: name, Success: true,
+		}}, nil
+	case OpIntegrate:
+		if req.Integrate == nil {
+			return Frame{Err: "sim: integrate without payload"}, nil
+		}
+		_, need := f.resolve(req.Integrate.Upgrade, req.Integrate.Manifest)
+		if len(need) > 0 {
+			return Frame{OK: true, NeedChunks: need}, nil
+		}
+		f.integrated.Add(1)
+		return Frame{OK: true}, nil
+	case OpFetchChunks:
+		if len(req.ChunkMeta) > 0 {
+			// Binary body: the bytes follow the header on the stream and
+			// MUST be consumed even on a bad chunk.
+			if err := fc.ReadChunkBody(req.ChunkMeta, f.cache.Add); err != nil {
+				return Frame{}, err
+			}
+			return Frame{OK: true}, nil
+		}
+		if req.FetchChunks != nil {
+			for _, ch := range req.FetchChunks.Chunks {
+				if err := f.cache.Add(ch.Hash, ch.Data); err != nil {
+					return Frame{Err: err.Error()}, nil
+				}
+			}
+		}
+		return Frame{OK: true}, nil
+	case OpPeerFetch:
+		// Sim agents run no peer servers; decline everything and let the
+		// vendor fall back to its own push.
+		var need []uint64
+		if req.PeerFetch != nil {
+			need = req.PeerFetch.Addrs
+		}
+		return Frame{OK: true, NeedChunks: need}, nil
+	case OpFingerprint:
+		return Frame{OK: true, AppSet: "sim"}, nil
+	case OpIdentify:
+		return Frame{OK: true}, nil
+	case OpRecord:
+		return Frame{OK: true, Status: "recorded"}, nil
+	default:
+		return Frame{Err: "sim: unsupported op " + req.Op}, nil
+	}
+}
