@@ -4,13 +4,17 @@
 //
 //	mirage-ctl [-server http://127.0.0.1:7080] <command> [args]
 //
-//	start [-policy NAME] [-resume] [-journal FILE]   start a rollout
+//	start [-policy NAME] [-resume] [-journal FILE]
+//	      [-auto-rollback] [-gate-baseline R -gate-excess R -gate-min-samples N]
+//	                                                 start a rollout
 //	list                                             all rollouts
 //	status <id>                                      one rollout's snapshot
 //	events <id> [-follow]                            event log (long-poll)
 //	pause <id>                                       hold at next stage barrier
 //	resume <id>                                      release the barrier
 //	abort <id>                                       cancel (journals abandoned)
+//	rollback <id>                                    drive an abandoned rollout's
+//	                                                 members back to the baseline
 //	wait <id>                                        block until terminal
 //
 // Exit codes mirror mirage-vendor: 0 success, 1 transport/usage trouble,
@@ -63,6 +67,8 @@ func main() {
 		err = verb(ctx, c.Resume, rest)
 	case "abort":
 		err = verb(ctx, c.Abort, rest)
+	case "rollback":
+		err = verb(ctx, c.Rollback, rest)
 	case "wait":
 		err = withID(rest, func(id string) error {
 			st, e := c.Wait(ctx, id, 30*time.Second)
@@ -86,7 +92,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: mirage-ctl [-server URL] start|list|status|events|pause|resume|abort|wait [args]\n")
+	fmt.Fprintf(os.Stderr, "usage: mirage-ctl [-server URL] start|list|status|events|pause|resume|abort|rollback|wait [args]\n")
 }
 
 func withID(args []string, f func(string) error) error {
@@ -112,10 +118,18 @@ func start(ctx context.Context, c *orchestrator.Client, args []string) error {
 	policy := fs.String("policy", "", "deployment policy (server default if empty)")
 	resume := fs.Bool("resume", false, "resume the journal instead of starting fresh")
 	journal := fs.String("journal", "", "journal file override")
+	autoRollback := fs.Bool("auto-rollback", false, "roll the fleet back to the baseline if the upgrade is abandoned")
+	gateBaseline := fs.Float64("gate-baseline", 0, "canary gate: expected baseline failure rate")
+	gateExcess := fs.Float64("gate-excess", 0, "canary gate: tolerated excess failure rate")
+	gateMinSamples := fs.Int("gate-min-samples", 0, "canary gate: minimum verdicts before deciding (0 = server default gating)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	st, err := c.Start(ctx, orchestrator.StartRequest{Policy: *policy, Resume: *resume, Journal: *journal})
+	st, err := c.Start(ctx, orchestrator.StartRequest{
+		Policy: *policy, Resume: *resume, Journal: *journal,
+		AutoRollback: *autoRollback, GateBaseline: *gateBaseline,
+		GateMaxExcess: *gateExcess, GateMinSamples: *gateMinSamples,
+	})
 	if err != nil {
 		return err
 	}
@@ -185,11 +199,14 @@ func printStatus(st orchestrator.Status) {
 	fmt.Println()
 	fmt.Printf("  tested=%d failures=%d integrated=%d/%d quarantined=%d events=%d\n",
 		st.Tested, st.Failures, st.Integrated, len(st.Members), st.Quarantined, st.Events)
+	if st.Baseline != "" {
+		fmt.Printf("  rolled_back=%d baseline=%s\n", st.RolledBack, st.Baseline)
+	}
 	if st.Transfer != nil {
-		fmt.Printf("  transfer bytes=%d chunk_bytes=%d chunk_hits=%d chunk_misses=%d peer_bytes=%d peer_hits=%d vendor_fallbacks=%d\n",
+		fmt.Printf("  transfer bytes=%d chunk_bytes=%d chunk_hits=%d chunk_misses=%d peer_bytes=%d peer_hits=%d vendor_fallbacks=%d rollback_chunks=%d faults_injected=%d\n",
 			st.Transfer.Bytes, st.Transfer.ChunkBytes, st.Transfer.ChunkHits,
 			st.Transfer.ChunkMisses, st.Transfer.PeerBytes, st.Transfer.PeerHits,
-			st.Transfer.VendorFallbacks)
+			st.Transfer.VendorFallbacks, st.Transfer.ChunksRolledBack, st.Transfer.FaultsInjected)
 	}
 	if st.Journal != "" {
 		fmt.Printf("  journal=%s\n", st.Journal)

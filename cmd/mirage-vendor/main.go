@@ -86,6 +86,17 @@ func main() {
 	maxRollouts := flag.Int("max-rollouts", 0, "admission control: rollouts allowed to execute concurrently (0 = unbounded); POST /rollouts beyond this and -max-queued returns 429")
 	maxQueued := flag.Int("max-queued", 0, "rollouts allowed to queue for an execution slot when -max-rollouts are active (0 = reject immediately)")
 	pprofFlag := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ on the admin API")
+	autoRollback := flag.Bool("auto-rollback", false, "journaled automatic rollback: when the vendor abandons the upgrade, drive every integrated member back to the mysql 4.1.22 baseline through the chunk machinery in reverse")
+	gateBaseline := flag.Float64("gate-baseline", 0, "canary gate: expected baseline failure rate (see -gate-min-samples)")
+	gateExcess := flag.Float64("gate-excess", 0, "canary gate: tolerated excess failure rate over -gate-baseline")
+	gateMinSamples := flag.Int("gate-min-samples", 0, "canary gate: minimum validation verdicts before the gate decides; 0 disables the gate (classic binary representative pass/fail)")
+	faultSeed := flag.Uint64("fault-seed", 1, "chaos: seed for the deterministic per-agent fault streams")
+	faultDrop := flag.Float64("fault-drop", 0, "chaos: probability a vendor→agent call is dropped before delivery (connection dies)")
+	faultDelay := flag.Float64("fault-delay", 0, "chaos: probability a call is delayed by -fault-delay-by")
+	faultDelayBy := flag.Duration("fault-delay-by", 2*time.Millisecond, "chaos: injected latency for delay faults")
+	faultCorrupt := flag.Float64("fault-corrupt", 0, "chaos: probability a pushed chunk payload is corrupted in flight (the content address catches it)")
+	faultReset := flag.Float64("fault-reset", 0, "chaos: probability the connection resets after the agent did the work but before the reply is seen")
+	faultMax := flag.Int("fault-max", 0, "chaos: total rate-fault budget, 0 = unlimited (crash schedules don't consume it)")
 	flag.Parse()
 	if *resume && *journal == "" {
 		fmt.Fprintln(os.Stderr, "-resume requires -journal")
@@ -101,6 +112,15 @@ func main() {
 	srv.InlinePayloads = *inline
 	srv.JSONChunks = *jsonChunks
 	srv.DisablePeers = *noPeers
+	if *faultDrop > 0 || *faultDelay > 0 || *faultCorrupt > 0 || *faultReset > 0 {
+		srv.Faults = transport.NewFaultInjector(transport.FaultPlan{
+			Seed: *faultSeed, Drop: *faultDrop, Delay: *faultDelay,
+			Corrupt: *faultCorrupt, Reset: *faultReset,
+			DelayBy: *faultDelayBy, MaxFaults: *faultMax,
+		})
+		log.Printf("chaos: fault injection armed (seed=%d drop=%g delay=%g corrupt=%g reset=%g)",
+			*faultSeed, *faultDrop, *faultDelay, *faultCorrupt, *faultReset)
+	}
 	log.Printf("vendor listening on %s, waiting for %d agent(s)", srv.Addr(), *agents)
 	if got := srv.WaitForAgents(*agents, *wait); got < *agents {
 		log.Fatalf("only %d/%d agents registered", got, *agents)
@@ -159,6 +179,11 @@ func main() {
 	orch.Budget = deploy.NewBudget(*workerBudget)
 	orch.MaxActive = *maxRollouts
 	orch.MaxQueued = *maxQueued
+	vendorGate := staging.GatePolicy{}
+	if *gateMinSamples > 0 {
+		vendorGate = staging.GatePolicy{Enabled: true, BaselineFailureRate: *gateBaseline,
+			MaxExcessRate: *gateExcess, MinSamples: *gateMinSamples}
+	}
 	launch := func(req orchestrator.StartRequest) (orchestrator.Spec, error) {
 		p := pol
 		if req.Policy != "" {
@@ -168,16 +193,23 @@ func main() {
 			}
 			p = parsed
 		}
+		gate := vendorGate
+		if req.GateMinSamples > 0 {
+			gate = req.GatePolicy()
+		}
 		return orchestrator.Spec{
-			Policy:    p,
-			Upgrade:   mysql5(),
-			Clusters:  dcs,
-			Fix:       fixer(urr),
-			URR:       urr,
-			Journal:   req.Journal,
-			Resume:    req.Resume,
-			Rebuild:   rebuildRelease,
-			Configure: configure(*parallel, srv),
+			Policy:       p,
+			Upgrade:      mysql5(),
+			Clusters:     dcs,
+			Fix:          fixer(urr),
+			URR:          urr,
+			Journal:      req.Journal,
+			Resume:       req.Resume,
+			Rebuild:      rebuildRelease,
+			Configure:    configure(*parallel, srv),
+			Gate:         gate,
+			Baseline:     mysql4(),
+			AutoRollback: *autoRollback || req.AutoRollback,
 		}, nil
 	}
 	api := &orchestrator.API{
@@ -270,6 +302,16 @@ func main() {
 	if *urrFile != "" {
 		saveURR(urr, *urrFile)
 	}
+	if out.RolledBack {
+		rb := out.Rollback
+		fmt.Printf("rollout %s abandoned and rolled back to %s: reverted=%d skipped=%d rollback_chunks=%d faults_injected=%d\n",
+			h.ID(), rb.BaselineID, len(rb.Reverted), len(rb.Skipped),
+			out.Transfer.ChunksRolledBack, out.Transfer.FaultsInjected)
+		for name, reason := range rb.Skipped {
+			log.Printf("rollback skipped %s: %s", name, reason)
+		}
+		os.Exit(exitRollout)
+	}
 	if out.Abandoned {
 		fmt.Printf("rollout %s abandoned: the upgrade could not be fixed\n", h.ID())
 		os.Exit(exitRollout)
@@ -305,6 +347,8 @@ func transportMetrics(srv *transport.Server) orchestrator.MetricsFunc {
 			counter("mirage_peer_bytes_total", "Chunk bytes served agent-to-agent.", t.PeerBytes),
 			counter("mirage_peer_hits_total", "Chunks served by the peer tier.", t.PeerHits),
 			counter("mirage_peer_fallbacks_total", "Chunks the peer tier missed and the vendor pushed.", t.VendorFallbacks),
+			counter("mirage_rollback_chunks_total", "Manifest chunks resolved while restoring members to the baseline.", t.ChunksRolledBack),
+			counter("mirage_faults_injected_total", "Transport faults fired by the chaos injector.", t.FaultsInjected),
 		)
 		return ms
 	}
@@ -319,6 +363,8 @@ func configure(parallel int, srv *transport.Server) func(*deploy.Controller) {
 		// waves that follow — the hook that turns staged order into swarm
 		// seeding.
 		ctl.GatedMembers = srv.MarkPeerEligible
+		// Chunks moved while restoring members book as ChunksRolledBack.
+		ctl.RollbackMode = srv.SetRollbackMode
 	}
 }
 
@@ -343,6 +389,20 @@ func parsePolicy(s string) deploy.Policy {
 		os.Exit(exitUsage)
 	}
 	return policy
+}
+
+// mysql4 is the baseline artifact a rollback restores: the version the
+// fleet ran before the rollout. The agents' self-seeded caches still
+// hold its chunks, so reverse manifests resolve almost entirely from
+// cache.
+func mysql4() *pkgmgr.Upgrade {
+	return &pkgmgr.Upgrade{
+		ID: "mysql-4.1.22",
+		Pkg: &pkgmgr.Package{Name: "mysql", Version: "4.1.22", Files: []*machine.File{
+			{Path: apps.MySQLExec, Type: machine.TypeExecutable, Data: []byte("mysqld 4.1.22"), Version: "4.1.22"},
+			{Path: apps.LibMySQLPath, Type: machine.TypeSharedLib, Data: []byte("libmysqlclient 4.1"), Version: "4.1"},
+		}},
+	}
 }
 
 func mysql5() *pkgmgr.Upgrade {
@@ -385,6 +445,9 @@ func fixedRelease(id string) *pkgmgr.Upgrade {
 func rebuildRelease(id string) (*pkgmgr.Upgrade, bool) {
 	if id == mysql5().ID {
 		return mysql5(), true
+	}
+	if id == mysql4().ID {
+		return mysql4(), true // the rollback baseline
 	}
 	if strings.HasSuffix(id, "-fix") && strings.HasPrefix(id, mysql5().ID) {
 		return fixedRelease(id), true

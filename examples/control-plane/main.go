@@ -6,8 +6,11 @@
 // pure HTTP client — starts a journaled staged rollout, watches its event
 // stream by long-poll, pauses it at a stage barrier, inspects the half
 // deployed fleet, resumes it, waits for convergence, and finally starts a
-// second concurrent rollout to show the orchestrator multiplexing. Every
-// control action goes over the wire; nothing touches the Handle directly.
+// second concurrent rollout to show the orchestrator multiplexing, and —
+// the failure half of the lifecycle — a rollout whose canary gate fails
+// on a fleet with legacy user configuration, ending not stranded but in
+// a journaled automatic rollback to the baseline version. Every control
+// action goes over the wire; nothing touches the Handle directly.
 //
 //	go run ./examples/control-plane
 package main
@@ -48,6 +51,18 @@ func mysql5() *pkgmgr.Upgrade {
 			{Path: apps.MySQLExec, Type: machine.TypeExecutable, Data: []byte("mysqld 5.0.22"), Version: "5.0.22"},
 		}},
 		Replaces: "4.1.22",
+	}
+}
+
+// mysql4 is the baseline artifact a rollback restores: version N kept
+// in the vendor's release store for exactly this purpose.
+func mysql4() *pkgmgr.Upgrade {
+	return &pkgmgr.Upgrade{
+		ID: "mysql-4.1.22",
+		Pkg: &pkgmgr.Package{Name: "mysql", Version: "4.1.22", Files: []*machine.File{
+			{Path: apps.MySQLExec, Type: machine.TypeExecutable, Data: []byte("mysqld 4.1.22"), Version: "4.1.22"},
+		}},
+		Replaces: "5.0.22",
 	}
 }
 
@@ -106,6 +121,9 @@ func main() {
 	// -max-rollouts/-max-queued — beyond them POST /rollouts returns 429
 	// with a Retry-After header. Unset here: a six-agent walkthrough
 	// needs none of them.
+	// rbClusters is filled in act 7: the fleet the rollback walkthrough
+	// runs over. The launcher routes armed requests to it.
+	var rbClusters []*deploy.Cluster
 	api := &orchestrator.API{
 		Orch: orch,
 		Launch: func(req orchestrator.StartRequest) (orchestrator.Spec, error) {
@@ -114,6 +132,18 @@ func main() {
 				if p, ok := staging.ParsePolicy(req.Policy); ok {
 					policy = p
 				}
+			}
+			if req.AutoRollback {
+				return orchestrator.Spec{
+					Policy:       policy,
+					Upgrade:      mysql5(),
+					Clusters:     rbClusters,
+					Baseline:     mysql4(),
+					AutoRollback: true,
+					Gate:         req.GatePolicy(),
+					Journal:      req.Journal,
+					Resume:       req.Resume,
+				}, nil
 			}
 			return orchestrator.Spec{
 				Policy:   policy,
@@ -204,4 +234,73 @@ func main() {
 		fmt.Printf("  %-4s %-10s policy=%-10s integrated=%d/%d events=%d\n",
 			s.ID, s.State, s.Policy, s.Integrated, len(s.Members), s.Events)
 	}
+
+	// 7. The failure half of the lifecycle: gate failure → journaled
+	// automatic rollback. A second fleet joins; its far cluster carries a
+	// legacy ~/.my.cnf whose option syntax MySQL 5 rejects (the paper's §5
+	// user-configuration incompatibility) and there is no fixer, so the
+	// rollout must abandon. The start request arms auto_rollback with a
+	// canary gate; the near cluster integrates 5.0.22 first, the far
+	// cluster's representative fails its gate, and instead of stranding
+	// the fleet half-upgraded the control plane drives every integrated
+	// member back to 4.1.22 — each revert a durable journal record.
+	var rbNames []string
+	for c := 0; c < 2; c++ {
+		for _, role := range []string{"rep", "oth"} {
+			name := fmt.Sprintf("rb-c%d-%s", c, role)
+			rbNames = append(rbNames, name)
+			m := userMachine(name)
+			if c == 1 {
+				m.WriteFile(&machine.File{Path: "/home/user/.my.cnf", Type: machine.TypeConfig,
+					Data: []byte("[mysqld]\nold-passwords\nset-variable = key_buffer=16M\n")})
+			}
+			machines[name] = m
+			go transport.NewAgent(m).Run(srv.Addr())
+		}
+	}
+	total := len(names) + len(rbNames)
+	if got := srv.WaitForAgents(total, 5*time.Second); got != total {
+		log.Fatalf("agents: %d/%d", got, total)
+	}
+	// Enroll mysql usage on the new fleet: validation only exercises the
+	// applications a machine's usage store has recorded, so without this
+	// every sandboxed test would be vacuously green.
+	for _, name := range rbNames {
+		if _, err := srv.Identify(ctx, name, "mysql", [][]string{{"SELECT 1"}}); err != nil {
+			log.Fatal(err)
+		}
+		if _, err := srv.Record(ctx, name, "mysql", []string{"SELECT 1"}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for c := 0; c < 2; c++ {
+		rbClusters = append(rbClusters, &deploy.Cluster{
+			ID: fmt.Sprintf("rb-%d", c), Distance: c + 1,
+			Representatives: []deploy.Node{srv.Node(fmt.Sprintf("rb-c%d-rep", c))},
+			Others:          []deploy.Node{srv.Node(fmt.Sprintf("rb-c%d-oth", c))},
+		})
+	}
+	st3, err := ctl.Start(ctx, orchestrator.StartRequest{
+		Policy:        "balanced",
+		AutoRollback:  true,
+		GateMaxExcess: 0.1, GateMinSamples: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if st3, err = ctl.Wait(ctx, st3.ID, 10*time.Second); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("rollout %s: %s — %d members rolled back to %s\n",
+		st3.ID, st3.State, st3.RolledBack, st3.Baseline)
+	for _, name := range rbNames {
+		ref, _ := machines[name].Package("mysql")
+		fmt.Printf("  %-9s mysql %s\n", name, ref.Version)
+	}
+	recs, err := rollout.Load(st3.Journal)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("journal %s sealed with %q — the rollout can never half-resume\n",
+		filepath.Base(st3.Journal), recs[len(recs)-1].Type)
 }

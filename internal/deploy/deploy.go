@@ -118,19 +118,44 @@ type TransferStats struct {
 	PeerBytes       int64 // chunk bytes served peer-to-peer
 	PeerHits        int64 // chunks the peer tier satisfied
 	VendorFallbacks int64 // chunks pushed by the vendor after peers missed
+
+	// Robustness counters: manifest chunks resolved while restoring
+	// members to the baseline version, and transport faults the chaos
+	// injector fired during the rollout.
+	ChunksRolledBack int64
+	FaultsInjected   int64
 }
 
 // Sub returns the counter delta t−o.
 func (t TransferStats) Sub(o TransferStats) TransferStats {
 	return TransferStats{
-		Frames:          t.Frames - o.Frames,
-		Bytes:           t.Bytes - o.Bytes,
-		ChunkBytes:      t.ChunkBytes - o.ChunkBytes,
-		ChunkHits:       t.ChunkHits - o.ChunkHits,
-		ChunkMisses:     t.ChunkMisses - o.ChunkMisses,
-		PeerBytes:       t.PeerBytes - o.PeerBytes,
-		PeerHits:        t.PeerHits - o.PeerHits,
-		VendorFallbacks: t.VendorFallbacks - o.VendorFallbacks,
+		Frames:           t.Frames - o.Frames,
+		Bytes:            t.Bytes - o.Bytes,
+		ChunkBytes:       t.ChunkBytes - o.ChunkBytes,
+		ChunkHits:        t.ChunkHits - o.ChunkHits,
+		ChunkMisses:      t.ChunkMisses - o.ChunkMisses,
+		PeerBytes:        t.PeerBytes - o.PeerBytes,
+		PeerHits:         t.PeerHits - o.PeerHits,
+		VendorFallbacks:  t.VendorFallbacks - o.VendorFallbacks,
+		ChunksRolledBack: t.ChunksRolledBack - o.ChunksRolledBack,
+		FaultsInjected:   t.FaultsInjected - o.FaultsInjected,
+	}
+}
+
+// Add returns the counter sum t+o — how a rollback's own transfer delta
+// folds into the outcome the deployment already booked.
+func (t TransferStats) Add(o TransferStats) TransferStats {
+	return TransferStats{
+		Frames:           t.Frames + o.Frames,
+		Bytes:            t.Bytes + o.Bytes,
+		ChunkBytes:       t.ChunkBytes + o.ChunkBytes,
+		ChunkHits:        t.ChunkHits + o.ChunkHits,
+		ChunkMisses:      t.ChunkMisses + o.ChunkMisses,
+		PeerBytes:        t.PeerBytes + o.PeerBytes,
+		PeerHits:         t.PeerHits + o.PeerHits,
+		VendorFallbacks:  t.VendorFallbacks + o.VendorFallbacks,
+		ChunksRolledBack: t.ChunksRolledBack + o.ChunksRolledBack,
+		FaultsInjected:   t.FaultsInjected + o.FaultsInjected,
 	}
 }
 
@@ -163,6 +188,10 @@ type Outcome struct {
 	// Transfer is the wire traffic this deployment caused, when the
 	// controller has a Transfer source configured (zero otherwise).
 	Transfer TransferStats
+	// RolledBack is set once a rollback pass has driven the integrated
+	// members back to the baseline version; Rollback holds its summary.
+	RolledBack bool
+	Rollback   *RollbackOutcome
 }
 
 // Integrated counts nodes that integrated some version of the upgrade.
@@ -212,6 +241,20 @@ const (
 	EventGatePassed
 	// EventAbandoned fires when the vendor gives up on the upgrade.
 	EventAbandoned
+	// EventRollbackStarted fires before any member is reverted; UpgradeID
+	// is the baseline being restored, PrevID the version rolled back. Its
+	// durability is what makes a crash mid-rollback resumable.
+	EventRollbackStarted
+	// EventRolledBack fires after a member is restored to the baseline;
+	// UpgradeID is the baseline, PrevID the version the member left.
+	EventRolledBack
+	// EventRollbackSkipped fires when rollback leaves a member behind
+	// (quarantined, or unreachable through the retry budget) — Reason says
+	// why. A skipped member never blocks rollback completion.
+	EventRollbackSkipped
+	// EventRollbackCompleted fires when the rollback pass is done; with
+	// EventRollbackStarted it brackets the journal's rollback records.
+	EventRollbackCompleted
 )
 
 // Event is one deployment state transition.
@@ -226,7 +269,7 @@ type Event struct {
 	PrevID    string // EventFixReleased: the superseded version
 	Success   bool   // EventTested: validation verdict
 	Round     int    // EventFixReleased / EventAbandoned: debugging round
-	Reason    string // EventQuarantined: the final transient error
+	Reason    string // EventQuarantined / EventRollbackSkipped: why
 }
 
 // Observer receives every deployment state transition, in order. A
@@ -302,6 +345,14 @@ type Controller struct {
 	// holds the full validated upgrade, which is exactly what clears it
 	// to serve chunks to later waves over the peer tier.
 	GatedMembers func(names []string)
+	// Gate is the statistical canary gate applied to every stage's
+	// validations. The zero value is disabled: classic binary gating,
+	// where one representative failure sends the vendor debugging.
+	Gate staging.GatePolicy
+	// RollbackMode, when set, is flipped on around a fleet rollback (e.g.
+	// transport.Server.SetRollbackMode) so the transport books chunks
+	// moved while restoring members as ChunksRolledBack.
+	RollbackMode func(on bool)
 
 	// TransientRetries bounds how many times a member's test or integrate
 	// is retried after a transient error before the member is quarantined
@@ -755,12 +806,16 @@ func (r *waveRunner) converge(stage int, waves []staging.Wave, retryAll bool) {
 		}
 	}
 	all := r.members(waves)
+	if r.ctl.Gate.Enabled {
+		r.canaryConverge(stage, all)
+		return
+	}
 	pending := all
 	for len(pending) > 0 {
 		if r.checkAbort(stage) {
 			return
 		}
-		failed := r.testMembers(stage, pending)
+		failed, _ := r.testMembers(stage, pending, true)
 		if r.err != nil || len(failed) == 0 {
 			return
 		}
@@ -771,6 +826,62 @@ func (r *waveRunner) converge(stage int, waves []staging.Wave, retryAll bool) {
 			pending = r.alive(all)
 		} else {
 			pending = failed
+		}
+	}
+}
+
+// canaryConverge is convergence under a statistical canary gate: instead
+// of one failure sending the vendor debugging, validation verdicts
+// accumulate (without integrating anyone) until the gate has MinSamples
+// of evidence, then the observed failure rate decides. Above threshold
+// the stage fails into the usual debug loop — and the corrected version
+// starts a fresh canary, because the old evidence is about the version
+// it replaced. Within tolerance the stage promotes: every member whose
+// latest verdict passed integrates, while tolerated failures are simply
+// left on the old version, so no machine is ever stranded on a
+// half-trusted upgrade.
+func (r *waveRunner) canaryConverge(stage int, all []member) {
+	if len(all) == 0 {
+		return
+	}
+	samples, failures := 0, 0
+	for {
+		if r.checkAbort(stage) {
+			return
+		}
+		ms := r.alive(all)
+		if len(ms) == 0 {
+			return // everyone quarantined; the stage converges empty
+		}
+		failed, tested := r.testMembers(stage, ms, false)
+		if r.err != nil || r.halted {
+			return
+		}
+		samples += tested
+		failures += len(failed)
+		switch r.ctl.Gate.Evaluate(samples, failures) {
+		case staging.GateNeedMore:
+			continue
+		case staging.GateFail:
+			if !r.debug(stage) {
+				return
+			}
+			samples, failures = 0, 0
+		default: // GatePass: promote on the latest round's verdicts
+			failedNow := make(map[string]bool, len(failed))
+			for _, m := range failed {
+				failedNow[m.node.Name()] = true
+			}
+			for _, m := range r.alive(ms) {
+				if failedNow[m.node.Name()] {
+					continue // tolerated failure: stays on version N
+				}
+				r.integrateMember(stage, m)
+				if r.err != nil || r.halted || r.checkAbort(stage) {
+					return
+				}
+			}
+			return
 		}
 	}
 }
@@ -850,8 +961,10 @@ func (r *waveRunner) quarantine(stage int, m member, reason string) {
 // and passing nodes integrated strictly in member order, so URR contents
 // and the outcome are identical at any pool size. Members whose retries
 // exhaust are quarantined; non-transient errors halt the plan. It returns
-// the members that failed validation.
-func (r *waveRunner) testMembers(stage int, ms []member) []member {
+// the members that failed validation and how many verdicts were booked.
+// With integrate false (canary gating) passing members are left on their
+// current version — the gate decides promotion later.
+func (r *waveRunner) testMembers(stage int, ms []member, integrate bool) (failed []member, tested int) {
 	reports := make([]*report.Report, len(ms))
 	errs := make([]error, len(ms))
 	workers := r.ctl.Parallelism
@@ -897,7 +1010,6 @@ func (r *waveRunner) testMembers(stage int, ms []member) []member {
 	// not happen. So does an abort: once the abandoned record is down,
 	// nothing may be journaled after it — reports produced in the abort
 	// window are deliberately dropped.
-	var failed []member
 	for i, m := range ms {
 		if r.halted || r.checkAbort(stage) {
 			break
@@ -922,6 +1034,7 @@ func (r *waveRunner) testMembers(stage int, ms []member) []member {
 		r.ctl.URR.Deposit(rep)
 		st := r.out.Nodes[m.node.Name()]
 		st.Tests++
+		tested++
 		r.emit(Event{Type: EventTested, Stage: stage, Node: m.node.Name(),
 			Cluster: m.cluster, UpgradeID: r.up.ID, Success: rep.Success})
 		if r.halted {
@@ -935,9 +1048,11 @@ func (r *waveRunner) testMembers(stage int, ms []member) []member {
 			failed = append(failed, m)
 			continue
 		}
-		r.integrateMember(stage, m)
+		if integrate {
+			r.integrateMember(stage, m)
+		}
 	}
-	return failed
+	return failed, tested
 }
 
 // notifyFinal brings nodes that integrated a superseded version up to the
@@ -959,7 +1074,7 @@ func (ctl *Controller) notifyFinal(ctx context.Context, final *pkgmgr.Upgrade, c
 		return nil
 	}
 	r := &waveRunner{ctx: ctx, ctl: ctl, up: final, out: out, clean: make(map[string]bool), unclean: make(map[string]bool)}
-	r.testMembers(-1, ms)
+	r.testMembers(-1, ms, true)
 	return r.err
 }
 

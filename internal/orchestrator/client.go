@@ -116,6 +116,15 @@ func (c *Client) Abort(ctx context.Context, id string) (Status, error) {
 	return st, err
 }
 
+// Rollback drives the members an abandoned (or aborted, or failed)
+// rollout integrated back to the vendor's baseline version; the reply's
+// status is rolled_back on success.
+func (c *Client) Rollback(ctx context.Context, id string) (Status, error) {
+	var st Status
+	err := c.do(ctx, http.MethodPost, "/rollouts/"+url.PathEscape(id)+"/rollback", nil, &st)
+	return st, err
+}
+
 // Events fetches one long-poll page of the rollout's event stream,
 // holding the request open up to `wait` when the cursor is at the tip.
 func (c *Client) Events(ctx context.Context, id string, since int, wait time.Duration) (EventsResponse, error) {

@@ -28,6 +28,28 @@ type StartRequest struct {
 	Resume bool `json:"resume,omitempty"`
 	// Journal overrides the journal file path.
 	Journal string `json:"journal,omitempty"`
+	// AutoRollback arms journaled automatic rollback to the vendor's
+	// baseline artifact when the upgrade is abandoned.
+	AutoRollback bool `json:"auto_rollback,omitempty"`
+	// Canary gate knobs (see staging.GatePolicy); GateMinSamples > 0
+	// arms the gate.
+	GateBaseline   float64 `json:"gate_baseline,omitempty"`
+	GateMaxExcess  float64 `json:"gate_max_excess,omitempty"`
+	GateMinSamples int     `json:"gate_min_samples,omitempty"`
+}
+
+// GatePolicy translates the request's gate knobs into a policy (disabled
+// when GateMinSamples is 0).
+func (r StartRequest) GatePolicy() staging.GatePolicy {
+	if r.GateMinSamples <= 0 {
+		return staging.GatePolicy{}
+	}
+	return staging.GatePolicy{
+		Enabled:             true,
+		BaselineFailureRate: r.GateBaseline,
+		MaxExcessRate:       r.GateMaxExcess,
+		MinSamples:          r.GateMinSamples,
+	}
 }
 
 // Launcher maps an admin start request to a full rollout Spec — the hook
@@ -60,6 +82,7 @@ type WaitResponse struct {
 //	POST /rollouts/{id}/pause                                → Status
 //	POST /rollouts/{id}/resume                               → Status
 //	POST /rollouts/{id}/abort                                → Status
+//	POST /rollouts/{id}/rollback                             → Status
 //	POST /rollouts/{id}/wait?timeout=30s                     → WaitResponse
 //
 // Errors are {"error": "..."} with a 4xx/5xx status.
@@ -103,6 +126,7 @@ func (a *API) Handler() http.Handler {
 	mux.HandleFunc("POST /rollouts/{id}/pause", a.pause)
 	mux.HandleFunc("POST /rollouts/{id}/resume", a.resume)
 	mux.HandleFunc("POST /rollouts/{id}/abort", a.abort)
+	mux.HandleFunc("POST /rollouts/{id}/rollback", a.rollback)
 	mux.HandleFunc("POST /rollouts/{id}/wait", a.wait)
 	mux.HandleFunc("GET /healthz", a.healthz)
 	mux.HandleFunc("GET /metrics", a.metrics)
@@ -237,6 +261,18 @@ func (a *API) abort(w http.ResponseWriter, r *http.Request) {
 		h.Abort()
 		writeJSON(w, http.StatusOK, h.Status())
 	}
+}
+
+func (a *API) rollback(w http.ResponseWriter, r *http.Request) {
+	h, ok := a.handle(w, r)
+	if !ok {
+		return
+	}
+	if _, err := h.Rollback(r.Context()); err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, h.Status())
 }
 
 func (a *API) wait(w http.ResponseWriter, r *http.Request) {

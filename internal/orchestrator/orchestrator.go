@@ -27,6 +27,7 @@ import (
 	"repro/internal/pkgmgr"
 	"repro/internal/report"
 	"repro/internal/rollout"
+	"repro/internal/staging"
 )
 
 // Spec describes one rollout to start.
@@ -59,6 +60,15 @@ type Spec struct {
 	// StageGate or Budget — those belong to the orchestrator and the
 	// engine.
 	Configure func(*deploy.Controller)
+	// Gate is the statistical canary gate applied to every stage (zero
+	// value: classic binary representative gating).
+	Gate staging.GatePolicy
+	// Baseline is the version-N artifact the fleet ran before this
+	// rollout — what a rollback (automatic or manual) restores.
+	Baseline *pkgmgr.Upgrade
+	// AutoRollback arms journaled automatic rollback to Baseline when the
+	// vendor abandons the upgrade.
+	AutoRollback bool
 }
 
 // ErrSaturated is returned by Start (and mapped to HTTP 429 by the admin
@@ -91,12 +101,19 @@ const (
 	// StateFailed: an infrastructure error halted the plan — unlike
 	// abandonment this is not a verdict on the upgrade.
 	StateFailed State = "failed"
+	// StateRollingBack: integrated members are being driven back to the
+	// baseline version (after abandonment, automatically or on request).
+	StateRollingBack State = "rolling_back"
+	// StateRolledBack: terminal — the rollout was abandoned and every
+	// previously integrated, reachable member is verifiably back on the
+	// baseline version.
+	StateRolledBack State = "rolled_back"
 )
 
 // Terminal reports whether the state is final.
 func (s State) Terminal() bool {
 	switch s {
-	case StateSucceeded, StateAbandoned, StateAborted, StateFailed:
+	case StateSucceeded, StateAbandoned, StateAborted, StateFailed, StateRolledBack:
 		return true
 	}
 	return false
@@ -131,7 +148,11 @@ type Status struct {
 	Failures    int                      `json:"failures"`
 	Integrated  int                      `json:"integrated"`
 	Quarantined int                      `json:"quarantined"`
-	Members     map[string]*MemberStatus `json:"members,omitempty"`
+	// RolledBack counts members restored to the baseline; Baseline names
+	// the version a rollback restores (set once rollback starts).
+	RolledBack int                      `json:"rolled_back,omitempty"`
+	Baseline   string                   `json:"baseline,omitempty"`
+	Members    map[string]*MemberStatus `json:"members,omitempty"`
 	// Transfer is the wire-traffic delta the rollout caused (set on
 	// terminal snapshots when the controller has a Transfer source): total
 	// vendor bytes, chunk hit/miss split, and the peer tier's share.
@@ -222,6 +243,7 @@ func (o *Orchestrator) Start(ctx context.Context, spec Spec) (*Handle, error) {
 	if spec.Configure != nil {
 		spec.Configure(ctl)
 	}
+	ctl.Gate = spec.Gate
 	if o.Budget != nil {
 		// The global worker budget overrides anything Configure set: it is
 		// the orchestrator's bound, shared by every rollout it runs.
@@ -257,6 +279,10 @@ func (o *Orchestrator) Start(ctx context.Context, spec Spec) (*Handle, error) {
 	h := &Handle{
 		id:      id,
 		orch:    o,
+		ctl:     ctl,
+		spec:    spec,
+		policy:  policy,
+		journal: journal,
 		cancel:  cancel,
 		done:    make(chan struct{}),
 		changed: make(chan struct{}),
@@ -378,15 +404,23 @@ type Handle struct {
 	// admit is non-nil when the rollout was queued at Start: it is closed
 	// by the orchestrator when an execution slot is granted.
 	admit chan struct{}
+	// Retained for manual rollback of a terminal rollout: the controller
+	// (idle once the rollout ends), the spec, the effective policy
+	// (urgent bypass mirrored) and the journal path.
+	ctl     *deploy.Controller
+	spec    Spec
+	policy  deploy.Policy
+	journal string
 
-	mu      sync.Mutex
-	status  Status
-	events  []rollout.Record
-	changed chan struct{} // closed and replaced on every append/transition
-	paused  bool
-	unpause chan struct{} // closed on ResumeRun
-	out     *deploy.Outcome
-	err     error
+	mu          sync.Mutex
+	status      Status
+	events      []rollout.Record
+	changed     chan struct{} // closed and replaced on every append/transition
+	paused      bool
+	unpause     chan struct{} // closed on ResumeRun
+	rollingBack bool          // a manual Rollback is in flight
+	out         *deploy.Outcome
+	err         error
 }
 
 // ID identifies the rollout within its orchestrator.
@@ -424,16 +458,22 @@ func (h *Handle) run(ctx context.Context, ctl *deploy.Controller, spec Spec, jou
 	var err error
 	if journal != "" {
 		eng := &rollout.Engine{
-			Controller: ctl,
-			Path:       journal,
-			Resume:     spec.Resume,
-			Rebuild:    spec.Rebuild,
-			Observer:   h,
+			Controller:   ctl,
+			Path:         journal,
+			Resume:       spec.Resume,
+			Rebuild:      spec.Rebuild,
+			Observer:     h,
+			Baseline:     spec.Baseline,
+			AutoRollback: spec.AutoRollback,
 		}
 		out, err = eng.Deploy(ctx, spec.Policy, spec.Upgrade, spec.Clusters)
 	} else {
 		ctl.Observer = h
 		out, err = ctl.Deploy(ctx, spec.Policy, spec.Upgrade, spec.Clusters)
+		if err == nil && out != nil && out.Abandoned && spec.AutoRollback && spec.Baseline != nil {
+			_, err = ctl.Rollback(ctx, spec.Baseline, spec.Clusters, out, nil)
+		}
+		ctl.Observer = nil
 	}
 
 	h.mu.Lock()
@@ -441,6 +481,8 @@ func (h *Handle) run(ctx context.Context, ctl *deploy.Controller, spec Spec, jou
 	switch {
 	case err == nil && (out == nil || !out.Abandoned):
 		h.status.State = StateSucceeded
+	case err == nil && out.RolledBack:
+		h.status.State = StateRolledBack
 	case err == nil:
 		h.status.State = StateAbandoned
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
@@ -627,9 +669,106 @@ func (h *Handle) OnEvent(ev deploy.Event) error {
 	case rollout.RecFix:
 		st.Rounds = rec.Round
 		st.UpgradeID = rec.UpgradeID
+	case rollout.RecRollbackStart:
+		st.Baseline = rec.UpgradeID
+		if !st.State.Terminal() {
+			st.State = StateRollingBack
+		}
+	case rollout.RecRolledBack:
+		st.RolledBack++
+		if m := st.Members[rec.Node]; m != nil {
+			m.UpgradeID = rec.UpgradeID
+		}
+	case rollout.RecRollbackSkip:
+		if m := st.Members[rec.Node]; m != nil && !m.Quarantined {
+			m.Quarantined = true
+			st.Quarantined++
+		}
 	}
 	h.signalLocked()
 	return nil
+}
+
+// Rollback drives every member this rollout integrated back to the
+// baseline version — the manual counterpart of Spec.AutoRollback, for an
+// operator deciding after the fact that an abandoned (or aborted, or
+// failed) rollout must be undone. It requires a terminal, unsuccessful
+// rollout and a Spec.Baseline artifact (or, journaled, a Rebuild hook
+// able to produce it), runs synchronously, and leaves the rollout in
+// StateRolledBack. A rollback the journal records as started is resumed:
+// members with a durable rolled_back record are never reverted again.
+func (h *Handle) Rollback(ctx context.Context) (*deploy.RollbackOutcome, error) {
+	h.mu.Lock()
+	st := h.status.State
+	switch {
+	case h.rollingBack:
+		h.mu.Unlock()
+		return nil, errors.New("orchestrator: rollback already in progress")
+	case st == StateRolledBack:
+		h.mu.Unlock()
+		return nil, errors.New("orchestrator: rollout already rolled back")
+	case st == StateSucceeded:
+		h.mu.Unlock()
+		return nil, errors.New("orchestrator: rollout succeeded; roll back by deploying the previous version")
+	case !st.Terminal():
+		h.mu.Unlock()
+		return nil, fmt.Errorf("orchestrator: rollout is %s; abort it before rolling back", st)
+	}
+	if h.spec.Baseline == nil && !(h.journal != "" && h.spec.Rebuild != nil) {
+		h.mu.Unlock()
+		return nil, errors.New("orchestrator: rollout has no baseline artifact to roll back to")
+	}
+	h.rollingBack = true
+	h.status.State = StateRollingBack
+	h.signalLocked()
+	h.mu.Unlock()
+
+	var ro *deploy.RollbackOutcome
+	var err error
+	if h.journal != "" {
+		eng := &rollout.Engine{
+			Controller: h.ctl,
+			Path:       h.journal,
+			Rebuild:    h.spec.Rebuild,
+			Observer:   h,
+			Baseline:   h.spec.Baseline,
+		}
+		var out *deploy.Outcome
+		out, err = eng.Rollback(ctx, h.policy, h.spec.Clusters)
+		if out != nil {
+			ro = out.Rollback
+			h.mu.Lock()
+			h.out = out
+			h.mu.Unlock()
+		}
+	} else {
+		h.mu.Lock()
+		out := h.out
+		h.mu.Unlock()
+		if out == nil {
+			err = errors.New("orchestrator: rollout produced no outcome to roll back")
+		} else {
+			h.ctl.Observer = h
+			ro, err = h.ctl.Rollback(ctx, h.spec.Baseline, h.spec.Clusters, out, nil)
+			h.ctl.Observer = nil
+		}
+	}
+
+	h.mu.Lock()
+	h.rollingBack = false
+	if err != nil {
+		h.status.State = st // restore the terminal state; retryable
+		h.status.Error = err.Error()
+	} else {
+		h.status.State = StateRolledBack
+		if out := h.out; out != nil && out.Transfer != (deploy.TransferStats{}) {
+			tr := out.Transfer
+			h.status.Transfer = &tr
+		}
+	}
+	h.signalLocked()
+	h.mu.Unlock()
+	return ro, err
 }
 
 // EventsSince returns the events after cursor `since` (0 means from the

@@ -3,6 +3,7 @@ package rollout
 import (
 	"context"
 	"fmt"
+	"sort"
 
 	"repro/internal/deploy"
 	"repro/internal/pkgmgr"
@@ -31,11 +32,21 @@ type Engine struct {
 	Rebuild func(upgradeID string) (*pkgmgr.Upgrade, bool)
 	// Observer, when set, additionally receives every state transition
 	// after its journal record is written (and, for boundary records —
-	// stage start, gate, abandoned — fsynced; member records are group-
-	// committed and become durable within the journal's group window at
-	// the latest). Its return value is ignored: the journal is the
-	// arbiter of whether the plan may continue.
+	// stage start, gate, abandoned, every rollback record — fsynced;
+	// member records are group-committed and become durable within the
+	// journal's group window at the latest). Its return value is ignored:
+	// the journal is the arbiter of whether the plan may continue.
 	Observer deploy.Observer
+	// Baseline is the version-N artifact the fleet ran before this
+	// rollout — what a rollback restores. The agents' self-seeded caches
+	// still hold its chunks, so reverse manifests resolve nearly free.
+	Baseline *pkgmgr.Upgrade
+	// AutoRollback arms journaled automatic rollback: when the vendor
+	// abandons the upgrade (gate failure, debugging rounds exhausted),
+	// the engine drives every integrated member back to Baseline before
+	// returning, journaling each revert. The journal then ends in the
+	// second terminal state: rollback_complete.
+	AutoRollback bool
 }
 
 // teeObserver journals each event first and forwards it to the secondary
@@ -81,10 +92,27 @@ func (e *Engine) Deploy(ctx context.Context, policy deploy.Policy, up *pkgmgr.Up
 		if err != nil {
 			return nil, err
 		}
-		cursor, err := Resume(records, plan, refs)
-		if err != nil {
+		cursor, term, rerr := replay(records, plan, refs)
+		if rerr != nil {
 			journal.Close()
-			return nil, err
+			return nil, rerr
+		}
+		rb := RollbackOf(records)
+		if rb != nil && rb.Done {
+			journal.Close()
+			return nil, fmt.Errorf("rollout: journal is sealed — the fleet rolled back to %s; nothing to resume", rb.BaselineID)
+		}
+		if term != nil && term.Type == RecComplete {
+			journal.Close()
+			return nil, fmt.Errorf("rollout: journal is sealed — the rollout completed with %s deployed; nothing to resume", term.UpgradeID)
+		}
+		if term != nil { // abandoned: the only way forward is rollback
+			if (rb == nil || !rb.Started) && !(e.AutoRollback && e.Baseline != nil) {
+				journal.Close()
+				return nil, fmt.Errorf("rollout: journal records the vendor abandoning %s after round %d; an abandoned rollout cannot resume", term.UpgradeID, term.Round)
+			}
+			defer journal.Close()
+			return e.runRollback(ctx, journal, cursor, rb, policy, clusters)
 		}
 		if cursor.UpgradeID != "" && cursor.UpgradeID != up.ID {
 			ok := false
@@ -116,10 +144,124 @@ func (e *Engine) Deploy(ctx context.Context, policy deploy.Policy, up *pkgmgr.Up
 	defer func() { ctl.Observer, ctl.Cursor = nil, nil }()
 
 	out, err := ctl.Deploy(ctx, policy, up, clusters)
-	if err == nil && out != nil && !out.Abandoned {
-		if aerr := j.Append(Record{Type: RecComplete, Stage: -1, UpgradeID: out.FinalID}); aerr != nil {
-			return out, aerr
+	if err == nil && out != nil {
+		if out.Abandoned && e.AutoRollback && e.Baseline != nil {
+			// The observer is still installed: every revert is journaled
+			// (durably, before the next) and rollback_complete seals the
+			// journal in its second terminal state.
+			if _, rerr := ctl.Rollback(ctx, e.Baseline, clusters, out, nil); rerr != nil {
+				return out, rerr
+			}
+		} else if !out.Abandoned {
+			if aerr := j.Append(Record{Type: RecComplete, Stage: -1, UpgradeID: out.FinalID}); aerr != nil {
+				return out, aerr
+			}
 		}
 	}
 	return out, err
+}
+
+// Rollback resumes the journal at Path and drives every member it
+// records as integrated back to the baseline — the manual counterpart of
+// AutoRollback, for an operator deciding after the fact that an
+// abandoned (or aborted, or crashed) rollout must be undone. A rollback
+// the journal records as started picks up where it stopped: members with
+// a durable rolled_back record are never reverted again. It refuses a
+// journal sealed by completion (deploy the old version instead) or by a
+// finished rollback.
+func (e *Engine) Rollback(ctx context.Context, policy deploy.Policy, clusters []*deploy.Cluster) (*deploy.Outcome, error) {
+	refs := deploy.Refs(clusters)
+	plan := e.Controller.PlanFor(policy, clusters)
+	j, records, err := Open(e.Path)
+	if err != nil {
+		return nil, err
+	}
+	cursor, term, err := replay(records, plan, refs)
+	if err != nil {
+		j.Close()
+		return nil, err
+	}
+	if term != nil && term.Type == RecComplete {
+		j.Close()
+		return nil, fmt.Errorf("rollout: journal is sealed — the rollout completed with %s deployed; roll back by deploying the previous version", term.UpgradeID)
+	}
+	rb := RollbackOf(records)
+	if rb != nil && rb.Done {
+		j.Close()
+		return nil, fmt.Errorf("rollout: journal already records a completed rollback to %s", rb.BaselineID)
+	}
+	defer j.Close()
+	return e.runRollback(ctx, j, cursor, rb, policy, clusters)
+}
+
+// runRollback executes (or resumes) the rollback pass against an open
+// journal, synthesizing the outcome the controller mutates from the
+// replayed cursor.
+func (e *Engine) runRollback(ctx context.Context, j *Journal, cursor *deploy.Cursor, rb *RollbackState, policy deploy.Policy, clusters []*deploy.Cluster) (*deploy.Outcome, error) {
+	baseline, err := e.baselineFor(rb)
+	if err != nil {
+		return nil, err
+	}
+	ctl := e.Controller
+	ctl.Observer = &teeObserver{journal: &Recorder{J: j, Group: true}, extra: e.Observer}
+	defer func() { ctl.Observer = nil }()
+	out := outcomeFrom(policy, cursor, clusters)
+	var done map[string]bool
+	if rb != nil {
+		done = rb.Reverted
+	}
+	if _, err := ctl.Rollback(ctx, baseline, clusters, out, done); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+// baselineFor resolves the baseline artifact a rollback restores,
+// insisting that a resumed rollback gets exactly the version its
+// rollback_start record names (via Baseline or the Rebuild hook).
+func (e *Engine) baselineFor(rb *RollbackState) (*pkgmgr.Upgrade, error) {
+	b := e.Baseline
+	if rb != nil && rb.Started && (b == nil || b.ID != rb.BaselineID) {
+		if e.Rebuild != nil {
+			if u, ok := e.Rebuild(rb.BaselineID); ok {
+				return u, nil
+			}
+		}
+		if b != nil {
+			return nil, fmt.Errorf("rollout: journal rolls back to %s but baseline %s was supplied", rb.BaselineID, b.ID)
+		}
+		return nil, fmt.Errorf("rollout: journal rolls back to %s and neither Baseline nor Rebuild can produce it", rb.BaselineID)
+	}
+	if b == nil {
+		return nil, fmt.Errorf("rollout: no baseline artifact to roll back to")
+	}
+	return b, nil
+}
+
+// outcomeFrom synthesizes the abandoned outcome a resumed rollback
+// mutates, from the journal's replayed cursor.
+func outcomeFrom(policy deploy.Policy, cur *deploy.Cursor, clusters []*deploy.Cluster) *deploy.Outcome {
+	out := &deploy.Outcome{
+		Policy: policy, FinalID: cur.FinalID, Rounds: cur.Rounds,
+		Overhead: cur.Overhead, Abandoned: true,
+		Nodes: make(map[string]*deploy.NodeStatus),
+	}
+	for _, c := range clusters {
+		for _, n := range append(append([]deploy.Node(nil), c.Representatives...), c.Others...) {
+			name := n.Name()
+			out.Nodes[name] = &deploy.NodeStatus{
+				Node: name, Cluster: c.ID,
+				UpgradeID: cur.Integrated[name],
+				Tests:     cur.NodeTests[name], Failures: cur.NodeFailures[name],
+				Quarantined: cur.Quarantined[name],
+			}
+		}
+	}
+	for name, q := range cur.Quarantined {
+		if q {
+			out.Quarantined = append(out.Quarantined, name)
+		}
+	}
+	sort.Strings(out.Quarantined)
+	return out
 }

@@ -56,6 +56,26 @@ const (
 	RecAbandoned = "abandoned"
 	// RecComplete seals a journal whose rollout finished.
 	RecComplete = "complete"
+
+	// Rollback records follow an abandoned record when the fleet is driven
+	// back to the baseline. All four are boundary records — each is fsynced
+	// before the rollback proceeds, because rollback is exactly the code
+	// path where a replayed side effect (re-reverting a member) must be
+	// provably unnecessary.
+
+	// RecRollbackStart marks a rollback pass beginning; no member reverts
+	// before this record is durable. UpgradeID is the baseline restored,
+	// PrevID the version rolled back.
+	RecRollbackStart = "rollback_start"
+	// RecRolledBack records one member restored to the baseline.
+	RecRolledBack = "rolled_back"
+	// RecRollbackSkip records a member the rollback left behind
+	// (quarantined or unreachable) with the reason.
+	RecRollbackSkip = "rollback_skip"
+	// RecRollbackDone seals the rollback: the journal's second terminal
+	// state — converged on the new version (RecComplete) or verifiably
+	// back on the baseline (RecRollbackDone).
+	RecRollbackDone = "rollback_complete"
 )
 
 // Record is one line of the journal.

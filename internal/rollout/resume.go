@@ -87,6 +87,14 @@ func RecordOf(ev deploy.Event) (Record, error) {
 		r.Type = RecGate
 	case deploy.EventAbandoned:
 		r.Type = RecAbandoned
+	case deploy.EventRollbackStarted:
+		r.Type = RecRollbackStart
+	case deploy.EventRolledBack:
+		r.Type = RecRolledBack
+	case deploy.EventRollbackSkipped:
+		r.Type = RecRollbackSkip
+	case deploy.EventRollbackCompleted:
+		r.Type = RecRollbackDone
 	default:
 		return Record{}, fmt.Errorf("rollout: unknown deploy event type %d", ev.Type)
 	}
@@ -101,9 +109,12 @@ func (rec *Recorder) OnEvent(ev deploy.Event) error {
 	}
 	if rec.Group {
 		switch r.Type {
-		case RecStageStart, RecGate, RecAbandoned:
+		case RecStageStart, RecGate, RecAbandoned,
+			RecRollbackStart, RecRolledBack, RecRollbackSkip, RecRollbackDone:
 			// Boundary records sync (committing the batch before them);
 			// everything else rides a later sync or the group window.
+			// Every rollback record is a boundary: a member must never
+			// revert before the record of the previous revert is durable.
 			return rec.J.Append(r)
 		default:
 			return rec.J.AppendBuffered(r)
@@ -122,15 +133,35 @@ func (rec *Recorder) OnEvent(ev deploy.Event) error {
 // that record an abandoned rollout, and sealed journals (the rollout
 // completed — rerunning it is an operator mistake worth naming).
 func Resume(records []Record, plan *staging.Plan, refs []staging.ClusterRef) (*deploy.Cursor, error) {
+	cur, term, err := replay(records, plan, refs)
+	if err != nil {
+		return nil, err
+	}
+	if term != nil {
+		if term.Type == RecAbandoned {
+			return nil, fmt.Errorf("rollout: journal records the vendor abandoning %s after round %d; an abandoned rollout cannot resume", term.UpgradeID, term.Round)
+		}
+		return nil, fmt.Errorf("rollout: journal is sealed — the rollout completed with %s deployed; nothing to resume", term.UpgradeID)
+	}
+	return cur, nil
+}
+
+// replay is the raw journal fold: head checks, then every
+// state-transition record folded into a cursor, with the terminal record
+// (abandoned or complete) returned instead of refused — the entry point
+// for rollback resume, where "abandoned" is precisely the state being
+// picked up. Rollback records fold too: a rolled-back member's current
+// version is the baseline, a skipped member is quarantined.
+func replay(records []Record, plan *staging.Plan, refs []staging.ClusterRef) (*deploy.Cursor, *Record, error) {
 	if len(records) == 0 {
-		return nil, fmt.Errorf("rollout: journal is empty; nothing to resume")
+		return nil, nil, fmt.Errorf("rollout: journal is empty; nothing to resume")
 	}
 	head := records[0]
 	if head.Type != RecPlan {
-		return nil, fmt.Errorf("rollout: journal does not start with a plan record (got %q)", head.Type)
+		return nil, nil, fmt.Errorf("rollout: journal does not start with a plan record (got %q)", head.Type)
 	}
 	if want := PlanHash(plan, refs); head.PlanHash != want {
-		return nil, fmt.Errorf("rollout: journal plan hash %s does not match the rebuilt plan %s (policy %s, %d clusters) — refusing to resume against a different schedule",
+		return nil, nil, fmt.Errorf("rollout: journal plan hash %s does not match the rebuilt plan %s (policy %s, %d clusters) — refusing to resume against a different schedule",
 			head.PlanHash, want, plan.Policy, len(refs))
 	}
 	cur := &deploy.Cursor{
@@ -141,7 +172,9 @@ func Resume(records []Record, plan *staging.Plan, refs []staging.ClusterRef) (*d
 		NodeTests:    make(map[string]int),
 		NodeFailures: make(map[string]int),
 	}
-	for _, r := range records[1:] {
+	var term *Record
+	for i := range records[1:] {
+		r := records[1+i]
 		switch r.Type {
 		case RecGate:
 			// Stages gate strictly in order; count the contiguous prefix.
@@ -164,11 +197,64 @@ func Resume(records []Record, plan *staging.Plan, refs []staging.ClusterRef) (*d
 		case RecFix:
 			cur.Rounds = r.Round
 			cur.UpgradeID = r.UpgradeID
-		case RecAbandoned:
-			return nil, fmt.Errorf("rollout: journal records the vendor abandoning %s after round %d; an abandoned rollout cannot resume", r.UpgradeID, r.Round)
-		case RecComplete:
-			return nil, fmt.Errorf("rollout: journal is sealed — the rollout completed with %s deployed; nothing to resume", r.UpgradeID)
+		case RecAbandoned, RecComplete:
+			term = &records[1+i]
+		case RecRolledBack:
+			cur.Integrated[r.Node] = r.UpgradeID
+		case RecRollbackSkip:
+			cur.Quarantined[r.Node] = true
 		}
 	}
-	return cur, nil
+	return cur, term, nil
+}
+
+// RollbackState is the journal's view of a rollback pass — what a resume
+// must not redo.
+type RollbackState struct {
+	// Started: a durable rollback_start exists; the pass is resumable.
+	Started bool
+	// Done: the rollback_complete seal exists; the journal is terminal.
+	Done bool
+	// BaselineID is the version the fleet is being driven back to; PrevID
+	// the version rolled back.
+	BaselineID, PrevID string
+	// Reverted members are verifiably on the baseline and are never
+	// touched again by a resumed rollback.
+	Reverted map[string]bool
+	// Skipped maps left-behind members to the journaled reason.
+	Skipped map[string]string
+}
+
+// RollbackOf extracts the rollback state from journal records, or nil if
+// no rollback ever started.
+func RollbackOf(records []Record) *RollbackState {
+	var rb *RollbackState
+	for _, r := range records {
+		switch r.Type {
+		case RecRollbackStart:
+			// A resumed rollback journals a fresh start record; the members
+			// already durably reverted stay reverted, so accumulate rather
+			// than reset — otherwise a twice-crashed rollback would forget
+			// the first attempt's facts and revert those members again.
+			if rb == nil {
+				rb = &RollbackState{Reverted: map[string]bool{}, Skipped: map[string]string{}}
+			}
+			rb.Started = true
+			rb.BaselineID = r.UpgradeID
+			rb.PrevID = r.PrevID
+		case RecRolledBack:
+			if rb != nil {
+				rb.Reverted[r.Node] = true
+			}
+		case RecRollbackSkip:
+			if rb != nil {
+				rb.Skipped[r.Node] = r.Reason
+			}
+		case RecRollbackDone:
+			if rb != nil {
+				rb.Done = true
+			}
+		}
+	}
+	return rb
 }

@@ -1,0 +1,86 @@
+package staging
+
+import "fmt"
+
+// GateVerdict is a canary gate's decision over the samples seen so far.
+type GateVerdict int
+
+const (
+	// GateNeedMore: the gate has fewer than MinSamples verdicts and may
+	// not decide yet — the controller tops up with another validation
+	// round before promoting or failing the wave.
+	GateNeedMore GateVerdict = iota
+	// GatePass: the observed failure rate is within the tolerated excess
+	// over baseline; the wave promotes.
+	GatePass
+	// GateFail: the failure rate exceeds the threshold; the wave fails
+	// (fix loop, then abandonment and — if armed — rollback).
+	GateFail
+)
+
+func (v GateVerdict) String() string {
+	switch v {
+	case GateNeedMore:
+		return "need-more-samples"
+	case GatePass:
+		return "pass"
+	case GateFail:
+		return "fail"
+	}
+	return fmt.Sprintf("GateVerdict(%d)", int(v))
+}
+
+// GatePolicy is the statistical canary gate of a staged rollout: instead
+// of the paper's binary representative pass/fail, each stage's
+// representative outcomes are compared against an expected baseline
+// failure rate with an explicit tolerance and a minimum sample count.
+// The zero value is disabled — exactly the classic binary behaviour.
+//
+// Semantics per stage: validations accumulate as samples. Until
+// MinSamples verdicts exist the gate returns GateNeedMore and the
+// controller re-validates the stage's members for more evidence. Once
+// decided, failures/samples > BaselineFailureRate+MaxExcessRate fails the
+// gate; anything within tolerance passes — and members whose own
+// validation failed within a passing gate are simply not integrated (they
+// stay on version N), which is what keeps a tolerated failure from ever
+// stranding a machine on a half-trusted version.
+type GatePolicy struct {
+	// Enabled arms the canary gate; false means classic binary gating.
+	Enabled bool
+	// BaselineFailureRate is the failure rate the fleet exhibits on the
+	// known-good version (from prior rollouts or canary history).
+	BaselineFailureRate float64
+	// MaxExcessRate is the tolerated excess over baseline before the
+	// gate fails. 0 with a 0 baseline demands perfection.
+	MaxExcessRate float64
+	// MinSamples is the minimum validation verdicts before the gate may
+	// decide (default 1).
+	MinSamples int
+}
+
+// Threshold returns the failure rate above which the gate fails.
+func (g GatePolicy) Threshold() float64 { return g.BaselineFailureRate + g.MaxExcessRate }
+
+// Evaluate decides the gate over samples validation verdicts of which
+// failures failed.
+func (g GatePolicy) Evaluate(samples, failures int) GateVerdict {
+	min := g.MinSamples
+	if min <= 0 {
+		min = 1
+	}
+	if samples < min {
+		return GateNeedMore
+	}
+	if float64(failures)/float64(samples) > g.Threshold() {
+		return GateFail
+	}
+	return GatePass
+}
+
+func (g GatePolicy) String() string {
+	if !g.Enabled {
+		return "gate: classic"
+	}
+	return fmt.Sprintf("gate: baseline=%.3f excess=%.3f min-samples=%d",
+		g.BaselineFailureRate, g.MaxExcessRate, g.MinSamples)
+}

@@ -47,6 +47,14 @@ type Agent struct {
 	// peer fetch (0 means DefaultPeerTimeout).
 	PeerTimeout time.Duration
 
+	// Faults, when set, injects deterministic chaos on the agent side of
+	// the control channel: requests are delayed, dropped (the session dies
+	// unanswered), reset (handled, then the session dies before the
+	// reply), or the whole agent "crashes" at scheduled call points. Pair
+	// it with RunWithReconnect so a killed session redials — exactly the
+	// churn a real crashing agent produces.
+	Faults *FaultInjector
+
 	// local caches locally identified resources per application.
 	local map[string][]string
 	// vendorRefs caches the vendor-sent resource references per app.
@@ -106,6 +114,27 @@ func (a *Agent) serve(conn net.Conn) error {
 		if err := fc.ReadFrame(&req); err != nil {
 			return nil // vendor closed the channel (or it broke)
 		}
+		dieAfter := false
+		if a.Faults != nil {
+			// Agent-side chaos. A drop or crash before handling kills the
+			// session with the request unacted-on; a reset handles it and
+			// dies before the reply — either way the vendor sees a
+			// transient channel death and (with reconnect) the agent
+			// returns. Note a binary chunk body must still be consumed
+			// before dying mid-frame would be modeled, so drops land
+			// before the body read only for plain frames.
+			switch a.Faults.Next(a.M.Name, req.Op) {
+			case FaultDrop, FaultCrash:
+				if req.Op != OpFetchChunks || len(req.ChunkMeta) == 0 {
+					return nil
+				}
+				dieAfter = true
+			case FaultDelay:
+				time.Sleep(a.Faults.DelayBy())
+			case FaultReset:
+				dieAfter = true
+			}
+		}
 		var resp Frame
 		if req.Op == OpFetchChunks && len(req.ChunkMeta) > 0 {
 			// Binary chunk push: the raw body follows the header on this
@@ -114,6 +143,9 @@ func (a *Agent) serve(conn net.Conn) error {
 			resp = a.handleFetchBinary(fc, req.ChunkMeta)
 		} else {
 			resp = a.handle(req)
+		}
+		if dieAfter {
+			return nil
 		}
 		resp.ID = req.ID
 		if err := fc.WriteFrame(resp); err != nil {
@@ -124,6 +156,12 @@ func (a *Agent) serve(conn net.Conn) error {
 		}
 	}
 }
+
+// ServeConn serves vendor commands over an established connection — the
+// in-process (net.Pipe) counterpart of Run, pairing with Server.ServeConn
+// for fleets that skip TCP entirely. Semantics match serve: nil on
+// session end, redialing is the caller's policy.
+func (a *Agent) ServeConn(conn net.Conn) error { return a.serve(conn) }
 
 // ReconnectConfig tunes RunWithReconnect. The zero value gives sensible
 // defaults: 5 consecutive failed dials before giving up, 20ms initial

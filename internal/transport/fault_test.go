@@ -1,0 +1,118 @@
+package transport
+
+import (
+	"testing"
+	"time"
+)
+
+// TestFaultInjectorDeterminism: the same plan over the same per-agent
+// call sequence injects the same faults, regardless of how calls from
+// different agents interleave.
+func TestFaultInjectorDeterminism(t *testing.T) {
+	plan := FaultPlan{Seed: 42, Drop: 0.1, Delay: 0.2, Corrupt: 0.1, Reset: 0.1}
+	sequence := func(agents []string) map[string][]FaultKind {
+		fi := NewFaultInjector(plan)
+		out := map[string][]FaultKind{}
+		for i := 0; i < 50; i++ {
+			for _, a := range agents {
+				out[a] = append(out[a], fi.Next(a, OpFetchChunks))
+			}
+		}
+		return out
+	}
+	// Same agents, different interleavings: per-agent streams identical.
+	first := sequence([]string{"a", "b", "c"})
+	second := sequence([]string{"c", "a", "b"})
+	for agent, kinds := range first {
+		for i, k := range kinds {
+			if second[agent][i] != k {
+				t.Fatalf("agent %s call %d: %v vs %v — stream not deterministic", agent, i, k, second[agent][i])
+			}
+		}
+	}
+	// Different agents see different streams (astronomically unlikely to
+	// collide over 50 draws at these rates).
+	same := 0
+	for i := range first["a"] {
+		if first["a"][i] == first["b"][i] {
+			same++
+		}
+	}
+	if same == len(first["a"]) {
+		t.Fatal("two agents drew identical fault streams")
+	}
+}
+
+// TestFaultInjectorCrashSchedule: a crash fires exactly at its scheduled
+// call count, exactly once, and does not consume the rate budget.
+func TestFaultInjectorCrashSchedule(t *testing.T) {
+	fi := NewFaultInjector(FaultPlan{
+		Crashes: []CrashSpec{{Agent: "m", AfterCalls: 3}, {Agent: "m", AfterCalls: 5}},
+	})
+	var kinds []FaultKind
+	for i := 0; i < 8; i++ {
+		kinds = append(kinds, fi.Next("m", OpTest))
+	}
+	for i, k := range kinds {
+		want := FaultNone
+		if i == 2 || i == 4 { // calls 3 and 5, 1-based
+			want = FaultCrash
+		}
+		if k != want {
+			t.Fatalf("call %d = %v, want %v (all: %v)", i+1, k, want, kinds)
+		}
+	}
+	if fi.Next("other", OpTest) != FaultNone {
+		t.Fatal("crash leaked onto another agent")
+	}
+	if got := fi.Injected(); got != 2 {
+		t.Fatalf("injected = %d, want the 2 crashes", got)
+	}
+}
+
+// TestFaultInjectorBudget: MaxFaults stops rate-driven injection without
+// desynchronizing the streams.
+func TestFaultInjectorBudget(t *testing.T) {
+	plan := FaultPlan{Seed: 7, Drop: 1.0, MaxFaults: 5}
+	fi := NewFaultInjector(plan)
+	fired := 0
+	for i := 0; i < 100; i++ {
+		if fi.Next("m", OpTest) != FaultNone {
+			fired++
+		}
+	}
+	if fired != 5 {
+		t.Fatalf("fired %d faults under a budget of 5", fired)
+	}
+	if got := fi.Injected(); got != 5 {
+		t.Fatalf("Injected = %d", got)
+	}
+}
+
+// TestFaultInjectorCorruptOnlyChunks: a corrupt draw on a non-chunk op
+// injects nothing (and does not burn the budget).
+func TestFaultInjectorCorruptOnlyChunks(t *testing.T) {
+	plan := FaultPlan{Seed: 1, Corrupt: 1.0}
+	fi := NewFaultInjector(plan)
+	for i := 0; i < 10; i++ {
+		if got := fi.Next("m", OpTest); got != FaultNone {
+			t.Fatalf("corrupt fired on %s: %v", OpTest, got)
+		}
+	}
+	if got := fi.Injected(); got != 0 {
+		t.Fatalf("injected = %d for suppressed corrupts", got)
+	}
+	if got := fi.Next("m", OpFetchChunks); got != FaultCorrupt {
+		t.Fatalf("chunk push draw = %v, want corrupt", got)
+	}
+}
+
+// TestFaultInjectorDelayDefault: DelayBy defaults to 2ms.
+func TestFaultInjectorDelayDefault(t *testing.T) {
+	if got := NewFaultInjector(FaultPlan{}).DelayBy(); got != 2*time.Millisecond {
+		t.Fatalf("default DelayBy = %v", got)
+	}
+	if got := NewFaultInjector(FaultPlan{DelayBy: time.Second}).DelayBy(); got != time.Second {
+		t.Fatalf("explicit DelayBy = %v", got)
+	}
+}

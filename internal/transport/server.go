@@ -63,25 +63,34 @@ type Stats struct {
 	PeerBytesOut    int64 // chunk bytes this/these agent(s) served to peers
 	PeerChunkHits   int64 // chunks the peer tier satisfied
 	VendorFallbacks int64 // chunks pushed by the vendor after peers missed them
+
+	// Robustness counters: manifest chunks resolved while restoring
+	// members to the baseline version (rollback mode, see SetRollbackMode)
+	// and faults the vendor-side injector fired on this/these channel(s).
+	ChunksRolledBack int64
+	FaultsInjected   int64
 }
 
 // statsCounters is the mutable (atomic) form behind Stats snapshots.
 type statsCounters struct {
 	frames, bytes, chunkBytes, hits, misses atomic.Int64
 	peerIn, peerOut, peerHits, fallbacks    atomic.Int64
+	rolledBack, faults                      atomic.Int64
 }
 
 func (c *statsCounters) snapshot() Stats {
 	return Stats{
-		FramesSent:      c.frames.Load(),
-		BytesSent:       c.bytes.Load(),
-		ChunkBytesSent:  c.chunkBytes.Load(),
-		ChunkHits:       c.hits.Load(),
-		ChunkMisses:     c.misses.Load(),
-		PeerBytesIn:     c.peerIn.Load(),
-		PeerBytesOut:    c.peerOut.Load(),
-		PeerChunkHits:   c.peerHits.Load(),
-		VendorFallbacks: c.fallbacks.Load(),
+		FramesSent:       c.frames.Load(),
+		BytesSent:        c.bytes.Load(),
+		ChunkBytesSent:   c.chunkBytes.Load(),
+		ChunkHits:        c.hits.Load(),
+		ChunkMisses:      c.misses.Load(),
+		PeerBytesIn:      c.peerIn.Load(),
+		PeerBytesOut:     c.peerOut.Load(),
+		PeerChunkHits:    c.peerHits.Load(),
+		VendorFallbacks:  c.fallbacks.Load(),
+		ChunksRolledBack: c.rolledBack.Load(),
+		FaultsInjected:   c.faults.Load(),
 	}
 }
 
@@ -169,6 +178,34 @@ func (ac *agentConn) callBody(ctx context.Context, req Frame, body []distrib.Chu
 	if ac.replaced.Load() {
 		return Frame{}, fmt.Errorf("transport: %s to %s: %w", req.Op, ac.name, ErrAgentReplaced)
 	}
+	// Vendor-side chaos: the injector's verdict for this call. Drop and
+	// crash kill the channel before the frame leaves (the agent never saw
+	// the call); reset kills it after the flush (the agent acts on a
+	// request the vendor never sees acknowledged); corrupt damages chunk
+	// payload in a copy — content addressing rejects it downstream.
+	resetAfter := false
+	if fi := ac.srv.Faults; fi != nil {
+		switch fi.Next(ac.name, req.Op) {
+		case FaultDrop, FaultCrash:
+			ac.bookFault()
+			return Frame{}, ac.fail(ctx, req.Op, errFaultInjected)
+		case FaultDelay:
+			ac.bookFault()
+			time.Sleep(fi.DelayBy())
+		case FaultCorrupt:
+			ac.bookFault()
+			if body != nil {
+				body = corruptChunks(body)
+			} else if req.FetchChunks != nil {
+				fr := *req.FetchChunks
+				fr.Chunks = corruptChunks(fr.Chunks)
+				req.FetchChunks = &fr
+			}
+		case FaultReset:
+			ac.bookFault()
+			resetAfter = true
+		}
+	}
 	ac.nextID++
 	req.ID = ac.nextID
 	deadline := time.Now().Add(timeout)
@@ -207,6 +244,9 @@ func (ac *agentConn) callBody(ctx context.Context, req Frame, body []distrib.Chu
 	}
 	ac.stats.frames.Add(1)
 	ac.total.frames.Add(1)
+	if resetAfter {
+		return Frame{}, ac.fail(ctx, req.Op, errFaultInjected)
+	}
 	var resp Frame
 	if err := ac.fc.ReadFrame(&resp); err != nil {
 		return Frame{}, ac.fail(ctx, "reading "+req.Op+" reply", err)
@@ -215,12 +255,31 @@ func (ac *agentConn) callBody(ctx context.Context, req Frame, body []distrib.Chu
 		return Frame{}, ac.fail(ctx, req.Op, fmt.Errorf("reply id %d for request %d", resp.ID, req.ID))
 	}
 	if resp.Err != "" {
-		return Frame{}, errors.New("transport: agent " + ac.name + ": " + resp.Err)
+		return Frame{}, &agentError{name: ac.name, msg: resp.Err}
 	}
 	if !resp.OK {
 		return Frame{}, fmt.Errorf("transport: agent %s sent unacknowledged %s reply", ac.name, req.Op)
 	}
 	return resp, nil
+}
+
+// errFaultInjected is the cause an injected drop/reset fault reports; it
+// reaches callers wrapped in the usual transient classification.
+var errFaultInjected = errors.New("injected fault")
+
+// agentError is an error the agent itself reported in a reply frame. The
+// control channel remains intact and usable — unlike a channel death, the
+// agent is alive and answered. pushUpgrade uses the distinction to retry
+// chunk pushes the agent rejected (corrupt bytes in flight): the content
+// address caught the damage, and a clean re-push is cheap.
+type agentError struct{ name, msg string }
+
+func (e *agentError) Error() string { return "transport: agent " + e.name + ": " + e.msg }
+
+// bookFault counts one injected fault on this channel and server-wide.
+func (ac *agentConn) bookFault() {
+	ac.stats.faults.Add(1)
+	ac.total.faults.Add(1)
 }
 
 // addChunkAccounting books one manifest negotiation's hit/miss split.
@@ -286,6 +345,17 @@ type Server struct {
 	// run a peer server are simply never hinted, so this switch matters
 	// only for measurement (BenchmarkSwarm's O(fleet) baseline).
 	DisablePeers bool
+
+	// Faults, when set, injects deterministic chaos on every vendor-side
+	// call: drops, delays, corrupt chunk payloads, resets, and scheduled
+	// agent crashes per the injector's FaultPlan. Set it before deploying;
+	// production servers leave it nil.
+	Faults *FaultInjector
+
+	// rollbackMode marks that pushes currently restore members to the
+	// baseline version (Controller.Rollback is driving the fleet), so
+	// resolved manifest chunks are booked as ChunksRolledBack.
+	rollbackMode atomic.Bool
 
 	// peerMu guards peers, the chunk-location index behind peer hinting.
 	peerMu sync.Mutex
@@ -378,16 +448,24 @@ func (s *Server) ShardSizes() []int { return s.registry.ShardSizes() }
 func (s *Server) TransferSnapshot() deploy.TransferStats {
 	st := s.Stats()
 	return deploy.TransferStats{
-		Frames:          st.FramesSent,
-		Bytes:           st.BytesSent,
-		ChunkBytes:      st.ChunkBytesSent,
-		ChunkHits:       st.ChunkHits,
-		ChunkMisses:     st.ChunkMisses,
-		PeerBytes:       st.PeerBytesOut,
-		PeerHits:        st.PeerChunkHits,
-		VendorFallbacks: st.VendorFallbacks,
+		Frames:           st.FramesSent,
+		Bytes:            st.BytesSent,
+		ChunkBytes:       st.ChunkBytesSent,
+		ChunkHits:        st.ChunkHits,
+		ChunkMisses:      st.ChunkMisses,
+		PeerBytes:        st.PeerBytesOut,
+		PeerHits:         st.PeerChunkHits,
+		VendorFallbacks:  st.VendorFallbacks,
+		ChunksRolledBack: st.ChunksRolledBack,
+		FaultsInjected:   st.FaultsInjected,
 	}
 }
+
+// SetRollbackMode flips rollback accounting: while on, every manifest
+// chunk resolved by a push is additionally booked as ChunksRolledBack —
+// the same machinery moving the fleet backwards. Controller.RollbackMode
+// is the hook that drives it around a fleet rollback.
+func (s *Server) SetRollbackMode(on bool) { s.rollbackMode.Store(on) }
 
 // MarkPeerEligible clears the named agents to serve chunks to their
 // peers. The deployment controller calls it as each wave's gate passes
@@ -887,7 +965,14 @@ func (s *Server) pushUpgrade(ctx context.Context, name, op string, up *pkgmgr.Up
 	}
 	man := s.dist.Manifest(up)
 	first := true
-	for attempt := 0; attempt < 3; attempt++ {
+	attempts := 3
+	if s.Faults != nil {
+		// Under injected chaos a push may be corrupted several times in a
+		// row; each rejection costs one manifest re-issue (a few hundred
+		// bytes), so buying headroom here is cheap.
+		attempts = 8
+	}
+	for attempt := 0; attempt < attempts; attempt++ {
 		resp, err := ac.call(ctx, upgradeFrame(op, nil, man), s.Timeout)
 		if err != nil {
 			return Frame{}, err
@@ -916,6 +1001,11 @@ func (s *Server) pushUpgrade(ctx context.Context, name, op string, up *pkgmgr.Up
 		}
 		if len(resp.NeedChunks) == 0 {
 			s.markPeerHeld(name, man)
+			if s.rollbackMode.Load() {
+				n := int64(man.ChunkCount())
+				ac.stats.rolledBack.Add(n)
+				ac.total.rolledBack.Add(n)
+			}
 			return resp, nil
 		}
 		need := resp.NeedChunks
@@ -951,14 +1041,21 @@ func (s *Server) pushUpgrade(ctx context.Context, name, op string, up *pkgmgr.Up
 			ac.stats.fallbacks.Add(int64(len(chunks)))
 			ac.total.fallbacks.Add(int64(len(chunks)))
 		}
+		var perr error
 		if s.JSONChunks {
-			if _, err := ac.call(ctx, Frame{Op: OpFetchChunks, FetchChunks: &FetchChunksReq{Chunks: chunks}}, s.Timeout); err != nil {
-				return Frame{}, err
-			}
+			_, perr = ac.call(ctx, Frame{Op: OpFetchChunks, FetchChunks: &FetchChunksReq{Chunks: chunks}}, s.Timeout)
 		} else {
-			if _, err := ac.callBody(ctx, Frame{Op: OpFetchChunks, ChunkMeta: chunkMeta(chunks)}, chunks, s.Timeout); err != nil {
-				return Frame{}, err
+			_, perr = ac.callBody(ctx, Frame{Op: OpFetchChunks, ChunkMeta: chunkMeta(chunks)}, chunks, s.Timeout)
+		}
+		if perr != nil {
+			// An agent-reported rejection means corrupt bytes in flight
+			// (the content address caught them) on an intact channel: spend
+			// an attempt re-issuing the manifest, which re-pushes cleanly.
+			var ae *agentError
+			if errors.As(perr, &ae) {
+				continue
 			}
+			return Frame{}, perr
 		}
 	}
 	return Frame{}, fmt.Errorf("transport: agent %s still missing chunks after fetch", name)

@@ -35,9 +35,10 @@ import (
 type SimFleet struct {
 	names []string
 	cache *distrib.Cache
+	opts  SimOptions
 
 	mu     sync.Mutex
-	conns  []net.Conn
+	conns  map[string]net.Conn
 	closed bool
 
 	wg         sync.WaitGroup
@@ -61,6 +62,13 @@ type SimOptions struct {
 	// Spawn bounds how many agents connect concurrently (default 256) —
 	// enough to saturate registration without a 100k-goroutine dial storm.
 	Spawn int
+	// Faults injects deterministic chaos into every sim agent's serve
+	// loop — the fleet-scale counterpart of Agent.Faults.
+	Faults *FaultInjector
+	// Reconnect redials (or re-pipes) an agent whose session died while
+	// the fleet is still open — the sim counterpart of RunWithReconnect,
+	// and what lets a fleet under drop/crash chaos converge anyway.
+	Reconnect bool
 }
 
 // StartSimFleet launches n simulated agents and returns once every
@@ -74,13 +82,11 @@ func StartSimFleet(n int, opts SimOptions) (*SimFleet, error) {
 	if prefix == "" {
 		prefix = "sim"
 	}
-	cache := opts.Cache
-	if cache == nil {
-		cache = distrib.NewCache()
+	if opts.Cache == nil {
+		opts.Cache = distrib.NewCache()
 	}
-	dialTimeout := opts.DialTimeout
-	if dialTimeout <= 0 {
-		dialTimeout = 10 * time.Second
+	if opts.DialTimeout <= 0 {
+		opts.DialTimeout = 10 * time.Second
 	}
 	spawn := opts.Spawn
 	if spawn <= 0 {
@@ -90,7 +96,7 @@ func StartSimFleet(n int, opts SimOptions) (*SimFleet, error) {
 		spawn = n
 	}
 
-	f := &SimFleet{cache: cache, names: make([]string, n), conns: make([]net.Conn, 0, n)}
+	f := &SimFleet{cache: opts.Cache, opts: opts, names: make([]string, n), conns: make(map[string]net.Conn, n)}
 	for i := range f.names {
 		f.names[i] = fmt.Sprintf("%s-%06d", prefix, i)
 	}
@@ -104,41 +110,17 @@ func StartSimFleet(n int, opts SimOptions) (*SimFleet, error) {
 		sem <- struct{}{}
 		go func(name string) {
 			defer func() { <-sem; launch.Done() }()
-			var conn net.Conn
-			if opts.Server != nil {
-				client, srvEnd := net.Pipe()
-				if err := opts.Server.ServeConn(srvEnd); err != nil {
-					client.Close()
-					errMu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					errMu.Unlock()
-					return
+			conn, err := f.connect(name)
+			if err != nil {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = err
 				}
-				conn = client
-			} else {
-				c, err := net.DialTimeout("tcp", opts.Addr, dialTimeout)
-				if err != nil {
-					errMu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					errMu.Unlock()
-					return
-				}
-				conn = c
-			}
-			f.mu.Lock()
-			if f.closed {
-				f.mu.Unlock()
-				conn.Close()
+				errMu.Unlock()
 				return
 			}
-			f.conns = append(f.conns, conn)
-			f.mu.Unlock()
 			f.wg.Add(1)
-			go f.serve(name, conn)
+			go f.run(name, conn)
 		}(f.names[i])
 	}
 	launch.Wait()
@@ -147,6 +129,66 @@ func StartSimFleet(n int, opts SimOptions) (*SimFleet, error) {
 		return nil, fmt.Errorf("transport: sim fleet launch: %w", firstErr)
 	}
 	return f, nil
+}
+
+// connect establishes one agent connection on the fleet's transport and
+// records it so Close can tear it down.
+func (f *SimFleet) connect(name string) (net.Conn, error) {
+	var conn net.Conn
+	if f.opts.Server != nil {
+		client, srvEnd := net.Pipe()
+		if err := f.opts.Server.ServeConn(srvEnd); err != nil {
+			client.Close()
+			return nil, err
+		}
+		conn = client
+	} else {
+		c, err := net.DialTimeout("tcp", f.opts.Addr, f.opts.DialTimeout)
+		if err != nil {
+			return nil, err
+		}
+		conn = c
+	}
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		conn.Close()
+		return nil, fmt.Errorf("sim fleet closed")
+	}
+	f.conns[name] = conn
+	f.mu.Unlock()
+	return conn, nil
+}
+
+// run is one agent's session lifecycle: serve until the connection dies
+// and, with Reconnect, come back — the way a crashed-and-restarted agent
+// redials the vendor.
+func (f *SimFleet) run(name string, conn net.Conn) {
+	defer f.wg.Done()
+	for {
+		f.serve(name, conn)
+		if !f.opts.Reconnect {
+			return
+		}
+		f.mu.Lock()
+		closed := f.closed
+		f.mu.Unlock()
+		if closed {
+			return
+		}
+		// Pace the redial like a real agent, then retry a few times: the
+		// vendor may be mid-teardown of the dead registration.
+		var err error
+		for attempt := 0; attempt < 3; attempt++ {
+			time.Sleep(2 * time.Millisecond)
+			if conn, err = f.connect(name); err == nil {
+				break
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
 }
 
 // Names returns the fleet's agent names in spawn order.
@@ -178,11 +220,10 @@ func (f *SimFleet) Close() {
 	f.wg.Wait()
 }
 
-// serve is one sim agent: register, then answer vendor RPCs until the
-// connection dies. Buffers are deliberately small — at 100k agents every
-// per-connection kilobyte is 100MB.
+// serve is one sim agent session: register, then answer vendor RPCs until
+// the connection dies. Buffers are deliberately small — at 100k agents
+// every per-connection kilobyte is 100MB.
 func (f *SimFleet) serve(name string, conn net.Conn) {
-	defer f.wg.Done()
 	defer conn.Close()
 	br := bufio.NewReaderSize(conn, 2048)
 	bw := bufio.NewWriterSize(conn, 1024)
@@ -198,9 +239,31 @@ func (f *SimFleet) serve(name string, conn net.Conn) {
 		if err := fc.ReadFrame(&req); err != nil {
 			return
 		}
+		dieAfter := false
+		if fi := f.opts.Faults; fi != nil {
+			// Same chaos semantics as Agent.serve: drop/crash kill the
+			// session unanswered (after consuming any binary body, which
+			// would otherwise desync nothing — the session dies anyway, but
+			// handling keeps the cache bookkeeping honest), reset answers
+			// never arrive, delay is injected latency.
+			switch fi.Next(name, req.Op) {
+			case FaultDrop, FaultCrash:
+				if req.Op != OpFetchChunks || len(req.ChunkMeta) == 0 {
+					return
+				}
+				dieAfter = true
+			case FaultDelay:
+				time.Sleep(fi.DelayBy())
+			case FaultReset:
+				dieAfter = true
+			}
+		}
 		resp, err := f.handle(name, fc, &req)
 		if err != nil {
 			return // the stream is desynchronized; die like a real agent
+		}
+		if dieAfter {
+			return
 		}
 		resp.ID = req.ID
 		if err := fc.WriteFrame(resp); err != nil {
@@ -259,9 +322,13 @@ func (f *SimFleet) handle(name string, fc *frameConn, req *Frame) (Frame, error)
 	case OpFetchChunks:
 		if len(req.ChunkMeta) > 0 {
 			// Binary body: the bytes follow the header on the stream and
-			// MUST be consumed even on a bad chunk.
+			// MUST be consumed even on a bad chunk. A digest rejection
+			// leaves the drained stream intact, so — like the real agent —
+			// it travels back in the reply rather than killing the session
+			// (if the error was I/O, the write below fails and the session
+			// ends anyway).
 			if err := fc.ReadChunkBody(req.ChunkMeta, f.cache.Add); err != nil {
-				return Frame{}, err
+				return Frame{Err: err.Error()}, nil
 			}
 			return Frame{OK: true}, nil
 		}
