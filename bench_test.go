@@ -8,7 +8,6 @@ package repro
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -19,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/apps"
+	"repro/internal/benchjson"
 	"repro/internal/cluster"
 	"repro/internal/deploy"
 	"repro/internal/fingerprint"
@@ -33,6 +33,7 @@ import (
 	"repro/internal/simulator"
 	"repro/internal/staging"
 	"repro/internal/survey"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 )
 
@@ -574,22 +575,25 @@ func BenchmarkDistribution(b *testing.B) {
 	}
 	b.Logf("bytes-on-wire: inline %d, chunked %d (%.1fx reduction)",
 		inline.WireBytes, chunked.WireBytes, reduction)
-	if path := os.Getenv("MIRAGE_BENCH_DISTRIB_JSON"); path != "" {
-		blob, err := json.MarshalIndent(map[string]interface{}{
-			"benchmark": "BenchmarkDistribution",
-			"machines":  distribMachines,
-			"clusters":  distribClusters,
-			"payload":   distribFileSize + 16*1024,
-			"inline":    inline,
-			"chunked":   chunked,
+	summary := []benchjson.Result{
+		{Name: "BenchmarkDistribution", N: distribMachines, Metrics: map[string]float64{
+			"clusters": distribClusters, "payload_bytes": distribFileSize + 16*1024,
 			"reduction": reduction,
-		}, "", "  ")
-		if err != nil {
-			b.Fatal(err)
-		}
-		if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
-			b.Fatal(err)
-		}
+		}},
+	}
+	for _, mode := range []string{"inline", "chunked"} {
+		r := results[mode]
+		summary = append(summary, benchjson.Result{
+			Name: "BenchmarkDistribution/" + mode, N: distribMachines,
+			Labels: map[string]string{"mode": mode},
+			Metrics: map[string]float64{
+				"wire_bytes": float64(r.WireBytes), "chunk_bytes": float64(r.ChunkBytes),
+				"frames": float64(r.Frames), "ns_per_op": r.NsPerOp,
+			},
+		})
+	}
+	if _, err := benchjson.WriteEnv("MIRAGE_BENCH_DISTRIB_JSON", summary); err != nil {
+		b.Fatal(err)
 	}
 }
 
@@ -748,21 +752,29 @@ func BenchmarkSwarm(b *testing.B) {
 				fleet, r.PeerBytes, int64(fleet/2)*swarmFileSize)
 		}
 	}
-	if path := os.Getenv("MIRAGE_BENCH_SWARM_JSON"); path != "" {
-		blob, err := json.MarshalIndent(map[string]interface{}{
-			"benchmark": "BenchmarkSwarm",
-			"clusters":  swarmClusters,
-			"payload":   swarmFileSize + 16*1024,
-			"fleets":    fleets,
-			"swarm":     results["swarm"],
-			"noswarm":   results["noswarm"],
-		}, "", "  ")
-		if err != nil {
-			b.Fatal(err)
+	summary := []benchjson.Result{
+		{Name: "BenchmarkSwarm", Metrics: map[string]float64{
+			"clusters": swarmClusters, "payload_bytes": swarmFileSize + 16*1024,
+		}},
+	}
+	for _, mode := range []string{"swarm", "noswarm"} {
+		for _, fleet := range fleets {
+			r := results[mode][fleet]
+			summary = append(summary, benchjson.Result{
+				Name: fmt.Sprintf("BenchmarkSwarm/%s/agents%d", mode, fleet), N: fleet,
+				Labels: map[string]string{"mode": mode},
+				Metrics: map[string]float64{
+					"vendor_chunk_bytes": float64(r.VendorChunkBytes),
+					"vendor_bytes":       float64(r.VendorBytes),
+					"peer_bytes":         float64(r.PeerBytes),
+					"peer_hits":          float64(r.PeerHits),
+					"vendor_fallbacks":   float64(r.VendorFallbacks),
+				},
+			})
 		}
-		if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
-			b.Fatal(err)
-		}
+	}
+	if _, err := benchjson.WriteEnv("MIRAGE_BENCH_SWARM_JSON", summary); err != nil {
+		b.Fatal(err)
 	}
 }
 
@@ -909,25 +921,20 @@ func BenchmarkRolloutChurn(b *testing.B) {
 	}
 	b.ReportMetric(float64(last.Integrated()), "integrated/op")
 	b.ReportMetric(float64(len(last.Quarantined)), "quarantined/op")
-	if path := os.Getenv("MIRAGE_BENCH_ROLLOUT_JSON"); path != "" {
-		blob, err := json.MarshalIndent(map[string]interface{}{
-			"benchmark":   "BenchmarkRolloutChurn",
-			"machines":    churnMachines,
+	if _, err := benchjson.WriteEnv("MIRAGE_BENCH_ROLLOUT_JSON", []benchjson.Result{{
+		Name: "BenchmarkRolloutChurn", N: churnMachines,
+		Metrics: map[string]float64{
 			"clusters":    churnClusters,
 			"churned":     churnChurned,
 			"killed":      churnKilled,
-			"integrated":  last.Integrated(),
-			"quarantined": last.Quarantined,
-			"wire_bytes":  last.Transfer.Bytes,
-			"frames":      last.Transfer.Frames,
+			"integrated":  float64(last.Integrated()),
+			"quarantined": float64(len(last.Quarantined)),
+			"wire_bytes":  float64(last.Transfer.Bytes),
+			"frames":      float64(last.Transfer.Frames),
 			"ns_per_op":   float64(b.Elapsed().Nanoseconds()) / float64(b.N),
-		}, "", "  ")
-		if err != nil {
-			b.Fatal(err)
-		}
-		if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
-			b.Fatal(err)
-		}
+		},
+	}}); err != nil {
+		b.Fatal(err)
 	}
 }
 
@@ -971,29 +978,24 @@ func BenchmarkOrchestratorConcurrent(b *testing.B) {
 	}
 	b.ReportMetric(float64(orchRollouts), "rollouts/op")
 	b.ReportMetric(float64(integrated), "integrated/op")
-	if path := os.Getenv("MIRAGE_BENCH_ORCH_JSON"); path != "" {
-		states := make(map[string]string, len(last))
-		events := 0
-		for _, st := range last {
-			states[st.ID] = string(st.State)
-			events += st.Events
-		}
-		blob, err := json.MarshalIndent(map[string]interface{}{
-			"benchmark":  "BenchmarkOrchestratorConcurrent",
-			"machines":   orchMachines,
+	states := make(map[string]string, len(last))
+	events := 0
+	for _, st := range last {
+		states[st.ID] = string(st.State)
+		events += st.Events
+	}
+	if _, err := benchjson.WriteEnv("MIRAGE_BENCH_ORCH_JSON", []benchjson.Result{{
+		Name: "BenchmarkOrchestratorConcurrent", N: orchMachines,
+		Labels: states,
+		Metrics: map[string]float64{
 			"rollouts":   orchRollouts,
 			"clusters":   orchClusters,
-			"integrated": integrated,
-			"events":     events,
-			"states":     states,
+			"integrated": float64(integrated),
+			"events":     float64(events),
 			"ns_per_op":  float64(b.Elapsed().Nanoseconds()) / float64(b.N),
-		}, "", "  ")
-		if err != nil {
-			b.Fatal(err)
-		}
-		if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
-			b.Fatal(err)
-		}
+		},
+	}}); err != nil {
+		b.Fatal(err)
 	}
 }
 
@@ -1179,8 +1181,12 @@ type scaleTier struct {
 
 // runScaleRollout registers an n-agent sim fleet against a fresh vendor
 // and drives one journaled Balanced rollout across ~1000-member clusters
-// under a 256-slot worker budget, asserting full integration.
-func runScaleRollout(b *testing.B, dir string, n, iter int) scaleTier {
+// under a 256-slot worker budget, asserting full integration. With reg
+// non-nil the full telemetry stack is wired — transport RPC histograms,
+// member spans under a live trace, journal fsync metrics — so the
+// overhead tier measures exactly what an instrumented control plane
+// pays.
+func runScaleRollout(b *testing.B, dir string, n, iter int, reg *telemetry.Registry) scaleTier {
 	b.Helper()
 	mode := "tcp"
 	if !fdBudgetAllows(uint64(2*n + 512)) {
@@ -1191,6 +1197,7 @@ func runScaleRollout(b *testing.B, dir string, n, iter int) scaleTier {
 		b.Fatal(err)
 	}
 	defer s.Close()
+	s.Telemetry = reg
 
 	opts := transport.SimOptions{Prefix: fmt.Sprintf("scale%dk", n/1000)}
 	if mode == "pipe" {
@@ -1235,10 +1242,18 @@ func runScaleRollout(b *testing.B, dir string, n, iter int) scaleTier {
 	ctl.Parallelism = 64
 	ctl.Budget = deploy.NewBudget(256)
 	ctl.Transfer = s.TransferSnapshot
-	eng := &rollout.Engine{Controller: ctl,
+	ctl.Telemetry = reg
+	eng := &rollout.Engine{Controller: ctl, Telemetry: reg,
 		Path: filepath.Join(dir, fmt.Sprintf("scale-%d-%d.journal", n, iter))}
+	ctx := context.Background()
+	if reg != nil {
+		tr := (&telemetry.Tracer{}).Start(fmt.Sprintf("scale-%d", n))
+		root := tr.Begin(0, "rollout", fmt.Sprintf("scale %d", n), "")
+		defer tr.End(root, nil)
+		ctx = telemetry.NewContext(ctx, tr, root)
+	}
 	t1 := time.Now()
-	out, err := eng.Deploy(context.Background(), deploy.PolicyBalanced, scaleUpgrade(), clusters)
+	out, err := eng.Deploy(ctx, deploy.PolicyBalanced, scaleUpgrade(), clusters)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -1292,7 +1307,7 @@ func BenchmarkScale(b *testing.B) {
 		}
 		tiers = tiers[:0]
 		for _, n := range sizes {
-			tiers = append(tiers, runScaleRollout(b, dir, n, i))
+			tiers = append(tiers, runScaleRollout(b, dir, n, i, nil))
 		}
 	}
 	ratio := throughput[len(throughput)-1] / throughput[0]
@@ -1304,26 +1319,58 @@ func BenchmarkScale(b *testing.B) {
 		b.Fatalf("sharded registry (%d shards) is only %.2fx a single shard over %d names at GOMAXPROCS=%d; want >= 4x",
 			shardCounts[len(shardCounts)-1], ratio, len(names), runtime.GOMAXPROCS(0))
 	}
-	if path := os.Getenv("MIRAGE_BENCH_SCALE_JSON"); path != "" {
-		reg := make([]map[string]interface{}, len(shardCounts))
-		for j, sc := range shardCounts {
-			reg[j] = map[string]interface{}{"shards": sc, "ops_per_sec": throughput[j]}
+
+	// Telemetry overhead tier: rerun the 10k rollout with the full
+	// telemetry stack wired (RPC latency/byte histograms on every agent
+	// call, member spans recorded into a live trace, journal fsync
+	// metrics) and hold it to 5% of the plain run's wall clock — the
+	// half-second floor keeps sub-second runs from tripping on timer
+	// noise. Telemetry that costs more than that is not allocation-free
+	// enough to leave on in production.
+	plain := tiers[0]
+	telemTier := runScaleRollout(b, dir, sizes[0], b.N, telemetry.NewRegistry())
+	overhead := telemTier.RolloutSecs / plain.RolloutSecs
+	b.ReportMetric(overhead, "telemetry-overhead")
+	if telemTier.RolloutSecs > plain.RolloutSecs*1.05+0.5 {
+		b.Fatalf("telemetry-enabled %dk rollout took %.2fs vs %.2fs plain (%.2fx); want <= 1.05x",
+			sizes[0]/1000, telemTier.RolloutSecs, plain.RolloutSecs, overhead)
+	}
+	b.Logf("telemetry overhead at %d members: %.2fs plain, %.2fs instrumented (%.2fx)",
+		sizes[0], plain.RolloutSecs, telemTier.RolloutSecs, overhead)
+
+	gated := 0.0
+	if runtime.GOMAXPROCS(0) < 8 {
+		gated = 1
+	}
+	summary := []benchjson.Result{
+		{Name: "BenchmarkScale", N: len(names), Metrics: map[string]float64{
+			"gomaxprocs": float64(runtime.GOMAXPROCS(0)), "workers": float64(workers),
+			"shard_speedup": ratio, "speedup_gated": gated,
+			"telemetry_overhead": overhead,
+		}},
+	}
+	for j, sc := range shardCounts {
+		summary = append(summary, benchjson.Result{
+			Name: "BenchmarkScale/registry", N: sc,
+			Metrics: map[string]float64{"ops_per_sec": throughput[j]},
+		})
+	}
+	tierResult := func(name string, t scaleTier) benchjson.Result {
+		return benchjson.Result{
+			Name: name, N: t.Members, Labels: map[string]string{"mode": t.Mode},
+			Metrics: map[string]float64{
+				"register_secs": t.RegisterSecs, "registrations_per_sec": t.RegistrationsPerSec,
+				"rollout_secs": t.RolloutSecs, "integrated": float64(t.Integrated),
+				"tested": float64(t.Tested), "shards": float64(t.Shards),
+			},
 		}
-		blob, err := json.MarshalIndent(map[string]interface{}{
-			"benchmark":     "BenchmarkScale",
-			"gomaxprocs":    runtime.GOMAXPROCS(0),
-			"workers":       workers,
-			"names":         len(names),
-			"registry":      reg,
-			"shard_speedup": ratio,
-			"speedup_gated": runtime.GOMAXPROCS(0) < 8,
-			"tiers":         tiers,
-		}, "", "  ")
-		if err != nil {
-			b.Fatal(err)
-		}
-		if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
-			b.Fatal(err)
-		}
+	}
+	for _, t := range tiers {
+		summary = append(summary, tierResult(fmt.Sprintf("BenchmarkScale/rollout%dk", t.Members/1000), t))
+	}
+	summary = append(summary, tierResult(
+		fmt.Sprintf("BenchmarkScale/rollout%dk-telemetry", telemTier.Members/1000), telemTier))
+	if _, err := benchjson.WriteEnv("MIRAGE_BENCH_SCALE_JSON", summary); err != nil {
+		b.Fatal(err)
 	}
 }

@@ -7,13 +7,19 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"strings"
 
+	"repro/internal/logx"
 	"repro/internal/scenario"
 	"repro/internal/transport"
 )
+
+func fatal(msg string, args ...any) {
+	slog.Error(msg, args...)
+	os.Exit(1)
+}
 
 func main() {
 	connect := flag.String("connect", "127.0.0.1:7033", "vendor address")
@@ -24,19 +30,24 @@ func main() {
 	peerListen := flag.String("peer-listen", "", "address to serve the chunk cache to peer agents on (e.g. 127.0.0.1:0; empty = peer serving disabled); the bound address is advertised to the vendor, which hints this agent to later waves once its wave gates")
 	sim := flag.Int("sim", 0, "scale harness: instead of one full agent, run this many protocol-faithful simulated agents (canned validation, shared chunk cache) against the vendor — thousands per process")
 	simPrefix := flag.String("sim-prefix", "sim", "machine-name prefix for -sim agents (names are <prefix>-000000 ...)")
+	logOpts := logx.Flags(flag.CommandLine)
 	flag.Parse()
+	if _, err := logOpts.Setup(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	if *sim > 0 {
 		fleet, err := transport.StartSimFleet(*sim, transport.SimOptions{
 			Addr: *connect, Prefix: *simPrefix,
 		})
 		if err != nil {
-			log.Fatal(err)
+			fatal("sim fleet failed to connect", "err", err)
 		}
-		log.Printf("sim fleet: %d agents connected to %s (prefix %s)", *sim, *connect, *simPrefix)
+		slog.Info("sim fleet connected", "agents", *sim, "vendor", *connect, "prefix", *simPrefix)
 		fleet.Wait()
-		log.Printf("sim fleet: vendor closed; %d validations, %d integrations",
-			fleet.Tested(), fleet.Integrated())
+		slog.Info("sim fleet done: vendor closed",
+			"validations", fleet.Tested(), "integrations", fleet.Integrated())
 		return
 	}
 
@@ -68,12 +79,12 @@ func main() {
 	if *peerListen != "" {
 		addr, err := agent.ServePeers(*peerListen)
 		if err != nil {
-			log.Fatal(err)
+			fatal("peer serving failed", "agent", m.Name, "err", err)
 		}
 		defer agent.ClosePeers()
-		log.Printf("agent %s serving peer chunks on %s", m.Name, addr)
+		slog.Info("serving peer chunks", "agent", m.Name, "addr", addr)
 	}
-	log.Printf("agent %s connecting to %s", m.Name, *connect)
+	slog.Info("connecting to vendor", "agent", m.Name, "vendor", *connect)
 	var err error
 	if *reconnect {
 		err = agent.RunWithReconnect(*connect, transport.ReconnectConfig{MaxAttempts: *reconnectAttempts})
@@ -81,16 +92,16 @@ func main() {
 		err = agent.Run(*connect)
 	}
 	if err != nil {
-		log.Fatal(err)
+		fatal("agent run failed", "agent", m.Name, "err", err)
 	}
 	ref, _ := m.Package("mysql")
-	log.Printf("agent %s: vendor closed the channel; final mysql version: %s", m.Name, ref.Version)
+	slog.Info("vendor closed the channel", "agent", m.Name, "mysql_version", ref.Version)
 	cs := agent.Cache.Stats()
-	log.Printf("agent %s: chunk cache: %d chunks / %d bytes, %d hits / %d misses",
-		m.Name, cs.Chunks, cs.Bytes, cs.Hits, cs.Misses)
+	slog.Info("chunk cache", "agent", m.Name,
+		"chunks", cs.Chunks, "bytes", cs.Bytes, "hits", cs.Hits, "misses", cs.Misses)
 	if *peerListen != "" {
 		ps := agent.PeerStats()
-		log.Printf("agent %s: peer serving: %d requests, %d chunks / %d bytes served",
-			m.Name, ps.Requests, ps.Chunks, ps.Bytes)
+		slog.Info("peer serving", "agent", m.Name,
+			"requests", ps.Requests, "chunks", ps.Chunks, "bytes", ps.Bytes)
 	}
 }

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/deploy"
+	"repro/internal/logx"
 	"repro/internal/scenario"
 	"repro/internal/staging"
 )
@@ -30,7 +31,12 @@ func main() {
 	discard := flag.String("discard", "", "comma-separated item-key prefixes the vendor discards")
 	naiveQT := flag.Bool("naive-qt", false, "run phase 2 over raw machines instead of weighted distinct profiles (reference path, for timing comparisons)")
 	plan := flag.String("plan", "", "also print the staged wave schedule the clusters would deploy under: balanced, frontloading, nostaging, random or adaptive")
+	logOpts := logx.Flags(flag.CommandLine)
 	flag.Parse()
+	if _, err := logOpts.Setup(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	var fps []cluster.MachineFingerprint
 	var behavior cluster.Behavior

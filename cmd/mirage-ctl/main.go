@@ -28,13 +28,19 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/logx"
 	"repro/internal/orchestrator"
 )
 
 func main() {
 	server := flag.String("server", "http://127.0.0.1:7080", "control plane base URL")
 	flag.Usage = usage
+	logOpts := logx.Flags(flag.CommandLine)
 	flag.Parse()
+	if _, err := logOpts.Setup(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()

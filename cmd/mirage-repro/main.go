@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"repro/internal/cluster"
+	"repro/internal/logx"
 	"repro/internal/scenario"
 	"repro/internal/simulator"
 	"repro/internal/survey"
@@ -32,7 +33,12 @@ func check(ok bool, format string, args ...any) {
 
 func main() {
 	exp := flag.String("exp", "all", "experiment: survey, table1, fig6, fig7, fig8, fig9, fig10, fig11 or all")
+	logOpts := logx.Flags(flag.CommandLine)
 	flag.Parse()
+	if _, err := logOpts.Setup(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	run := func(name string) bool { return *exp == "all" || *exp == name }
 

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/logx"
 	"repro/internal/scenario"
 	"repro/internal/simulator"
 	"repro/internal/staging"
@@ -27,7 +28,12 @@ func main() {
 	misplaced := flag.String("misplaced", "first", "imperfect clustering: misplaced machine in first or last clean cluster")
 	seed := flag.Uint64("seed", 42, "RandomStaging shuffle seed")
 	plan := flag.String("plan", "", "print the staged wave schedule for this policy and exit")
+	logOpts := logx.Flags(flag.CommandLine)
 	flag.Parse()
+	if _, err := logOpts.Setup(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	p := simulator.DefaultParams()
 	build := func(placement scenario.Placement) []simulator.ClusterSpec {

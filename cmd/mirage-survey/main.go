@@ -7,13 +7,20 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 
+	"repro/internal/logx"
 	"repro/internal/survey"
 )
 
 func main() {
 	figure := flag.String("figure", "all", "figure to print: 1, 2, 3, ranks or all")
+	logOpts := logx.Flags(flag.CommandLine)
 	flag.Parse()
+	if _, err := logOpts.Setup(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	ds := survey.Load()
 	show := func(f string) bool { return *figure == "all" || *figure == f }

@@ -16,12 +16,18 @@ import (
 	"os"
 	"strconv"
 
+	"repro/internal/logx"
 	"repro/internal/report"
 )
 
 func main() {
 	file := flag.String("file", "urr.json", "saved URR document")
+	logOpts := logx.Flags(flag.CommandLine)
 	flag.Parse()
+	if _, err := logOpts.Setup(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	args := flag.Args()
 	if len(args) < 1 {
 		usage()

@@ -35,7 +35,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -46,6 +46,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/cluster"
 	"repro/internal/deploy"
+	"repro/internal/logx"
 	"repro/internal/machine"
 	"repro/internal/orchestrator"
 	"repro/internal/parser"
@@ -54,6 +55,7 @@ import (
 	"repro/internal/report"
 	"repro/internal/scenario"
 	"repro/internal/staging"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 )
 
@@ -62,6 +64,12 @@ const (
 	exitUsage   = 2
 	exitRollout = 3
 )
+
+// fatal logs an infrastructure error and exits with the infra code.
+func fatal(msg string, args ...any) {
+	slog.Error(msg, args...)
+	os.Exit(exitInfra)
+}
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:7033", "address to listen on for agents")
@@ -97,7 +105,12 @@ func main() {
 	faultCorrupt := flag.Float64("fault-corrupt", 0, "chaos: probability a pushed chunk payload is corrupted in flight (the content address catches it)")
 	faultReset := flag.Float64("fault-reset", 0, "chaos: probability the connection resets after the agent did the work but before the reply is seen")
 	faultMax := flag.Int("fault-max", 0, "chaos: total rate-fault budget, 0 = unlimited (crash schedules don't consume it)")
+	logOpts := logx.Flags(flag.CommandLine)
 	flag.Parse()
+	if _, err := logOpts.Setup(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(exitUsage)
+	}
 	if *resume && *journal == "" {
 		fmt.Fprintln(os.Stderr, "-resume requires -journal")
 		os.Exit(exitUsage)
@@ -106,27 +119,33 @@ func main() {
 
 	srv, err := transport.ListenWith(*listen, transport.ListenOpts{Shards: *shards})
 	if err != nil {
-		log.Fatal(err)
+		fatal("listen failed", "err", err)
 	}
 	defer srv.Close()
 	srv.InlinePayloads = *inline
 	srv.JSONChunks = *jsonChunks
 	srv.DisablePeers = *noPeers
+	// One registry and tracer per vendor process: the transport books RPC
+	// latency into it, the orchestrator threads it (and per-rollout
+	// traces) through every rollout, and GET /metrics renders it.
+	telem := telemetry.NewRegistry()
+	tracer := &telemetry.Tracer{}
+	srv.Telemetry = telem
 	if *faultDrop > 0 || *faultDelay > 0 || *faultCorrupt > 0 || *faultReset > 0 {
 		srv.Faults = transport.NewFaultInjector(transport.FaultPlan{
 			Seed: *faultSeed, Drop: *faultDrop, Delay: *faultDelay,
 			Corrupt: *faultCorrupt, Reset: *faultReset,
 			DelayBy: *faultDelayBy, MaxFaults: *faultMax,
 		})
-		log.Printf("chaos: fault injection armed (seed=%d drop=%g delay=%g corrupt=%g reset=%g)",
-			*faultSeed, *faultDrop, *faultDelay, *faultCorrupt, *faultReset)
+		slog.Info("chaos: fault injection armed", "seed", *faultSeed, "drop", *faultDrop,
+			"delay", *faultDelay, "corrupt", *faultCorrupt, "reset", *faultReset)
 	}
-	log.Printf("vendor listening on %s, waiting for %d agent(s)", srv.Addr(), *agents)
+	slog.Info("vendor listening", "addr", srv.Addr(), "agents_expected", *agents)
 	if got := srv.WaitForAgents(*agents, *wait); got < *agents {
-		log.Fatalf("only %d/%d agents registered", got, *agents)
+		fatal("agents missing at deadline", "registered", got, "expected", *agents)
 	}
 	names := srv.Agents()
-	log.Printf("agents: %v", names)
+	slog.Info("agents registered", "names", names)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -134,18 +153,18 @@ func main() {
 	// Ask every agent to identify resources and record baselines.
 	for _, name := range names {
 		if _, err := srv.Identify(ctx, name, "mysql", [][]string{{"SELECT 1"}, {"SELECT 2"}}); err != nil {
-			log.Fatalf("identify mysql on %s: %v", name, err)
+			fatal("identify mysql failed", "agent", name, "err", err)
 		}
 		if _, err := srv.Record(ctx, name, "mysql", []string{"SELECT 1"}); err != nil {
-			log.Fatalf("record mysql on %s: %v", name, err)
+			fatal("record mysql failed", "agent", name, "err", err)
 		}
 		// PHP identification fails harmlessly where PHP is absent; the
 		// model just produces an empty-ish trace.
 		if _, err := srv.Identify(ctx, name, "php", [][]string{nil}); err != nil {
-			log.Fatalf("identify php on %s: %v", name, err)
+			fatal("identify php failed", "agent", name, "err", err)
 		}
 		if _, err := srv.Record(ctx, name, "php", nil); err != nil {
-			log.Fatalf("record php on %s: %v", name, err)
+			fatal("record php failed", "agent", name, "err", err)
 		}
 	}
 
@@ -155,20 +174,20 @@ func main() {
 	refCfg := transport.MirageRegistryConfig()
 	reg, err := transport.BuildRegistry(refCfg)
 	if err != nil {
-		log.Fatal(err)
+		fatal("building parser registry failed", "err", err)
 	}
 	refs := scenario.MySQLResourceRefs()
 	vendorItems := parser.NewFingerprinter(reg).Fingerprint(scenario.MySQLVendorReference(), refs)
 	srv.ProfileParallelism = *profilePar
 	rc, err := srv.ClusterRemote(ctx, "mysql", refs, refCfg, vendorItems, cluster.Config{Diameter: *diameter}, 1)
 	if err != nil {
-		log.Fatal(err)
+		fatal("fleet clustering failed", "err", err)
 	}
 	dcs := rc.Deploy
-	log.Printf("profiled %d agents (%d distinct profiles) into %d clusters",
-		len(rc.Profiles), profile.Distinct(rc.Profiles), len(rc.Clusters))
+	slog.Info("fleet profiled", "agents", len(rc.Profiles),
+		"distinct_profiles", profile.Distinct(rc.Profiles), "clusters", len(rc.Clusters))
 	for _, c := range rc.Clusters {
-		log.Printf("  %s", c)
+		slog.Info("cluster", "detail", c.String())
 	}
 
 	// The orchestrator owns every rollout this vendor runs, one-shot or
@@ -179,6 +198,8 @@ func main() {
 	orch.Budget = deploy.NewBudget(*workerBudget)
 	orch.MaxActive = *maxRollouts
 	orch.MaxQueued = *maxQueued
+	orch.Telemetry = telem
+	orch.Tracer = tracer
 	vendorGate := staging.GatePolicy{}
 	if *gateMinSamples > 0 {
 		vendorGate = staging.GatePolicy{Enabled: true, BaselineFailureRate: *gateBaseline,
@@ -220,11 +241,11 @@ func main() {
 	httpSrv := &http.Server{Addr: *admin, Handler: api.Handler()}
 	go func() {
 		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-			log.Printf("control plane: %v", err)
+			slog.Error("control plane server failed", "err", err)
 		}
 	}()
 	defer httpSrv.Close()
-	log.Printf("control plane on http://%s (mirage-ctl -server http://%s)", *admin, *admin)
+	slog.Info("control plane up", "url", "http://"+*admin)
 
 	if *serve {
 		// Control-plane mode: rollouts arrive over HTTP; run until
@@ -232,13 +253,14 @@ func main() {
 		<-ctx.Done()
 		for _, h := range orch.List() {
 			if st := h.Status(); !st.State.Terminal() {
-				log.Printf("interrupt: aborting rollout %s", h.ID())
+				slog.Info("interrupt: aborting rollout", "rollout", h.ID())
 				h.Abort()
 			}
 		}
 		code := 0
 		for _, st := range orch.Statuses() {
-			log.Printf("rollout %s: state=%s integrated=%d/%d", st.ID, st.State, st.Integrated, len(st.Members))
+			slog.Info("rollout drained", "rollout", st.ID, "state", string(st.State),
+				"integrated", st.Integrated, "members", len(st.Members))
 			if st.State != orchestrator.StateSucceeded {
 				code = exitRollout
 			}
@@ -252,7 +274,7 @@ func main() {
 	// One-shot mode: start a single rollout on the orchestrator and wait.
 	spec, err := launch(orchestrator.StartRequest{})
 	if err != nil {
-		log.Fatal(err)
+		fatal("building rollout spec failed", "err", err)
 	}
 	spec.Journal, spec.Resume = *journal, *resume
 	if *showPlan {
@@ -261,7 +283,7 @@ func main() {
 	}
 	h, err := orch.Start(ctx, spec)
 	if err != nil {
-		log.Fatal(err)
+		fatal("starting rollout failed", "err", err)
 	}
 	// The rollout ID is the operator's handle: mirage-ctl status/pause/
 	// abort target it on the admin API while the rollout runs.
@@ -275,7 +297,7 @@ func main() {
 		// The other exit-3 case, vendor abandonment (which covers "the
 		// gate never converged": rounds exhaust and the upgrade is
 		// abandoned), returns with err == nil and is handled below.
-		log.Printf("rollout %s: %v", h.ID(), err)
+		slog.Error("rollout failed", "rollout", h.ID(), "err", err)
 		if st.State == orchestrator.StateAborted {
 			os.Exit(exitRollout)
 		}
@@ -284,7 +306,7 @@ func main() {
 	fmt.Printf("rollout %s: policy=%v integrated=%d/%d overhead=%d rounds=%d abandoned=%v quarantined=%d final=%s\n",
 		h.ID(), out.Policy, out.Integrated(), len(out.Nodes), out.Overhead, out.Rounds, out.Abandoned, len(out.Quarantined), out.FinalID)
 	for _, name := range out.Quarantined {
-		log.Printf("quarantined (unreachable through retries): %s", name)
+		slog.Warn("member quarantined (unreachable through retries)", "node", name)
 	}
 	mode := "chunked"
 	if *inline {
@@ -308,7 +330,7 @@ func main() {
 			h.ID(), rb.BaselineID, len(rb.Reverted), len(rb.Skipped),
 			out.Transfer.ChunksRolledBack, out.Transfer.FaultsInjected)
 		for name, reason := range rb.Skipped {
-			log.Printf("rollback skipped %s: %s", name, reason)
+			slog.Warn("rollback skipped member", "node", name, "reason", reason)
 		}
 		os.Exit(exitRollout)
 	}
@@ -371,15 +393,15 @@ func configure(parallel int, srv *transport.Server) func(*deploy.Controller) {
 func saveURR(urr *report.URR, path string) {
 	f, err := os.Create(path)
 	if err != nil {
-		log.Fatal(err)
+		fatal("creating URR file failed", "err", err)
 	}
 	if err := urr.Save(f); err != nil {
-		log.Fatal(err)
+		fatal("saving URR failed", "err", err)
 	}
 	if err := f.Close(); err != nil {
-		log.Fatal(err)
+		fatal("closing URR file failed", "err", err)
 	}
-	log.Printf("saved %d report(s) to %s", urr.Len(), path)
+	slog.Info("saved report repository", "reports", urr.Len(), "path", path)
 }
 
 func parsePolicy(s string) deploy.Policy {
@@ -421,7 +443,7 @@ func mysql5() *pkgmgr.Upgrade {
 func fixer(urr *report.URR) deploy.Fixer {
 	return func(up *pkgmgr.Upgrade, failures []*report.Report) (*pkgmgr.Upgrade, bool) {
 		fixed := fixedRelease(up.ID + "-fix")
-		log.Printf("vendor: debugging %d failure report(s), releasing %s", len(failures), fixed.ID)
+		slog.Info("vendor debugging failures, releasing fix", "failures", len(failures), "release", fixed.ID)
 		return fixed, true
 	}
 }

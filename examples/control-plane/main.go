@@ -17,12 +17,15 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"repro/internal/apps"
@@ -32,6 +35,7 @@ import (
 	"repro/internal/pkgmgr"
 	"repro/internal/rollout"
 	"repro/internal/staging"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 )
 
@@ -113,6 +117,14 @@ func main() {
 	}
 	defer os.RemoveAll(dir)
 	orch := orchestrator.New(dir)
+	// One telemetry registry and tracer for the whole control plane: the
+	// transport books per-op RPC latency into the registry, every rollout
+	// records a span trace, and GET /metrics / GET /rollouts/{id}/trace
+	// serve both — exactly how mirage-vendor wires them.
+	telem := telemetry.NewRegistry()
+	srv.Telemetry = telem
+	orch.Telemetry = telem
+	orch.Tracer = &telemetry.Tracer{}
 	// Production sizing knobs (all exposed as mirage-vendor flags): the
 	// agent registry shards with -shards (default 4x GOMAXPROCS — matters
 	// from ~10k agents up); orch.Budget = deploy.NewBudget(n) is
@@ -303,4 +315,63 @@ func main() {
 	}
 	fmt.Printf("journal %s sealed with %q — the rollout can never half-resume\n",
 		filepath.Base(st3.Journal), recs[len(recs)-1].Type)
+
+	// 8. Observability: the same admin mux serves liveness, Prometheus
+	// metrics (the scalar families plus the telemetry registry's latency
+	// histograms) and each rollout's span trace — raw JSON or Chrome
+	// trace-event format that loads straight into Perfetto. With
+	// MIRAGE_METRICS_OUT / MIRAGE_TRACE_OUT set the scrapes are saved to
+	// files; CI runs this program exactly that way and asserts on them.
+	fetch := func(path string) []byte {
+		resp, err := http.Get(web.URL + path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			log.Fatalf("GET %s: %s: %s", path, resp.Status, body)
+		}
+		return body
+	}
+	health := fetch("/healthz")
+	metrics := fetch("/metrics")
+	for _, fam := range []string{
+		"mirage_rpc_latency_seconds", "mirage_member_duration_seconds",
+		"mirage_budget_wait_seconds", "mirage_journal_fsync_seconds",
+	} {
+		if !strings.Contains(string(metrics), "# TYPE "+fam+" histogram") {
+			log.Fatalf("/metrics is missing histogram family %s", fam)
+		}
+	}
+	var snap telemetry.TraceSnapshot
+	if err := json.Unmarshal(fetch("/rollouts/"+st.ID+"/trace"), &snap); err != nil {
+		log.Fatal(err)
+	}
+	kinds := map[string]int{}
+	for _, s := range snap.Spans {
+		kinds[s.Kind]++
+	}
+	for _, k := range []string{"rollout", "stage", "wave", "test", "integrate", "rpc"} {
+		if kinds[k] == 0 {
+			log.Fatalf("trace for %s has no %q spans (got %v)", st.ID, k, kinds)
+		}
+	}
+	chrome := fetch("/rollouts/" + st.ID + "/trace?format=chrome")
+	fmt.Printf("observability: healthz=%s\n", strings.TrimSpace(string(health)))
+	fmt.Printf("observability: /metrics %d bytes; trace for %s: %d spans (%d rpc), chrome export %d bytes\n",
+		len(metrics), st.ID, len(snap.Spans), kinds["rpc"], len(chrome))
+	if out := os.Getenv("MIRAGE_METRICS_OUT"); out != "" {
+		if err := os.WriteFile(out, metrics, 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if out := os.Getenv("MIRAGE_TRACE_OUT"); out != "" {
+		if err := os.WriteFile(out, chrome, 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
 }

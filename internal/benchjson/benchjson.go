@@ -1,0 +1,52 @@
+// Package benchjson is the one schema behind every BENCH_*.json
+// artifact the benchmarks emit for CI's perf-trajectory trail. Each
+// benchmark used to hand-roll its own ad-hoc JSON shape; consumers now
+// get a uniform array of Result entries — a name, the size parameter of
+// the run, a flat numeric metrics map, and optional string labels for
+// non-numeric dimensions (mode, terminal state) — regardless of which
+// benchmark produced the file.
+package benchjson
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Result is one benchmark measurement: a (sub-)benchmark name, the run's
+// size parameter, and its metrics.
+type Result struct {
+	// Name identifies the benchmark, optionally with a sub-case suffix
+	// ("BenchmarkScale/registry").
+	Name string `json:"name"`
+	// N is the size parameter the measurement was taken at (fleet size,
+	// machine count, shard count); 0 when the benchmark has none.
+	N int `json:"n"`
+	// Metrics holds the numeric measurements, keyed by snake_case name.
+	Metrics map[string]float64 `json:"metrics"`
+	// Labels holds non-numeric dimensions (mode=inline, terminal=...).
+	Labels map[string]string `json:"labels,omitempty"`
+}
+
+// Write marshals the results as one indented JSON array to path.
+func Write(path string, results []Result) error {
+	blob, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return fmt.Errorf("benchjson: encoding %s: %w", path, err)
+	}
+	return os.WriteFile(path, append(blob, '\n'), 0o644)
+}
+
+// WriteEnv writes the results to the file named by the environment
+// variable, reporting whether a file was written (false when the
+// variable is unset — the benchmarks' opt-in convention).
+func WriteEnv(envVar string, results []Result) (bool, error) {
+	path := os.Getenv(envVar)
+	if path == "" {
+		return false, nil
+	}
+	if err := Write(path, results); err != nil {
+		return true, err
+	}
+	return true, nil
+}

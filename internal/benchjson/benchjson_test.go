@@ -1,0 +1,51 @@
+package benchjson
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteAndShape(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	in := []Result{
+		{Name: "BenchmarkX/mode", N: 100,
+			Metrics: map[string]float64{"ns_per_op": 12.5},
+			Labels:  map[string]string{"mode": "inline"}},
+		{Name: "BenchmarkX", Metrics: map[string]float64{"reduction": 10}},
+	}
+	if err := Write(path, in); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []Result
+	if err := json.Unmarshal(blob, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[0].Name != "BenchmarkX/mode" || out[0].N != 100 ||
+		out[0].Metrics["ns_per_op"] != 12.5 || out[0].Labels["mode"] != "inline" {
+		t.Fatalf("round trip mismatch: %+v", out)
+	}
+	if out[1].Labels != nil {
+		t.Fatalf("empty labels should be omitted, got %v", out[1].Labels)
+	}
+}
+
+func TestWriteEnv(t *testing.T) {
+	if wrote, err := WriteEnv("BENCHJSON_TEST_UNSET", nil); wrote || err != nil {
+		t.Fatalf("unset env: wrote=%v err=%v", wrote, err)
+	}
+	path := filepath.Join(t.TempDir(), "out.json")
+	t.Setenv("BENCHJSON_TEST_PATH", path)
+	wrote, err := WriteEnv("BENCHJSON_TEST_PATH", []Result{{Name: "b"}})
+	if !wrote || err != nil {
+		t.Fatalf("wrote=%v err=%v", wrote, err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+}

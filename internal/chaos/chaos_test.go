@@ -2,12 +2,11 @@ package chaos
 
 import (
 	"context"
-	"encoding/json"
-	"os"
 	"path/filepath"
 	"testing"
 	"time"
 
+	"repro/internal/benchjson"
 	"repro/internal/staging"
 	"repro/internal/transport"
 )
@@ -148,18 +147,6 @@ func TestChaosFaultFreeBaseline(t *testing.T) {
 	}
 }
 
-// chaosBenchResult is the machine-readable summary BenchmarkChaos emits
-// when MIRAGE_BENCH_CHAOS_JSON names a path (CI uploads it as
-// BENCH_chaos.json).
-type chaosBenchResult struct {
-	Fleet          int     `json:"fleet"`
-	Clusters       int     `json:"clusters"`
-	Terminal       string  `json:"terminal"`
-	FaultsInjected int64   `json:"faults_injected"`
-	Stranded       int     `json:"stranded"`
-	MillisPerRun   float64 `json:"ms_per_run"`
-}
-
 // BenchmarkChaos times one full chaos rollout (pipe transport, curable
 // 3-cluster fleet, storm plan) per iteration.
 func BenchmarkChaos(b *testing.B) {
@@ -187,21 +174,16 @@ func BenchmarkChaos(b *testing.B) {
 	}
 	elapsed := time.Since(start)
 	b.ReportMetric(float64(last.FaultsInjected), "faults/run")
-	if path := os.Getenv("MIRAGE_BENCH_CHAOS_JSON"); path != "" {
-		summary := chaosBenchResult{
-			Fleet:          len(last.Machines),
-			Clusters:       last.Clusters,
-			Terminal:       last.Terminal,
-			FaultsInjected: last.FaultsInjected,
-			Stranded:       len(last.Stranded),
-			MillisPerRun:   float64(elapsed.Milliseconds()) / float64(b.N),
-		}
-		data, err := json.MarshalIndent(summary, "", "  ")
-		if err != nil {
-			b.Fatal(err)
-		}
-		if err := os.WriteFile(path, data, 0o644); err != nil {
-			b.Fatal(err)
-		}
+	if _, err := benchjson.WriteEnv("MIRAGE_BENCH_CHAOS_JSON", []benchjson.Result{{
+		Name: "BenchmarkChaos", N: len(last.Machines),
+		Labels: map[string]string{"terminal": last.Terminal},
+		Metrics: map[string]float64{
+			"clusters":        float64(last.Clusters),
+			"faults_injected": float64(last.FaultsInjected),
+			"stranded":        float64(len(last.Stranded)),
+			"ms_per_run":      float64(elapsed.Milliseconds()) / float64(b.N),
+		},
+	}}); err != nil {
+		b.Fatal(err)
 	}
 }

@@ -25,6 +25,7 @@ import (
 	"repro/internal/pkgmgr"
 	"repro/internal/report"
 	"repro/internal/staging"
+	"repro/internal/telemetry"
 )
 
 // ErrTransient marks a node error as transient: the machine is (for now)
@@ -353,6 +354,20 @@ type Controller struct {
 	// transport.Server.SetRollbackMode) so the transport books chunks
 	// moved while restoring members as ChunksRolledBack.
 	RollbackMode func(on bool)
+	// Telemetry, when set, records member test/integrate/rollback
+	// durations, budget-acquire wait and transient-retry counts. Like
+	// Budget it is installed by the orchestrator (one registry across
+	// every rollout); nil disables the instrumentation. Set it before
+	// deploying: the member hot path caches its family handles on
+	// first use.
+	Telemetry *telemetry.Registry
+
+	// telemOnce caches the member hot-path families so each member RPC
+	// skips the registry's by-name lookup (a global mutex).
+	telemOnce  sync.Once
+	memberDur  *telemetry.Family
+	budgetWait *telemetry.Family
+	retriesTot *telemetry.CounterFamily
 
 	// TransientRetries bounds how many times a member's test or integrate
 	// is retried after a transient error before the member is quarantined
@@ -388,6 +403,32 @@ func NewController(urr *report.URR, fix Fixer) *Controller {
 		URR: urr, Fix: fix, MaxRounds: 10, Parallelism: DefaultParallelism,
 		TransientRetries: DefaultTransientRetries, RetryBackoff: DefaultRetryBackoff,
 	}
+}
+
+// initTelem caches the member hot-path families once per controller.
+func (ctl *Controller) initTelem() {
+	ctl.telemOnce.Do(func() {
+		ctl.memberDur = ctl.Telemetry.Histogram("mirage_member_duration_seconds",
+			"Member operation duration by op (test, integrate, rollback), retries included.", "op", 1e-9)
+		ctl.budgetWait = ctl.Telemetry.Histogram("mirage_budget_wait_seconds",
+			"Wait for a worker-budget slot by op.", "op", 1e-9)
+		ctl.retriesTot = ctl.Telemetry.Counter("mirage_transient_retries_total",
+			"Transient member-RPC errors retried after backoff.", "")
+	})
+}
+
+// memberHist is the per-member operation duration family (full duration
+// of a test/integrate/rollback attempt loop, retries included).
+func (ctl *Controller) memberHist() *telemetry.Family {
+	ctl.initTelem()
+	return ctl.memberDur
+}
+
+// budgetHist is the budget-acquire wait family: how long member RPCs
+// queued for a worker-budget slot (~0 with no budget installed).
+func (ctl *Controller) budgetHist() *telemetry.Family {
+	ctl.initTelem()
+	return ctl.budgetWait
 }
 
 // retries resolves the configured transient-retry budget.
@@ -431,10 +472,15 @@ func (ctl *Controller) backoff(attempt int) time.Duration {
 // member testing and integration use. A cancelled context stops the loop
 // immediately (mid-backoff included) and surfaces ctx.Err(), which is not
 // transient, so no member is quarantined for an operator abort.
-func (ctl *Controller) retryTransient(ctx context.Context, op func(context.Context) error) error {
+// node names the member for the retry counter and backoff spans.
+func (ctl *Controller) retryTransient(ctx context.Context, node string, op func(context.Context) error) error {
 	err := op(ctx)
 	for attempt := 0; err != nil && IsTransient(err) && attempt < ctl.retries(); attempt++ {
+		ctl.initTelem()
+		ctl.retriesTot.With("").Inc()
+		_, endBackoff := telemetry.StartSpan(ctx, "backoff", "", node)
 		ctl.pause(ctx, ctl.backoff(attempt))
+		endBackoff(err)
 		if cerr := ctx.Err(); cerr != nil {
 			return cerr
 		}
@@ -498,7 +544,7 @@ func (ctl *Controller) Deploy(ctx context.Context, policy Policy, up *pkgmgr.Upg
 		out.Policy = PolicyNoStaging
 	}
 
-	r := &waveRunner{ctx: ctx, ctl: ctl, up: up, out: out, clusters: byID, clean: make(map[string]bool), unclean: make(map[string]bool)}
+	r := &waveRunner{ctx: ctx, spanCtx: ctx, ctl: ctl, up: up, out: out, clusters: byID, clean: make(map[string]bool), unclean: make(map[string]bool)}
 	if cur := ctl.Cursor; cur != nil {
 		r.skipStages = cur.DoneStages
 		out.Rounds = cur.Rounds
@@ -562,7 +608,12 @@ func (o *Outcome) collectQuarantined() {
 // waves merge into one test group, and within a group node tests run on
 // the controller's bounded worker pool.
 type waveRunner struct {
-	ctx      context.Context
+	ctx context.Context
+	// spanCtx is the context member work derives telemetry spans from:
+	// the rollout context at rest, the current stage span inside a
+	// stage, the current wave span inside a wave. Only the runner's own
+	// goroutine writes it, and always before spawning pool workers.
+	spanCtx  context.Context
 	ctl      *Controller
 	up       *pkgmgr.Upgrade // current upgrade version; advances as fixes ship
 	out      *Outcome
@@ -709,6 +760,9 @@ func (r *waveRunner) RunStage(st staging.Stage, done func()) {
 	if r.gate(idx) {
 		return
 	}
+	sctx, endStage := telemetry.StartSpan(r.ctx, "stage", fmt.Sprintf("stage %d", idx), "")
+	r.spanCtx = sctx
+	defer func() { r.spanCtx = r.ctx; endStage(r.err) }()
 	r.emit(Event{Type: EventStageStarted, Stage: idx, UpgradeID: r.up.ID})
 	var waves []staging.Wave
 	for _, w := range st.Waves {
@@ -787,6 +841,9 @@ func (r *waveRunner) flushPromoted() {
 	if r.gate(-1) {
 		return
 	}
+	sctx, endStage := telemetry.StartSpan(r.ctx, "stage", "promoted flush", "")
+	r.spanCtx = sctx
+	defer func() { r.spanCtx = r.ctx; endStage(r.err) }()
 	waves := r.promoted
 	r.promoted = nil
 	r.converge(-1, waves, false)
@@ -811,11 +868,16 @@ func (r *waveRunner) converge(stage int, waves []staging.Wave, retryAll bool) {
 		return
 	}
 	pending := all
-	for len(pending) > 0 {
+	for wave := 0; len(pending) > 0; wave++ {
 		if r.checkAbort(stage) {
 			return
 		}
+		prev := r.spanCtx
+		sctx, endWave := telemetry.StartSpan(prev, "wave", fmt.Sprintf("wave %d (%d members)", wave, len(pending)), "")
+		r.spanCtx = sctx
 		failed, _ := r.testMembers(stage, pending, true)
+		r.spanCtx = prev
+		endWave(r.err)
 		if r.err != nil || len(failed) == 0 {
 			return
 		}
@@ -845,7 +907,7 @@ func (r *waveRunner) canaryConverge(stage int, all []member) {
 		return
 	}
 	samples, failures := 0, 0
-	for {
+	for round := 0; ; round++ {
 		if r.checkAbort(stage) {
 			return
 		}
@@ -853,7 +915,12 @@ func (r *waveRunner) canaryConverge(stage int, all []member) {
 		if len(ms) == 0 {
 			return // everyone quarantined; the stage converges empty
 		}
+		prev := r.spanCtx
+		sctx, endWave := telemetry.StartSpan(prev, "wave", fmt.Sprintf("canary round %d (%d members)", round, len(ms)), "")
+		r.spanCtx = sctx
 		failed, tested := r.testMembers(stage, ms, false)
+		r.spanCtx = prev
+		endWave(r.err)
 		if r.err != nil || r.halted {
 			return
 		}
@@ -927,18 +994,26 @@ func (r *waveRunner) debug(stage int) bool {
 
 // testWithRetry validates the current upgrade on one node, retrying
 // transient errors on the controller's bounded doubling backoff. It
-// returns the last error when the budget is exhausted.
-func (r *waveRunner) testWithRetry(n Node) (*report.Report, error) {
+// returns the last error when the budget is exhausted. ctx carries the
+// enclosing wave span (r.spanCtx at call time — passed explicitly
+// because pool workers must not race the runner's spanCtx writes).
+func (r *waveRunner) testWithRetry(ctx context.Context, n Node) (*report.Report, error) {
+	sctx, end := telemetry.StartSpan(ctx, "test", n.Name(), n.Name())
+	endTimer := r.ctl.memberHist().With("test").Time()
 	var rep *report.Report
-	err := r.ctl.retryTransient(r.ctx, func(ctx context.Context) error {
+	err := r.ctl.retryTransient(sctx, n.Name(), func(ctx context.Context) error {
+		t0 := time.Now()
 		if err := r.ctl.Budget.Acquire(ctx); err != nil {
 			return err
 		}
+		r.ctl.budgetHist().With("test").ObserveSince(t0)
 		defer r.ctl.Budget.Release()
 		var e error
 		rep, e = n.TestUpgrade(ctx, r.up)
 		return e
 	})
+	endTimer()
+	end(err)
 	return rep, err
 }
 
@@ -971,12 +1046,16 @@ func (r *waveRunner) testMembers(stage int, ms []member, integrate bool) (failed
 	if workers > len(ms) {
 		workers = len(ms)
 	}
+	sctx := r.spanCtx // read once, before any worker goroutine exists
+	if sctx == nil {
+		sctx = r.ctx
+	}
 	if workers <= 1 {
 		for i, m := range ms {
 			if r.ctx.Err() != nil {
 				break // abort: start no further member test
 			}
-			reports[i], errs[i] = r.testWithRetry(m.node)
+			reports[i], errs[i] = r.testWithRetry(sctx, m.node)
 		}
 	} else {
 		idx := make(chan int)
@@ -989,7 +1068,7 @@ func (r *waveRunner) testMembers(stage int, ms []member, integrate bool) (failed
 					if r.ctx.Err() != nil {
 						continue // abort: drain without starting new tests
 					}
-					reports[i], errs[i] = r.testWithRetry(ms[i].node)
+					reports[i], errs[i] = r.testWithRetry(sctx, ms[i].node)
 				}
 			}()
 		}
@@ -1073,8 +1152,10 @@ func (ctl *Controller) notifyFinal(ctx context.Context, final *pkgmgr.Upgrade, c
 	if len(ms) == 0 {
 		return nil
 	}
-	r := &waveRunner{ctx: ctx, ctl: ctl, up: final, out: out, clean: make(map[string]bool), unclean: make(map[string]bool)}
+	sctx, endStage := telemetry.StartSpan(ctx, "stage", "final notification", "")
+	r := &waveRunner{ctx: ctx, spanCtx: sctx, ctl: ctl, up: final, out: out, clean: make(map[string]bool), unclean: make(map[string]bool)}
 	r.testMembers(-1, ms, true)
+	endStage(r.err)
 	return r.err
 }
 
@@ -1085,13 +1166,19 @@ func (ctl *Controller) notifyFinal(ctx context.Context, final *pkgmgr.Upgrade, c
 // actually reaches a node — so that on abandonment the outcome names the
 // last version that deployed, never a fix that no node integrated.
 func (r *waveRunner) integrateMember(stage int, m member) {
-	err := r.ctl.retryTransient(r.ctx, func(ctx context.Context) error {
+	sctx, end := telemetry.StartSpan(r.spanCtx, "integrate", m.node.Name(), m.node.Name())
+	endTimer := r.ctl.memberHist().With("integrate").Time()
+	err := r.ctl.retryTransient(sctx, m.node.Name(), func(ctx context.Context) error {
+		t0 := time.Now()
 		if err := r.ctl.Budget.Acquire(ctx); err != nil {
 			return err
 		}
+		r.ctl.budgetHist().With("integrate").ObserveSince(t0)
 		defer r.ctl.Budget.Release()
 		return m.node.Integrate(ctx, r.up)
 	})
+	endTimer()
+	end(err)
 	if err != nil {
 		if IsTransient(err) {
 			r.quarantine(stage, m, err.Error())

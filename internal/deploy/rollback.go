@@ -3,8 +3,10 @@ package deploy
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/pkgmgr"
+	"repro/internal/telemetry"
 )
 
 // RollbackOutcome summarises a rollback pass.
@@ -84,13 +86,19 @@ func (ctl *Controller) Rollback(ctx context.Context, baseline *pkgmgr.Upgrade, c
 				}
 				continue
 			}
-			err := ctl.retryTransient(ctx, func(ctx context.Context) error {
+			sctx, end := telemetry.StartSpan(ctx, "rollback", name, name)
+			endTimer := ctl.memberHist().With("rollback").Time()
+			err := ctl.retryTransient(sctx, name, func(ctx context.Context) error {
+				t0 := time.Now()
 				if err := ctl.Budget.Acquire(ctx); err != nil {
 					return err
 				}
+				ctl.budgetHist().With("rollback").ObserveSince(t0)
 				defer ctl.Budget.Release()
 				return n.Integrate(ctx, baseline)
 			})
+			endTimer()
+			end(err)
 			if err != nil {
 				if ctx.Err() != nil {
 					return nil, ctx.Err() // abort: resumable from the journal

@@ -1,0 +1,62 @@
+package logx
+
+import (
+	"flag"
+	"log/slog"
+	"testing"
+)
+
+func TestFlagsDefaults(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	o := Flags(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if o.Level != "info" || o.Format != "text" {
+		t.Fatalf("defaults = %q/%q, want info/text", o.Level, o.Format)
+	}
+}
+
+func TestFlagsEnvDefault(t *testing.T) {
+	t.Setenv("MIRAGE_LOG_LEVEL", "debug")
+	t.Setenv("MIRAGE_LOG_FORMAT", "json")
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	o := Flags(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if o.Level != "debug" || o.Format != "json" {
+		t.Fatalf("env defaults = %q/%q, want debug/json", o.Level, o.Format)
+	}
+	// A flag still overrides the environment.
+	fs2 := flag.NewFlagSet("test", flag.ContinueOnError)
+	o2 := Flags(fs2)
+	if err := fs2.Parse([]string{"-log-level=warn"}); err != nil {
+		t.Fatal(err)
+	}
+	if o2.Level != "warn" {
+		t.Fatalf("flag override = %q, want warn", o2.Level)
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for name, want := range map[string]slog.Level{
+		"debug": slog.LevelDebug, "info": slog.LevelInfo, "": slog.LevelInfo,
+		"warn": slog.LevelWarn, "warning": slog.LevelWarn, "ERROR": slog.LevelError,
+	} {
+		got, err := parseLevel(name)
+		if err != nil || got != want {
+			t.Errorf("parseLevel(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	if _, err := parseLevel("verbose"); err == nil {
+		t.Fatal("parseLevel accepted an unknown level")
+	}
+}
+
+func TestSetupRejectsUnknownFormat(t *testing.T) {
+	o := &Options{Level: "info", Format: "xml"}
+	if _, err := o.Setup(); err == nil {
+		t.Fatal("Setup accepted an unknown format")
+	}
+}

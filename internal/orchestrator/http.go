@@ -79,6 +79,7 @@ type WaitResponse struct {
 //	GET  /rollouts                                           → []Status
 //	GET  /rollouts/{id}                                      → Status
 //	GET  /rollouts/{id}/events?since=N&wait=30s  (long-poll) → EventsResponse
+//	GET  /rollouts/{id}/trace[?format=chrome]                → span tree
 //	POST /rollouts/{id}/pause                                → Status
 //	POST /rollouts/{id}/resume                               → Status
 //	POST /rollouts/{id}/abort                                → Status
@@ -123,6 +124,7 @@ func (a *API) Handler() http.Handler {
 	mux.HandleFunc("GET /rollouts", a.list)
 	mux.HandleFunc("GET /rollouts/{id}", a.get)
 	mux.HandleFunc("GET /rollouts/{id}/events", a.events)
+	mux.HandleFunc("GET /rollouts/{id}/trace", a.trace)
 	mux.HandleFunc("POST /rollouts/{id}/pause", a.pause)
 	mux.HandleFunc("POST /rollouts/{id}/resume", a.resume)
 	mux.HandleFunc("POST /rollouts/{id}/abort", a.abort)
@@ -240,6 +242,34 @@ func (a *API) events(w http.ResponseWriter, r *http.Request) {
 		Next:   since + len(recs),
 		Done:   done,
 	})
+}
+
+// trace serves a rollout's span tree: the raw telemetry snapshot as
+// JSON, or — with ?format=chrome — Chrome trace-event format that loads
+// directly in Perfetto / chrome://tracing.
+func (a *API) trace(w http.ResponseWriter, r *http.Request) {
+	if _, ok := a.handle(w, r); !ok {
+		return
+	}
+	t := a.Orch.Tracer.Get(r.PathValue("id"))
+	if t == nil {
+		writeError(w, http.StatusNotFound,
+			errors.New("no trace for rollout "+r.PathValue("id")+" (tracer not enabled, or trace evicted)"))
+		return
+	}
+	snap := t.Snapshot()
+	if r.URL.Query().Get("format") == "chrome" {
+		data, err := snap.Chrome()
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		w.Write(data) //nolint:errcheck — client gone is client's problem
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
 }
 
 func (a *API) pause(w http.ResponseWriter, r *http.Request) {

@@ -6,12 +6,15 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"repro/internal/telemetry"
 )
 
 // Metric is one sample in Prometheus text exposition format. The control
 // plane hand-writes the format (it is three lines per family) rather than
-// pulling in a client library; everything the vendor exports is a gauge
-// or a monotonic counter, so the tiny subset below is the whole story.
+// pulling in a client library; everything the vendor exports here is a
+// gauge or a monotonic counter — latency distributions live in
+// telemetry.Registry, whose histogram families render after these.
 type Metric struct {
 	// Name is the metric family name, e.g. "mirage_registry_agents".
 	Name string
@@ -61,43 +64,83 @@ func (a *API) ownMetrics() []Metric {
 	return ms
 }
 
-// renderMetrics writes samples in Prometheus text format, grouping HELP
-// and TYPE headers per family in first-appearance order.
+// sampleLabels renders a sample's label block ({} elided when empty)
+// with Prometheus escaping.
+func sampleLabels(labels [][2]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, kv := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[0])
+		b.WriteString(`="`)
+		b.WriteString(telemetry.EscapeLabel(kv[1]))
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// renderMetrics writes samples in Prometheus text format. Samples are
+// grouped by family with HELP and TYPE rendered once each (the first
+// sample carrying them wins, however the families were interleaved on
+// input), and sorted by family name then label block, so consecutive
+// scrapes of identical state are byte-identical regardless of the order
+// MetricsFuncs produced them in.
 func renderMetrics(w *strings.Builder, ms []Metric) {
-	seen := make(map[string]bool)
+	help := make(map[string]string, len(ms))
+	typ := make(map[string]string, len(ms))
+	type sample struct {
+		name, labels string
+		value        float64
+	}
+	samples := make([]sample, 0, len(ms))
 	for _, m := range ms {
-		if !seen[m.Name] {
-			seen[m.Name] = true
-			typ := m.Type
-			if typ == "" {
-				typ = "gauge"
-			}
-			if m.Help != "" {
-				fmt.Fprintf(w, "# HELP %s %s\n", m.Name, m.Help)
-			}
-			fmt.Fprintf(w, "# TYPE %s %s\n", m.Name, typ)
+		if _, ok := help[m.Name]; !ok && m.Help != "" {
+			help[m.Name] = m.Help
 		}
-		w.WriteString(m.Name)
-		if len(m.Labels) > 0 {
-			w.WriteByte('{')
-			for i, kv := range m.Labels {
-				if i > 0 {
-					w.WriteByte(',')
-				}
-				fmt.Fprintf(w, "%s=%s", kv[0], strconv.Quote(kv[1]))
-			}
-			w.WriteByte('}')
+		if _, ok := typ[m.Name]; !ok && m.Type != "" {
+			typ[m.Name] = m.Type
 		}
-		fmt.Fprintf(w, " %s\n", strconv.FormatFloat(m.Value, 'g', -1, 64))
+		samples = append(samples, sample{m.Name, sampleLabels(m.Labels), m.Value})
+	}
+	sort.SliceStable(samples, func(i, j int) bool {
+		if samples[i].name != samples[j].name {
+			return samples[i].name < samples[j].name
+		}
+		return samples[i].labels < samples[j].labels
+	})
+	seen := make(map[string]bool, len(ms))
+	for _, s := range samples {
+		if !seen[s.name] {
+			seen[s.name] = true
+			if h := help[s.name]; h != "" {
+				fmt.Fprintf(w, "# HELP %s %s\n", s.name, h)
+			}
+			t := typ[s.name]
+			if t == "" {
+				t = "gauge"
+			}
+			fmt.Fprintf(w, "# TYPE %s %s\n", s.name, t)
+		}
+		fmt.Fprintf(w, "%s%s %s\n", s.name, s.labels, strconv.FormatFloat(s.value, 'g', -1, 64))
 	}
 }
 
 func (a *API) metrics(w http.ResponseWriter, _ *http.Request) {
-	var b strings.Builder
-	renderMetrics(&b, a.ownMetrics())
+	ms := a.ownMetrics()
 	for _, f := range a.Metrics {
-		renderMetrics(&b, f())
+		ms = append(ms, f()...)
 	}
+	var b strings.Builder
+	renderMetrics(&b, ms)
+	// Histogram families (RPC latency, member durations, budget wait,
+	// fsync latency, ...) render after the scalar samples.
+	a.Orch.Telemetry.WritePrometheus(&b)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
 	w.Write([]byte(b.String())) //nolint:errcheck — client gone is client's problem

@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"repro/internal/deploy"
+	"repro/internal/telemetry"
 )
 
 func TestHealthzAndMetrics(t *testing.T) {
@@ -93,6 +94,150 @@ func TestHealthzAndMetrics(t *testing.T) {
 	// HELP/TYPE must render once per family, not once per sample.
 	if n := strings.Count(text, "# HELP mirage_registry_agents"); n != 1 {
 		t.Fatalf("HELP for mirage_registry_agents rendered %d times, want 1", n)
+	}
+}
+
+// TestTraceEndpoint runs one traced rollout and exercises both trace
+// exports: the JSON snapshot must carry a rollout-rooted span tree, the
+// chrome format must be loadable trace-event JSON, and rollouts the
+// tracer never saw must 404.
+func TestTraceEndpoint(t *testing.T) {
+	orch := New(t.TempDir())
+	orch.Telemetry = telemetry.NewRegistry()
+	orch.Tracer = &telemetry.Tracer{}
+	api := &API{Orch: orch}
+	ts := httptest.NewServer(api.Handler())
+	t.Cleanup(ts.Close)
+
+	h, err := orch.Start(context.Background(), Spec{
+		Policy: deploy.PolicyBalanced, Upgrade: upgrade("v1"), Clusters: fleet("tr", 1, nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(ts.URL + "/rollouts/" + h.ID() + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET trace = %d", resp.StatusCode)
+	}
+	var snap telemetry.TraceSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.RolloutID != h.ID() || len(snap.Spans) == 0 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	kinds := map[string]bool{}
+	for _, s := range snap.Spans {
+		kinds[s.Kind] = true
+	}
+	for _, k := range []string{"rollout", "stage", "wave", "test", "integrate"} {
+		if !kinds[k] {
+			t.Fatalf("trace missing %q span (kinds %v)", k, kinds)
+		}
+	}
+
+	cresp, err := http.Get(ts.URL + "/rollouts/" + h.ID() + "/trace?format=chrome")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cresp.Body.Close()
+	var chrome struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(cresp.Body).Decode(&chrome); err != nil {
+		t.Fatal(err)
+	}
+	if len(chrome.TraceEvents) == 0 {
+		t.Fatal("chrome export has no trace events")
+	}
+
+	nresp, err := http.Get(ts.URL + "/rollouts/" + h.ID() + "x/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nresp.Body.Close()
+	if nresp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET trace for unknown rollout = %d, want 404", nresp.StatusCode)
+	}
+}
+
+// TestRenderMetricsEscaping drives label values through the Prometheus
+// escaping rules: backslash, double quote and newline must render as
+// \\, \" and \n inside the label block.
+func TestRenderMetricsEscaping(t *testing.T) {
+	var b strings.Builder
+	renderMetrics(&b, []Metric{
+		{Name: "m_esc", Help: "Escaping.", Labels: [][2]string{{"v", `back\slash`}}, Value: 1},
+		{Name: "m_esc", Labels: [][2]string{{"v", `quo"te`}}, Value: 2},
+		{Name: "m_esc", Labels: [][2]string{{"v", "new\nline"}}, Value: 3},
+	})
+	text := b.String()
+	for _, want := range []string{
+		`m_esc{v="back\\slash"} 1`,
+		`m_esc{v="quo\"te"} 2`,
+		`m_esc{v="new\nline"} 3`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("missing %q in:\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, "\nline\"} 3") {
+		t.Fatalf("raw newline leaked into a label value:\n%s", text)
+	}
+}
+
+// TestRenderMetricsGrouping interleaves two families and checks each
+// family's samples render contiguously under a single HELP/TYPE header,
+// with the first sample's Help/Type winning and empty Type defaulting
+// to gauge.
+func TestRenderMetricsGrouping(t *testing.T) {
+	var b strings.Builder
+	renderMetrics(&b, []Metric{
+		{Name: "m_bbb", Help: "B family.", Type: "counter", Labels: [][2]string{{"k", "1"}}, Value: 1},
+		{Name: "m_aaa", Help: "A family.", Value: 10},
+		{Name: "m_bbb", Help: "ignored duplicate help", Labels: [][2]string{{"k", "0"}}, Value: 2},
+	})
+	want := "# HELP m_aaa A family.\n" +
+		"# TYPE m_aaa gauge\n" +
+		"m_aaa 10\n" +
+		"# HELP m_bbb B family.\n" +
+		"# TYPE m_bbb counter\n" +
+		`m_bbb{k="0"} 2` + "\n" +
+		`m_bbb{k="1"} 1` + "\n"
+	if b.String() != want {
+		t.Fatalf("got:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+// TestRenderMetricsDeterministic renders the same samples in shuffled
+// input orders and requires byte-identical output — the property that
+// makes consecutive scrapes of identical state diffable.
+func TestRenderMetricsDeterministic(t *testing.T) {
+	ms := []Metric{
+		{Name: "m_z", Help: "Z.", Value: 1},
+		{Name: "m_a", Help: "A.", Labels: [][2]string{{"s", "x"}}, Value: 2},
+		{Name: "m_a", Labels: [][2]string{{"s", "b"}}, Value: 3},
+		{Name: "m_k", Help: "K.", Type: "counter", Value: 4},
+	}
+	var first string
+	for i := 0; i < len(ms); i++ {
+		shuffled := append(append([]Metric{}, ms[i:]...), ms[:i]...)
+		var b strings.Builder
+		renderMetrics(&b, shuffled)
+		if i == 0 {
+			first = b.String()
+			continue
+		}
+		if b.String() != first {
+			t.Fatalf("rotation %d rendered differently:\n%s\nvs:\n%s", i, b.String(), first)
+		}
 	}
 }
 

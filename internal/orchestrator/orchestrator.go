@@ -22,12 +22,14 @@ import (
 	"fmt"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"repro/internal/deploy"
 	"repro/internal/pkgmgr"
 	"repro/internal/report"
 	"repro/internal/rollout"
 	"repro/internal/staging"
+	"repro/internal/telemetry"
 )
 
 // Spec describes one rollout to start.
@@ -185,6 +187,17 @@ type Orchestrator struct {
 	// MaxActive is 0.
 	MaxQueued int
 
+	// Telemetry, when set, is the vendor-wide registry of latency
+	// histograms. The orchestrator records admission-queue wait and stage
+	// barrier hold time into it and installs it on every controller and
+	// journal it starts (the same registry mirage-vendor hands the
+	// transport server), so GET /metrics exposes one coherent set of
+	// histogram families. Nil disables histogram instrumentation.
+	Telemetry *telemetry.Registry
+	// Tracer, when set, records each rollout as a span tree served by
+	// GET /rollouts/{id}/trace. Nil disables span tracing.
+	Tracer *telemetry.Tracer
+
 	mu       sync.Mutex
 	seq      int
 	rollouts map[string]*Handle
@@ -249,6 +262,10 @@ func (o *Orchestrator) Start(ctx context.Context, spec Spec) (*Handle, error) {
 		// the orchestrator's bound, shared by every rollout it runs.
 		ctl.Budget = o.Budget
 	}
+	// Like the budget, telemetry is the orchestrator's to install: one
+	// registry across every rollout, so member-duration and budget-wait
+	// families aggregate fleet-wide.
+	ctl.Telemetry = o.Telemetry
 
 	o.mu.Lock()
 	o.seq++
@@ -430,10 +447,22 @@ func (h *Handle) ID() string { return h.id }
 // its admission grant; aborting while queued terminates it without ever
 // occupying a slot (or touching its journal).
 func (h *Handle) run(ctx context.Context, ctl *deploy.Controller, spec Spec, journal string) {
+	var trace *telemetry.Trace
+	var root telemetry.SpanID
+	var reg *telemetry.Registry
+	if h.orch != nil {
+		reg = h.orch.Telemetry
+		trace = h.orch.Tracer.Start(h.id)
+		root = trace.Begin(0, "rollout", h.id, "")
+	}
+	enqueued := time.Now()
 	if h.admit != nil {
+		wait := trace.Begin(root, "admission-wait", "", "")
 		select {
 		case <-h.admit:
 		case <-ctx.Done():
+			trace.End(wait, ctx.Err())
+			trace.End(root, ctx.Err())
 			h.orch.abandonQueued(h)
 			h.mu.Lock()
 			h.err = ctx.Err()
@@ -444,11 +473,18 @@ func (h *Handle) run(ctx context.Context, ctl *deploy.Controller, spec Spec, jou
 			close(h.done)
 			return
 		}
+		trace.End(wait, nil)
 		h.mu.Lock()
 		h.status.State = StateRunning
 		h.signalLocked()
 		h.mu.Unlock()
 	}
+	// Admission-queue wait: ~0 for rollouts that got a slot immediately,
+	// so the family is a complete picture of Start→execution delay.
+	reg.Histogram("mirage_admission_wait_seconds",
+		"Time from rollout start to execution-slot grant.", "", 1e-9).
+		With("").ObserveSince(enqueued)
+	ctx = telemetry.NewContext(ctx, trace, root)
 	releaseSlot := func() {}
 	if h.orch != nil && h.orch.MaxActive > 0 {
 		releaseSlot = h.orch.releaseSlot
@@ -465,6 +501,7 @@ func (h *Handle) run(ctx context.Context, ctl *deploy.Controller, spec Spec, jou
 			Observer:     h,
 			Baseline:     spec.Baseline,
 			AutoRollback: spec.AutoRollback,
+			Telemetry:    reg,
 		}
 		out, err = eng.Deploy(ctx, spec.Policy, spec.Upgrade, spec.Clusters)
 	} else {
@@ -503,6 +540,7 @@ func (h *Handle) run(ctx context.Context, ctl *deploy.Controller, spec Spec, jou
 	}
 	h.signalLocked()
 	h.mu.Unlock()
+	trace.End(root, err)
 	// The slot must be free before done closes: a caller that sees this
 	// rollout terminal may immediately Start another, and admission must
 	// not bounce it off a slot the finished rollout still holds.
@@ -517,8 +555,17 @@ func (h *Handle) signalLocked() {
 }
 
 // gate implements deploy.Controller.StageGate: it holds the plan at the
-// stage barrier while the rollout is paused.
+// stage barrier while the rollout is paused. The hold is measured into
+// the stage-barrier histogram and, when the rollout is traced, recorded
+// as a gate-wait span (zero-width for barriers crossed without pausing).
 func (h *Handle) gate(ctx context.Context, stage int) error {
+	if h.orch != nil {
+		defer h.orch.Telemetry.Histogram("mirage_stage_barrier_seconds",
+			"Time rollouts spent holding at stage barriers.", "", 1e-9).
+			With("").Time()()
+	}
+	_, end := telemetry.StartSpan(ctx, "gate-wait", fmt.Sprintf("stage %d", stage), "")
+	defer func() { end(nil) }()
 	for {
 		h.mu.Lock()
 		if !h.paused {

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/deploy"
 	"repro/internal/pkgmgr"
+	"repro/internal/telemetry"
 )
 
 // Engine runs journaled deployments over a deploy.Controller: the
@@ -47,6 +48,10 @@ type Engine struct {
 	// returning, journaling each revert. The journal then ends in the
 	// second terminal state: rollback_complete.
 	AutoRollback bool
+	// Telemetry, when set, is handed to the journal so fsync latency and
+	// group-commit batch sizes land in the operational histograms (nil is
+	// a no-op; the controller carries its own Telemetry field).
+	Telemetry *telemetry.Registry
 }
 
 // teeObserver journals each event first and forwards it to the secondary
@@ -92,6 +97,7 @@ func (e *Engine) Deploy(ctx context.Context, policy deploy.Policy, up *pkgmgr.Up
 		if err != nil {
 			return nil, err
 		}
+		journal.Telemetry = e.Telemetry
 		cursor, term, rerr := replay(records, plan, refs)
 		if rerr != nil {
 			journal.Close()
@@ -133,6 +139,7 @@ func (e *Engine) Deploy(ctx context.Context, policy deploy.Policy, up *pkgmgr.Up
 		if err != nil {
 			return nil, err
 		}
+		journal.Telemetry = e.Telemetry
 		if err := journal.Append(PlanRecord(plan, refs, up.ID)); err != nil {
 			journal.Close()
 			return nil, err
@@ -176,6 +183,7 @@ func (e *Engine) Rollback(ctx context.Context, policy deploy.Policy, clusters []
 	if err != nil {
 		return nil, err
 	}
+	j.Telemetry = e.Telemetry
 	cursor, term, err := replay(records, plan, refs)
 	if err != nil {
 		j.Close()

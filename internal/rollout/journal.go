@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"repro/internal/staging"
+	"repro/internal/telemetry"
 )
 
 // Record types, in the order a healthy journal sees them.
@@ -126,6 +127,10 @@ type Journal struct {
 	// GroupWindow bounds how long a buffered record may stay unsynced
 	// (0 means DefaultGroupWindow). Read at first buffered append.
 	GroupWindow time.Duration
+
+	// Telemetry, when set, receives fsync latency and group-commit batch
+	// size observations (nil is a no-op).
+	Telemetry *telemetry.Registry
 
 	pending int         // records written but not yet fsynced
 	syncErr error       // sticky: a failed background sync poisons the journal
@@ -260,9 +265,15 @@ func (j *Journal) writeLocked(rec Record) error {
 // syncLocked fsyncs the file and settles the pending count; callers hold
 // j.mu.
 func (j *Journal) syncLocked() error {
+	batch := j.pending
+	t0 := time.Now()
 	if err := j.f.Sync(); err != nil {
 		return fmt.Errorf("rollout: syncing journal: %w", err)
 	}
+	j.Telemetry.Histogram("mirage_journal_fsync_seconds",
+		"Journal fsync latency.", "", 1e-9).With("").ObserveSince(t0)
+	j.Telemetry.Histogram("mirage_journal_batch_records",
+		"Journal records made durable per fsync (group-commit batch size).", "", 1).With("").Observe(int64(batch))
 	j.syncs.Add(1)
 	j.pending = 0
 	return nil

@@ -1,0 +1,41 @@
+package telemetry
+
+import "context"
+
+type ctxKey struct{}
+
+type ctxSpan struct {
+	t  *Trace
+	id SpanID
+}
+
+// NewContext returns ctx carrying a trace and the current span, so
+// instrumentation downstream (deploy workers, transport RPCs) attaches
+// children without any plumbing through intermediate signatures.
+func NewContext(ctx context.Context, t *Trace, id SpanID) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, ctxSpan{t, id})
+}
+
+// FromContext returns the trace and span carried by ctx (nil, 0 if none).
+func FromContext(ctx context.Context) (*Trace, SpanID) {
+	if v, ok := ctx.Value(ctxKey{}).(ctxSpan); ok {
+		return v.t, v.id
+	}
+	return nil, 0
+}
+
+// StartSpan begins a child of the span carried by ctx and returns a
+// derived context carrying it plus the completion function. Without a
+// trace in ctx it returns ctx unchanged and a no-op, so callers
+// instrument unconditionally.
+func StartSpan(ctx context.Context, kind, name, node string) (context.Context, func(err error)) {
+	t, parent := FromContext(ctx)
+	if t == nil {
+		return ctx, func(error) {}
+	}
+	id := t.Begin(parent, kind, name, node)
+	return NewContext(ctx, t, id), func(err error) { t.End(id, err) }
+}

@@ -1,0 +1,188 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// SpanID identifies a span within one Trace; 0 is "no span".
+type SpanID uint64
+
+// Span is one timed operation in a rollout's span tree. Kinds in use:
+// "rollout", "admission-wait", "stage", "wave", "gate-wait", "test",
+// "integrate", "rollback", "budget-wait", "backoff", "rpc". Node names
+// the fleet member the span ran against ("" for control-plane spans) and
+// doubles as the span's lane in the Chrome export. Times are nanoseconds
+// relative to the trace start.
+type Span struct {
+	ID      SpanID `json:"id"`
+	Parent  SpanID `json:"parent,omitempty"`
+	Kind    string `json:"kind"`
+	Name    string `json:"name,omitempty"`
+	Node    string `json:"node,omitempty"`
+	StartNS int64  `json:"start_ns"`
+	DurNS   int64  `json:"dur_ns"`
+	Bytes   int64  `json:"bytes,omitempty"`
+	Err     string `json:"err,omitempty"`
+	Open    bool   `json:"open,omitempty"`
+}
+
+// Trace records one rollout's spans. Completed spans land in a bounded
+// ring: once max spans have completed, each new completion overwrites
+// the oldest, so a 100k-member rollout keeps its most recent window
+// instead of growing without bound (Dropped counts the overwritten).
+// All methods are nil-safe.
+type Trace struct {
+	id    string
+	start time.Time
+	max   int
+
+	mu      sync.Mutex
+	nextID  SpanID
+	open    map[SpanID]*Span
+	ring    []Span
+	ringPos int
+	dropped int64
+}
+
+// ID returns the rollout ID the trace records.
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// Begin starts a span under parent (0 for a root) and returns its ID.
+func (t *Trace) Begin(parent SpanID, kind, name, node string) SpanID {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nextID++
+	id := t.nextID
+	t.open[id] = &Span{
+		ID: id, Parent: parent, Kind: kind, Name: name, Node: node,
+		StartNS: time.Since(t.start).Nanoseconds(),
+	}
+	return id
+}
+
+// End completes a span; err ("" when nil) is recorded on it.
+func (t *Trace) End(id SpanID, err error) { t.EndBytes(id, 0, err) }
+
+// EndBytes completes a span carrying a byte count (RPC frame bytes).
+func (t *Trace) EndBytes(id SpanID, bytes int64, err error) {
+	if t == nil || id == 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := t.open[id]
+	if s == nil {
+		return
+	}
+	delete(t.open, id)
+	s.DurNS = time.Since(t.start).Nanoseconds() - s.StartNS
+	s.Bytes = bytes
+	if err != nil {
+		s.Err = err.Error()
+	}
+	if len(t.ring) < t.max {
+		t.ring = append(t.ring, *s)
+		return
+	}
+	t.ring[t.ringPos] = *s
+	t.ringPos = (t.ringPos + 1) % t.max
+	t.dropped++
+}
+
+// TraceSnapshot is the exportable state of a trace: all retained spans
+// sorted by start time (open spans included, flagged Open).
+type TraceSnapshot struct {
+	RolloutID string    `json:"rollout_id"`
+	Start     time.Time `json:"start"`
+	Dropped   int64     `json:"dropped_spans,omitempty"`
+	Spans     []Span    `json:"spans"`
+}
+
+// Snapshot copies the retained spans.
+func (t *Trace) Snapshot() TraceSnapshot {
+	if t == nil {
+		return TraceSnapshot{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	spans := make([]Span, 0, len(t.ring)+len(t.open))
+	spans = append(spans, t.ring...)
+	now := time.Since(t.start).Nanoseconds()
+	for _, s := range t.open {
+		cp := *s
+		cp.DurNS = now - cp.StartNS
+		cp.Open = true
+		spans = append(spans, cp)
+	}
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].StartNS != spans[j].StartNS {
+			return spans[i].StartNS < spans[j].StartNS
+		}
+		return spans[i].ID < spans[j].ID
+	})
+	return TraceSnapshot{RolloutID: t.id, Start: t.start, Dropped: t.dropped, Spans: spans}
+}
+
+// Tracer owns the per-rollout traces a control plane retains: at most
+// MaxTraces rollouts (oldest evicted) of at most MaxSpans completed
+// spans each. The zero value is ready to use with the defaults; a nil
+// *Tracer disables tracing entirely.
+type Tracer struct {
+	MaxSpans  int // completed-span ring per trace (default 16384)
+	MaxTraces int // retained rollout traces (default 8)
+
+	mu     sync.Mutex
+	traces map[string]*Trace
+	order  []string
+}
+
+// Start creates (or restarts) the trace for one rollout ID, evicting the
+// oldest trace beyond MaxTraces.
+func (tr *Tracer) Start(id string) *Trace {
+	if tr == nil {
+		return nil
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if tr.traces == nil {
+		tr.traces = map[string]*Trace{}
+	}
+	maxSpans := tr.MaxSpans
+	if maxSpans <= 0 {
+		maxSpans = 16384
+	}
+	maxTraces := tr.MaxTraces
+	if maxTraces <= 0 {
+		maxTraces = 8
+	}
+	if _, ok := tr.traces[id]; !ok {
+		tr.order = append(tr.order, id)
+	}
+	t := &Trace{id: id, start: time.Now(), max: maxSpans, open: map[SpanID]*Span{}}
+	tr.traces[id] = t
+	for len(tr.order) > maxTraces {
+		delete(tr.traces, tr.order[0])
+		tr.order = tr.order[1:]
+	}
+	return t
+}
+
+// Get returns the retained trace for a rollout ID, or nil.
+func (tr *Tracer) Get(id string) *Trace {
+	if tr == nil {
+		return nil
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return tr.traces[id]
+}

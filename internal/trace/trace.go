@@ -11,6 +11,11 @@
 // heuristic in internal/envid and the validation subsystem in
 // internal/vmtest — operate only on these logs, so they are agnostic to
 // whether the trace came from real instrumentation or the simulator.
+//
+// Not to be confused with internal/telemetry, the control plane's
+// operational observability layer (latency histograms and per-rollout
+// span traces). This package records what an upgrade does to a user
+// machine; telemetry records what the deployment system itself does.
 package trace
 
 import "fmt"

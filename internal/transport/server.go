@@ -19,6 +19,7 @@ import (
 	"repro/internal/profile"
 	"repro/internal/report"
 	"repro/internal/resource"
+	"repro/internal/telemetry"
 )
 
 // DefaultRPCTimeout bounds each vendor-initiated call; upgrade validation
@@ -168,7 +169,10 @@ func (ac *agentConn) call(ctx context.Context, req Frame, timeout time.Duration)
 
 // callBody is call with an optional binary chunk body: when body is
 // non-nil, req.ChunkMeta must announce it and the raw bytes are written
-// immediately after the header, inside the same buffered burst.
+// immediately after the header, inside the same buffered burst. It is
+// also the telemetry choke point: every vendor→agent RPC books its
+// latency and written bytes here (per-op histograms on the server's
+// registry, an "rpc" span on whatever rollout trace rides ctx).
 func (ac *agentConn) callBody(ctx context.Context, req Frame, body []distrib.Chunk, timeout time.Duration) (Frame, error) {
 	if err := ctx.Err(); err != nil {
 		return Frame{}, fmt.Errorf("transport: %s to %s: %w", req.Op, ac.name, err)
@@ -178,6 +182,39 @@ func (ac *agentConn) callBody(ctx context.Context, req Frame, body []distrib.Chu
 	if ac.replaced.Load() {
 		return Frame{}, fmt.Errorf("transport: %s to %s: %w", req.Op, ac.name, ErrAgentReplaced)
 	}
+	tr, parent := telemetry.FromContext(ctx)
+	var span telemetry.SpanID
+	if tr != nil {
+		span = tr.Begin(parent, "rpc", req.Op, ac.name)
+	}
+	t0 := time.Now()
+	bytes0 := ac.stats.bytes.Load()
+	resp, err := ac.exchange(ctx, req, body, timeout)
+	// ac.mu serializes RPCs on this channel, so the connection byte
+	// counter's delta across the exchange is exactly this call's writes
+	// (JSON header plus any binary chunk body).
+	sent := ac.stats.bytes.Load() - bytes0
+	lat, by := ac.srv.rpcHists()
+	lat.With(req.Op).ObserveSince(t0)
+	by.With(req.Op).Observe(sent)
+	tr.EndBytes(span, sent, err)
+	return resp, err
+}
+
+// rpcHists returns the cached RPC latency and frame-byte families
+// (nil families when no registry is wired — every method no-ops).
+func (s *Server) rpcHists() (*telemetry.Family, *telemetry.Family) {
+	s.telemOnce.Do(func() {
+		s.rpcLatency = s.Telemetry.Histogram("mirage_rpc_latency_seconds",
+			"Vendor-to-agent RPC latency by op, faults and deadline waits included.", "op", 1e-9)
+		s.rpcBytes = s.Telemetry.Histogram("mirage_rpc_frame_bytes",
+			"Bytes written to the agent socket per RPC by op (frame header plus chunk body).", "op", 1)
+	})
+	return s.rpcLatency, s.rpcBytes
+}
+
+// exchange performs the locked wire exchange behind callBody.
+func (ac *agentConn) exchange(ctx context.Context, req Frame, body []distrib.Chunk, timeout time.Duration) (Frame, error) {
 	// Vendor-side chaos: the injector's verdict for this call. Drop and
 	// crash kill the channel before the frame leaves (the agent never saw
 	// the call); reset kills it after the flush (the agent acts on a
@@ -191,7 +228,10 @@ func (ac *agentConn) callBody(ctx context.Context, req Frame, body []distrib.Chu
 			return Frame{}, ac.fail(ctx, req.Op, errFaultInjected)
 		case FaultDelay:
 			ac.bookFault()
-			time.Sleep(fi.DelayBy())
+			d := fi.DelayBy()
+			time.Sleep(d)
+			ac.srv.Telemetry.Histogram("mirage_fault_delay_seconds",
+				"Injected fault delay absorbed by agent RPCs.", "", 1e-9).With("").Observe(int64(d))
 		case FaultCorrupt:
 			ac.bookFault()
 			if body != nil {
@@ -351,6 +391,19 @@ type Server struct {
 	// agent crashes per the injector's FaultPlan. Set it before deploying;
 	// production servers leave it nil.
 	Faults *FaultInjector
+
+	// Telemetry, when set, receives per-op RPC latency and frame-byte
+	// histograms plus injected-delay accounting (nil is a no-op). RPC
+	// spans additionally land in whatever rollout trace rides the call's
+	// context, independent of this registry. Set it before serving
+	// starts: the RPC path caches its family handles on first use.
+	Telemetry *telemetry.Registry
+
+	// telemOnce caches the RPC hot-path histogram families so each call
+	// skips the registry's by-name lookup (a global mutex).
+	telemOnce  sync.Once
+	rpcLatency *telemetry.Family
+	rpcBytes   *telemetry.Family
 
 	// rollbackMode marks that pushes currently restore members to the
 	// baseline version (Controller.Rollback is driving the fleet), so
