@@ -28,6 +28,7 @@ func main() {
 	reconnect := flag.Bool("reconnect", true, "redial the vendor with backoff when the control channel drops, preserving identity and chunk cache; the agent exits once redials stop succeeding")
 	reconnectAttempts := flag.Int("reconnect-attempts", 5, "consecutive failed redials before concluding the vendor is gone")
 	peerListen := flag.String("peer-listen", "", "address to serve the chunk cache to peer agents on (e.g. 127.0.0.1:0; empty = peer serving disabled); the bound address is advertised to the vendor, which hints this agent to later waves once its wave gates")
+	watch := flag.Duration("watch", 0, "re-fingerprint this machine at the given interval and push profile deltas to the vendor, so the control plane sees live drift (0 = disabled); an unchanged machine pushes nothing")
 	sim := flag.Int("sim", 0, "scale harness: instead of one full agent, run this many protocol-faithful simulated agents (canned validation, shared chunk cache) against the vendor — thousands per process")
 	simPrefix := flag.String("sim-prefix", "sim", "machine-name prefix for -sim agents (names are <prefix>-000000 ...)")
 	logOpts := logx.Flags(flag.CommandLine)
@@ -83,6 +84,12 @@ func main() {
 		}
 		defer agent.ClosePeers()
 		slog.Info("serving peer chunks", "agent", m.Name, "addr", addr)
+	}
+	if *watch > 0 {
+		stop := make(chan struct{})
+		defer close(stop)
+		go agent.Watch(*connect, *watch, stop)
+		slog.Info("watching for drift", "agent", m.Name, "interval", *watch)
 	}
 	slog.Info("connecting to vendor", "agent", m.Name, "vendor", *connect)
 	var err error

@@ -6,6 +6,7 @@
 //
 //	start [-policy NAME] [-resume] [-journal FILE]
 //	      [-auto-rollback] [-gate-baseline R -gate-excess R -gate-min-samples N]
+//	      [-drift-max N -drift-action journal|hold|restage]
 //	                                                 start a rollout
 //	list                                             all rollouts
 //	status <id>                                      one rollout's snapshot
@@ -16,6 +17,8 @@
 //	rollback <id>                                    drive an abandoned rollout's
 //	                                                 members back to the baseline
 //	wait <id>                                        block until terminal
+//	drift                                            live fleet view and drifted members
+//	refresh                                          full fleet re-fingerprint
 //
 // Exit codes mirror mirage-vendor: 0 success, 1 transport/usage trouble,
 // 3 the awaited rollout ended in any state but succeeded.
@@ -23,11 +26,13 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
+	"repro/internal/fleetwatch"
 	"repro/internal/logx"
 	"repro/internal/orchestrator"
 )
@@ -75,6 +80,10 @@ func main() {
 		err = verb(ctx, c.Abort, rest)
 	case "rollback":
 		err = verb(ctx, c.Rollback, rest)
+	case "drift":
+		err = fleetView(ctx, c.FleetDrift)
+	case "refresh":
+		err = fleetView(ctx, c.FleetRefresh)
 	case "wait":
 		err = withID(rest, func(id string) error {
 			st, e := c.Wait(ctx, id, 30*time.Second)
@@ -98,7 +107,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: mirage-ctl [-server URL] start|list|status|events|pause|resume|abort|rollback|wait [args]\n")
+	fmt.Fprintf(os.Stderr, "usage: mirage-ctl [-server URL] start|list|status|events|pause|resume|abort|rollback|wait|drift|refresh [args]\n")
 }
 
 func withID(args []string, f func(string) error) error {
@@ -128,6 +137,8 @@ func start(ctx context.Context, c *orchestrator.Client, args []string) error {
 	gateBaseline := fs.Float64("gate-baseline", 0, "canary gate: expected baseline failure rate")
 	gateExcess := fs.Float64("gate-excess", 0, "canary gate: tolerated excess failure rate")
 	gateMinSamples := fs.Int("gate-min-samples", 0, "canary gate: minimum verdicts before deciding (0 = server default gating)")
+	driftMax := fs.Int("drift-max", 0, "drifted members a cluster tolerates before the drift action fires")
+	driftAction := fs.String("drift-action", "", "what exceeding -drift-max does: journal, hold or restage (empty = journal)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -135,6 +146,7 @@ func start(ctx context.Context, c *orchestrator.Client, args []string) error {
 		Policy: *policy, Resume: *resume, Journal: *journal,
 		AutoRollback: *autoRollback, GateBaseline: *gateBaseline,
 		GateMaxExcess: *gateExcess, GateMinSamples: *gateMinSamples,
+		DriftMax: *driftMax, DriftAction: *driftAction,
 	})
 	if err != nil {
 		return err
@@ -196,6 +208,32 @@ func events(ctx context.Context, c *orchestrator.Client, args []string) error {
 	})
 }
 
+// fleetView fetches and prints the control plane's fleet view — the live
+// one (drift) or a freshly re-fingerprinted one (refresh).
+func fleetView(ctx context.Context, fetch func(context.Context) (json.RawMessage, error)) error {
+	raw, err := fetch(ctx)
+	if err != nil {
+		return err
+	}
+	var v fleetwatch.FleetView
+	if err := json.Unmarshal(raw, &v); err != nil {
+		return fmt.Errorf("decoding fleet view: %w", err)
+	}
+	fmt.Printf("fleet view v%d: %d machines in %d clusters, %d drifted\n",
+		v.Version, v.Machines, len(v.Clusters), len(v.Drifted))
+	for _, c := range v.Clusters {
+		line := fmt.Sprintf("  %-10s distance=%-3d members=%d", c.Name, c.Distance, len(c.Machines))
+		if c.Gated {
+			line += " [gated]"
+		}
+		fmt.Println(line)
+	}
+	for _, m := range v.Drifted {
+		fmt.Printf("  drifted: %s\n", m)
+	}
+	return nil
+}
+
 func printStatus(st orchestrator.Status) {
 	fmt.Printf("rollout %s: %s\n", st.ID, st.State)
 	fmt.Printf("  policy=%s stage=%d/%d gates=%d rounds=%d upgrade=%s", st.Policy, st.Stage+1, st.Stages, st.GatesPassed, st.Rounds, st.UpgradeID)
@@ -207,6 +245,16 @@ func printStatus(st orchestrator.Status) {
 		st.Tested, st.Failures, st.Integrated, len(st.Members), st.Quarantined, st.Events)
 	if st.Baseline != "" {
 		fmt.Printf("  rolled_back=%d baseline=%s\n", st.RolledBack, st.Baseline)
+	}
+	if st.Drifted > 0 || st.DriftHold != "" {
+		fmt.Printf("  drifted=%d", st.Drifted)
+		if st.DriftHold != "" {
+			fmt.Printf(" drift_hold=%q", st.DriftHold)
+		}
+		if st.RestagedAs != "" {
+			fmt.Printf(" restaged_as=%s", st.RestagedAs)
+		}
+		fmt.Println()
 	}
 	if st.Transfer != nil {
 		fmt.Printf("  transfer bytes=%d chunk_bytes=%d chunk_hits=%d chunk_misses=%d peer_bytes=%d peer_hits=%d vendor_fallbacks=%d rollback_chunks=%d faults_injected=%d\n",

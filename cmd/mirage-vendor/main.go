@@ -32,6 +32,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -41,11 +42,14 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
+	"syscall"
 	"time"
 
 	"repro/internal/apps"
 	"repro/internal/cluster"
 	"repro/internal/deploy"
+	"repro/internal/fleetwatch"
 	"repro/internal/logx"
 	"repro/internal/machine"
 	"repro/internal/orchestrator"
@@ -71,11 +75,51 @@ func fatal(msg string, args ...any) {
 	os.Exit(exitInfra)
 }
 
+// Flag defaults overridable by environment variables, so a container
+// image can bake operational defaults (MIRAGE_ADMIN_ADDR, …) without
+// rewriting the command line; an explicit flag still wins.
+func envStr(key, def string) string {
+	if v, ok := os.LookupEnv(key); ok {
+		return v
+	}
+	return def
+}
+
+func envInt(key string, def int) int {
+	if v, ok := os.LookupEnv(key); ok {
+		if n, err := strconv.Atoi(v); err == nil {
+			return n
+		}
+		slog.Warn("ignoring unparsable env override", "var", key, "value", v)
+	}
+	return def
+}
+
+func envBool(key string, def bool) bool {
+	if v, ok := os.LookupEnv(key); ok {
+		if b, err := strconv.ParseBool(v); err == nil {
+			return b
+		}
+		slog.Warn("ignoring unparsable env override", "var", key, "value", v)
+	}
+	return def
+}
+
+func envDur(key string, def time.Duration) time.Duration {
+	if v, ok := os.LookupEnv(key); ok {
+		if d, err := time.ParseDuration(v); err == nil {
+			return d
+		}
+		slog.Warn("ignoring unparsable env override", "var", key, "value", v)
+	}
+	return def
+}
+
 func main() {
-	listen := flag.String("listen", "127.0.0.1:7033", "address to listen on for agents")
-	agents := flag.Int("agents", 1, "number of agents to wait for")
-	wait := flag.Duration("wait", 30*time.Second, "how long to wait for agents")
-	policy := flag.String("policy", "balanced", "deployment policy: balanced, frontloading, nostaging, random or adaptive")
+	listen := flag.String("listen", envStr("MIRAGE_LISTEN_ADDR", "127.0.0.1:7033"), "address to listen on for agents (env MIRAGE_LISTEN_ADDR)")
+	agents := flag.Int("agents", envInt("MIRAGE_AGENTS", 1), "number of agents to wait for (env MIRAGE_AGENTS)")
+	wait := flag.Duration("wait", envDur("MIRAGE_WAIT", 30*time.Second), "how long to wait for agents (env MIRAGE_WAIT)")
+	policy := flag.String("policy", envStr("MIRAGE_POLICY", "balanced"), "deployment policy: balanced, frontloading, nostaging, random or adaptive (env MIRAGE_POLICY)")
 	diameter := flag.Int("d", 3, "QT clustering diameter")
 	parallel := flag.Int("parallel", deploy.DefaultParallelism, "worker-pool size for node testing within a wave")
 	profilePar := flag.Int("profile-parallel", 0, "concurrent agent fingerprint RPCs while profiling the fleet (0 = default)")
@@ -86,13 +130,13 @@ func main() {
 	urrFile := flag.String("urr", "", "save the report repository to this file after deployment")
 	journal := flag.String("journal", "", "write-ahead deployment journal file for the one-shot rollout: every state transition is persisted, making the deployment durable and resumable")
 	resume := flag.Bool("resume", false, "resume the rollout recorded in -journal (skip stages and members it records as done) instead of starting fresh")
-	serve := flag.Bool("serve", false, "control-plane mode: expose the HTTP admin API on -admin and start rollouts on demand (mirage-ctl) instead of running one and exiting")
-	admin := flag.String("admin", "127.0.0.1:7080", "address for the HTTP control plane (one-shot mode serves it too, so a running rollout can be paused or aborted)")
-	journalDir := flag.String("journal-dir", "", "directory for per-rollout journals in -serve mode (empty = unjournaled rollouts unless the start request names a journal)")
-	shards := flag.Int("shards", 0, "agent-registry shard count, rounded up to a power of two (0 = derive from GOMAXPROCS); more shards mean less lock contention under registration storms and concurrent rollouts")
-	workerBudget := flag.Int("worker-budget", 0, "vendor-wide cap on concurrently in-flight member RPCs shared by ALL rollouts (0 = unlimited); individual rollouts still honor -parallel within it")
-	maxRollouts := flag.Int("max-rollouts", 0, "admission control: rollouts allowed to execute concurrently (0 = unbounded); POST /rollouts beyond this and -max-queued returns 429")
-	maxQueued := flag.Int("max-queued", 0, "rollouts allowed to queue for an execution slot when -max-rollouts are active (0 = reject immediately)")
+	serve := flag.Bool("serve", envBool("MIRAGE_SERVE", false), "control-plane mode: expose the HTTP admin API on -admin and start rollouts on demand (mirage-ctl) instead of running one and exiting (env MIRAGE_SERVE)")
+	admin := flag.String("admin", envStr("MIRAGE_ADMIN_ADDR", "127.0.0.1:7080"), "address for the HTTP control plane (one-shot mode serves it too, so a running rollout can be paused or aborted) (env MIRAGE_ADMIN_ADDR)")
+	journalDir := flag.String("journal-dir", envStr("MIRAGE_JOURNAL_DIR", ""), "directory for per-rollout journals in -serve mode (empty = unjournaled rollouts unless the start request names a journal) (env MIRAGE_JOURNAL_DIR)")
+	shards := flag.Int("shards", envInt("MIRAGE_SHARDS", 0), "agent-registry shard count, rounded up to a power of two (0 = derive from GOMAXPROCS); more shards mean less lock contention under registration storms and concurrent rollouts")
+	workerBudget := flag.Int("worker-budget", envInt("MIRAGE_WORKER_BUDGET", 0), "vendor-wide cap on concurrently in-flight member RPCs shared by ALL rollouts (0 = unlimited); individual rollouts still honor -parallel within it (env MIRAGE_WORKER_BUDGET)")
+	maxRollouts := flag.Int("max-rollouts", envInt("MIRAGE_MAX_ROLLOUTS", 0), "admission control: rollouts allowed to execute concurrently (0 = unbounded); POST /rollouts beyond this and -max-queued returns 429 (env MIRAGE_MAX_ROLLOUTS)")
+	maxQueued := flag.Int("max-queued", envInt("MIRAGE_MAX_QUEUED", 0), "rollouts allowed to queue for an execution slot when -max-rollouts are active (0 = reject immediately) (env MIRAGE_MAX_QUEUED)")
 	pprofFlag := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ on the admin API")
 	autoRollback := flag.Bool("auto-rollback", false, "journaled automatic rollback: when the vendor abandons the upgrade, drive every integrated member back to the mysql 4.1.22 baseline through the chunk machinery in reverse")
 	gateBaseline := flag.Float64("gate-baseline", 0, "canary gate: expected baseline failure rate (see -gate-min-samples)")
@@ -140,6 +184,52 @@ func main() {
 		slog.Info("chaos: fault injection armed", "seed", *faultSeed, "drop", *faultDrop,
 			"delay", *faultDelay, "corrupt", *faultCorrupt, "reset", *faultReset)
 	}
+	// Live-fleet drift: the monitor exists once the fleet is profiled; the
+	// delta hook is installed before serving so an agent that pushes early
+	// gets a clean "not yet" error instead of a race. The orchestrator
+	// pointer is published the same way — the bridge from a classified
+	// drift event to rollout gating.
+	var fleetMu sync.Mutex
+	var monitor *fleetwatch.Monitor
+	var driftOrch *orchestrator.Orchestrator
+	getMonitor := func() *fleetwatch.Monitor {
+		fleetMu.Lock()
+		defer fleetMu.Unlock()
+		return monitor
+	}
+	srv.OnProfileDelta = func(req *transport.ProfileDeltaReq) (bool, error) {
+		m := getMonitor()
+		if m == nil {
+			return false, errors.New("fleet not profiled yet")
+		}
+		if b, err := json.Marshal(req); err == nil {
+			m.ObserveDeltaBytes(len(b), req.Full)
+		}
+		ev, err := m.ApplyDelta(req.Machine, req.AppSet,
+			transport.ItemsFromWire(req.Added).Items(),
+			transport.ItemsFromWire(req.Removed).Items(), req.Sig, req.Full)
+		if err != nil {
+			var rs *fleetwatch.ErrResync
+			if errors.As(err, &rs) {
+				return true, nil // ask the agent for its full profile
+			}
+			return false, err
+		}
+		if ev.Class != fleetwatch.ClassStable {
+			slog.Info("fleet drift", "machine", ev.Machine, "class", string(ev.Class),
+				"from", ev.From, "to", ev.To, "view", ev.Version)
+			fleetMu.Lock()
+			o := driftOrch
+			fleetMu.Unlock()
+			if o != nil {
+				o.NotifyDrift(orchestrator.DriftEvent{
+					Machine: ev.Machine, Cluster: ev.From, To: ev.To,
+					Class: string(ev.Class), Version: ev.Version,
+				})
+			}
+		}
+		return false, nil
+	}
 	slog.Info("vendor listening", "addr", srv.Addr(), "agents_expected", *agents)
 	if got := srv.WaitForAgents(*agents, *wait); got < *agents {
 		fatal("agents missing at deadline", "registered", got, "expected", *agents)
@@ -147,7 +237,7 @@ func main() {
 	names := srv.Agents()
 	slog.Info("agents registered", "names", names)
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	// Ask every agent to identify resources and record baselines.
@@ -184,6 +274,11 @@ func main() {
 		fatal("fleet clustering failed", "err", err)
 	}
 	dcs := rc.Deploy
+	fleetMu.Lock()
+	monitor = fleetwatch.NewMonitor(cluster.NewSnapshot(
+		cluster.Config{Diameter: *diameter}, profile.Fingerprints(rc.Profiles), rc.Clusters), telem)
+	monitor.SetRepresentatives(dcs)
+	fleetMu.Unlock()
 	slog.Info("fleet profiled", "agents", len(rc.Profiles),
 		"distinct_profiles", profile.Distinct(rc.Profiles), "clusters", len(rc.Clusters))
 	for _, c := range rc.Clusters {
@@ -200,6 +295,9 @@ func main() {
 	orch.MaxQueued = *maxQueued
 	orch.Telemetry = telem
 	orch.Tracer = tracer
+	fleetMu.Lock()
+	driftOrch = orch
+	fleetMu.Unlock()
 	vendorGate := staging.GatePolicy{}
 	if *gateMinSamples > 0 {
 		vendorGate = staging.GatePolicy{Enabled: true, BaselineFailureRate: *gateBaseline,
@@ -227,16 +325,47 @@ func main() {
 			Journal:      req.Journal,
 			Resume:       req.Resume,
 			Rebuild:      rebuildRelease,
-			Configure:    configure(*parallel, srv),
+			Configure:    configure(*parallel, srv, getMonitor),
 			Gate:         gate,
 			Baseline:     mysql4(),
 			AutoRollback: *autoRollback || req.AutoRollback,
+			Drift:        req.DriftPolicy(),
+			Restage: func() ([]*deploy.Cluster, error) {
+				m := getMonitor()
+				if m == nil {
+					return nil, errors.New("fleet monitor not initialised")
+				}
+				return m.DeployClusters(1, func(name string) deploy.Node { return srv.Node(name) })
+			},
 		}, nil
 	}
 	api := &orchestrator.API{
 		Orch: orch, Launch: launch, Base: ctx,
 		EnablePprof: *pprofFlag,
 		Metrics:     []orchestrator.MetricsFunc{transportMetrics(srv)},
+		FleetDrift: func() (any, error) {
+			m := getMonitor()
+			if m == nil {
+				return nil, errors.New("fleet not profiled yet")
+			}
+			return m.View(), nil
+		},
+		// POST /fleet/refresh: full re-fingerprint of every registered
+		// agent into a fresh fleet view version (drift flags reset — the
+		// new view is ground truth, not a delta).
+		FleetRefresh: func() (any, error) {
+			m := getMonitor()
+			if m == nil {
+				return nil, errors.New("fleet not profiled yet")
+			}
+			fps, err := srv.FingerprintAll(ctx, "mysql", refs, refCfg, vendorItems)
+			if err != nil {
+				return nil, err
+			}
+			v := m.Refresh(fps)
+			slog.Info("fleet refreshed", "view", v.Version, "machines", v.Machines, "clusters", len(v.Clusters))
+			return v, nil
+		},
 	}
 	httpSrv := &http.Server{Addr: *admin, Handler: api.Handler()}
 	go func() {
@@ -249,8 +378,16 @@ func main() {
 
 	if *serve {
 		// Control-plane mode: rollouts arrive over HTTP; run until
-		// interrupted, then drain.
+		// interrupted (SIGINT or SIGTERM), then drain gracefully: stop
+		// taking admissions first — in-flight HTTP requests finish, new
+		// ones are refused — then unwind the admission queue and abort
+		// whatever is still executing.
 		<-ctx.Done()
+		slog.Info("drain: signal received; refusing new admissions",
+			"active", orch.Active(), "queued", orch.Queued())
+		shutCtx, cancelShut := context.WithTimeout(context.Background(), 5*time.Second)
+		httpSrv.Shutdown(shutCtx) //nolint:errcheck — drain is best-effort past the timeout
+		cancelShut()
 		for _, h := range orch.List() {
 			if st := h.Status(); !st.State.Terminal() {
 				slog.Info("interrupt: aborting rollout", "rollout", h.ID())
@@ -377,14 +514,20 @@ func transportMetrics(srv *transport.Server) orchestrator.MetricsFunc {
 }
 
 // configure installs the vendor's controller tuning on each rollout.
-func configure(parallel int, srv *transport.Server) func(*deploy.Controller) {
+func configure(parallel int, srv *transport.Server, getMonitor func() *fleetwatch.Monitor) func(*deploy.Controller) {
 	return func(ctl *deploy.Controller) {
 		ctl.Parallelism = parallel
 		ctl.Transfer = srv.TransferSnapshot
 		// Each gated wave's members become peer chunk servers for the
-		// waves that follow — the hook that turns staged order into swarm
-		// seeding.
-		ctl.GatedMembers = srv.MarkPeerEligible
+		// waves that follow, and the drift monitor treats their clusters
+		// as rep-invalidated on any member change — one hook feeding both
+		// the swarm tier and drift classification.
+		ctl.GatedMembers = func(names []string) {
+			srv.MarkPeerEligible(names)
+			if m := getMonitor(); m != nil {
+				m.MarkGated(names)
+			}
+		}
 		// Chunks moved while restoring members book as ChunksRolledBack.
 		ctl.RollbackMode = srv.SetRollbackMode
 	}

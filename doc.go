@@ -42,12 +42,22 @@
 // /healthz, Prometheus /metrics and optional pprof. transport.SimFleet
 // (mirage-agent -sim N) runs thousands of protocol-faithful simulated
 // agents per process for BenchmarkScale's 10k–100k rollout tiers.
+// Fleets stay live after profiling (internal/fleetwatch): agents started
+// with -watch re-fingerprint on an interval and push profile deltas, the
+// vendor's drift monitor folds each one into the cluster snapshot
+// incrementally (cluster.Snapshot.Update) and classifies the machine
+// stable, migrated, or drifted; drifted members of gated clusters are
+// journaled into every live rollout as RecDrift records and gated by
+// orchestrator.DriftPolicy — journal, hold at the next stage barrier, or
+// restage against the current fleet view (GET /fleet/drift and POST
+// /fleet/refresh expose the versioned view; mirage-ctl drift/refresh
+// drive them).
 //
 // The top-level vendor API is internal/core: ClusterFleet profiles and
 // clusters a fleet, StartDeployment launches a rollout handle, and
 // StageDeployment is the synchronous wrapper over the same path. The
 // paper's evaluation scenarios are reconstructed in internal/scenario
-// and internal/survey. ARCHITECTURE.md diagrams the five shared layers.
+// and internal/survey. ARCHITECTURE.md diagrams the six shared layers.
 //
 // The benchmarks in bench_test.go regenerate every table and figure of the
 // paper's evaluation; see EXPERIMENTS.md for the comparison against the

@@ -9,8 +9,12 @@
 // second concurrent rollout to show the orchestrator multiplexing, and —
 // the failure half of the lifecycle — a rollout whose canary gate fails
 // on a fleet with legacy user configuration, ending not stranded but in
-// a journaled automatic rollback to the baseline version. Every control
-// action goes over the wire; nothing touches the Handle directly.
+// a journaled automatic rollback to the baseline version. A final act
+// shows live-fleet drift gating: a rollout started with a hold drift
+// policy pauses at a stage barrier when a member of its plan drifts
+// mid-flight, and resumes on the operator's acknowledgement. Every
+// control action goes over the wire; nothing touches the Handle
+// directly.
 //
 //	go run ./examples/control-plane
 package main
@@ -161,6 +165,7 @@ func main() {
 				Policy:   policy,
 				Upgrade:  mysql5(),
 				Clusters: clusters(),
+				Drift:    req.DriftPolicy(),
 				Journal:  req.Journal,
 				Resume:   req.Resume,
 			}, nil
@@ -316,7 +321,59 @@ func main() {
 	fmt.Printf("journal %s sealed with %q — the rollout can never half-resume\n",
 		filepath.Base(st3.Journal), recs[len(recs)-1].Type)
 
-	// 8. Observability: the same admin mux serves liveness, Prometheus
+	// 8. Live-fleet drift gating. A rollout's plan is built from a
+	// snapshot of the fleet; machines keep changing underneath it. Started
+	// with drift_action=hold (and the default drift_max of zero), the
+	// first rep-invalidating drifted member pauses the rollout at its next
+	// stage barrier with Status.DriftHold naming the cluster over budget,
+	// and resume is the operator's acknowledgement. In mirage-vendor these
+	// events come from the fleetwatch monitor folding agents' -watch
+	// profile-delta pushes; this walkthrough fleet was clustered by hand,
+	// so we bridge one event into the orchestrator directly, exactly as
+	// the vendor's delta handler does.
+	var st4 orchestrator.Status
+	for attempt := 0; ; attempt++ {
+		if st4, err = ctl.Start(ctx, orchestrator.StartRequest{
+			Policy: "balanced", DriftAction: "hold",
+		}); err != nil {
+			log.Fatal(err)
+		}
+		orch.NotifyDrift(orchestrator.DriftEvent{
+			Machine: "c1-oth", To: "somewhere-new", Class: "drifted", Version: 1,
+		})
+		for st4.DriftHold == "" && !st4.State.Terminal() {
+			if st4, err = ctl.Get(ctx, st4.ID); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if st4.DriftHold != "" {
+			break
+		}
+		// The six-agent rollout outran the drift event; run it again.
+		if attempt == 5 {
+			log.Fatalf("rollout %s never observed the drift event", st4.ID)
+		}
+	}
+	fmt.Printf("rollout %s drift-held: %s (drifted=%d)\n",
+		st4.ID, st4.DriftHold, st4.Drifted)
+	for st4.State != orchestrator.StatePaused && !st4.State.Terminal() {
+		if st4, err = ctl.Get(ctx, st4.ID); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if st4.State == orchestrator.StatePaused {
+		if _, err := ctl.Resume(ctx, st4.ID); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if st4, err = ctl.Wait(ctx, st4.ID, 10*time.Second); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("rollout %s after operator ack: %s, %d/%d integrated (c1-oth drifted=%v)\n",
+		st4.ID, st4.State, st4.Integrated, len(st4.Members),
+		st4.Members["c1-oth"].Drifted)
+
+	// 9. Observability: the same admin mux serves liveness, Prometheus
 	// metrics (the scalar families plus the telemetry registry's latency
 	// histograms) and each rollout's span trace — raw JSON or Chrome
 	// trace-event format that loads straight into Perfetto. With

@@ -144,6 +144,23 @@ func (c *Client) Events(ctx context.Context, id string, since int, wait time.Dur
 	return er, err
 }
 
+// FleetDrift returns the control plane's live drift view as raw JSON
+// (the orchestrator is deliberately ignorant of the fleet-watch types;
+// callers that want structure decode into fleetwatch.FleetView).
+func (c *Client) FleetDrift(ctx context.Context) (json.RawMessage, error) {
+	var raw json.RawMessage
+	err := c.do(ctx, http.MethodGet, "/fleet/drift", nil, &raw)
+	return raw, err
+}
+
+// FleetRefresh asks the vendor for a full fleet re-fingerprint into a
+// fresh fleet view, returned as raw JSON.
+func (c *Client) FleetRefresh(ctx context.Context) (json.RawMessage, error) {
+	var raw json.RawMessage
+	err := c.do(ctx, http.MethodPost, "/fleet/refresh", nil, &raw)
+	return raw, err
+}
+
 // Wait blocks until the rollout is terminal or ctx is done, re-issuing
 // bounded server-side waits (window per round trip) so no single HTTP
 // request outlives the server's long-poll cap. It returns the final

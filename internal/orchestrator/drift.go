@@ -1,0 +1,232 @@
+package orchestrator
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"repro/internal/rollout"
+)
+
+// Live-fleet drift and rollouts. A rollout's plan is built from a
+// clustering of the fleet as it looked when the rollout started; machines
+// keep changing underneath it (package installs, config edits, operator
+// fixes). The fleetwatch monitor classifies each change and the vendor
+// bridges rep-invalidating ones here: NotifyDrift fans a neutral
+// DriftEvent to every live rollout, which journals it as a first-class
+// RecDrift record, folds it into its status snapshot, and applies its
+// DriftPolicy — journal-and-continue, hold at the next stage barrier, or
+// abort and re-stage from the current fleet view.
+
+// DriftAction selects what a rollout does when a cluster's drifted-member
+// count exceeds the policy budget.
+type DriftAction string
+
+const (
+	// DriftJournal (the default) records drift events in the journal and
+	// status but never interferes with the plan.
+	DriftJournal DriftAction = "journal"
+	// DriftHold pauses the rollout at its next stage barrier; ResumeRun
+	// (operator ack) releases it.
+	DriftHold DriftAction = "hold"
+	// DriftRestage aborts the rollout and relaunches it against clusters
+	// rebuilt from the live fleet view (Spec.Restage). The journal of the
+	// aborted attempt ends abandoned; the relaunch runs under a fresh
+	// journal and ID, recorded in Status.RestagedAs.
+	DriftRestage DriftAction = "restage"
+)
+
+// DriftPolicy is a rollout's tolerance for mid-flight fleet drift.
+type DriftPolicy struct {
+	// MaxDriftedPerCluster is the number of rep-invalidating drifted
+	// members a single cluster of deployment tolerates before Action
+	// fires. Zero (the default) means the first drifted member trips it.
+	MaxDriftedPerCluster int
+	// Action is what tripping the budget does; empty means DriftJournal.
+	Action DriftAction
+}
+
+// DriftEvent is the orchestrator's neutral view of one fleet change, as
+// the vendor bridges it from the drift monitor (string fields only, so
+// this package needs no fleetwatch import).
+type DriftEvent struct {
+	// Machine is the member whose profile changed.
+	Machine string
+	// Cluster names the live-fleet cluster the machine left ("" if it was
+	// new to the fleet).
+	Cluster string
+	// To names the cluster it landed in ("" if it left the fleet).
+	To string
+	// Class is the monitor's classification: "migrated" (harmless move)
+	// or "drifted" (rep-invalidating). Stable events are never bridged.
+	Class string
+	// Version is the fleet view version that produced the event.
+	Version uint64
+}
+
+// NotifyDrift fans a drift event to every non-terminal rollout. Each
+// rollout that counts the machine among its members journals and folds
+// the event; the rest ignore it.
+func (o *Orchestrator) NotifyDrift(ev DriftEvent) {
+	for _, h := range o.List() {
+		h.NotifyDrift(ev)
+	}
+}
+
+// NotifyDrift folds one fleet drift event into this rollout: appended to
+// the event log, journaled as a RecDrift record (durable history that
+// survives crash-resume without driving protocol state), counted into the
+// status snapshot, and checked against the spec's DriftPolicy. Events for
+// machines outside the rollout's plan, and non-drift classes, are
+// ignored.
+func (h *Handle) NotifyDrift(ev DriftEvent) {
+	if ev.Class != "migrated" && ev.Class != "drifted" {
+		return
+	}
+	h.mu.Lock()
+	if h.status.State.Terminal() {
+		h.mu.Unlock()
+		return
+	}
+	m := h.status.Members[ev.Machine]
+	if m == nil {
+		h.mu.Unlock()
+		return
+	}
+	reason := ev.Class
+	if ev.To != "" {
+		reason += " to " + ev.To
+	}
+	rec := rollout.Record{
+		Type: rollout.RecDrift, Stage: -1,
+		Node: ev.Machine, Cluster: m.Cluster, Reason: reason,
+	}
+	rec.Seq = len(h.events) + 1
+	h.events = append(h.events, rec)
+	j := h.liveJournal
+	hold, restage := h.applyDriftLocked(ev.Machine, m.Cluster, ev.Class)
+	h.signalLocked()
+	h.mu.Unlock()
+	if j != nil {
+		// The journal serializes appends internally, so this is safe next
+		// to the controller's recorder. A failure (including the journal
+		// closing because the rollout just finished) only costs the
+		// durable copy of an advisory record; the in-memory fold stands.
+		j.Append(rec) //nolint:errcheck
+	}
+	if hold {
+		h.Pause()
+	}
+	if restage {
+		go h.restage()
+	}
+}
+
+// applyDriftLocked counts one drift event and evaluates the policy;
+// callers hold h.mu. Only "drifted" (rep-invalidating) events count
+// toward the per-cluster budget — migrations are recorded but free.
+func (h *Handle) applyDriftLocked(machine, clusterID, class string) (hold, restage bool) {
+	st := &h.status
+	m := st.Members[machine]
+	if class != "drifted" || m == nil || m.Drifted {
+		return false, false
+	}
+	m.Drifted = true
+	st.Drifted++
+	if h.driftByCluster == nil {
+		h.driftByCluster = make(map[string]int)
+	}
+	h.driftByCluster[clusterID]++
+	pol := h.spec.Drift
+	if h.driftByCluster[clusterID] <= pol.MaxDriftedPerCluster {
+		return false, false
+	}
+	switch pol.Action {
+	case DriftHold:
+		if !h.paused && st.DriftHold == "" {
+			st.DriftHold = fmt.Sprintf(
+				"cluster %s: %d drifted member(s) exceed budget %d",
+				clusterID, h.driftByCluster[clusterID], pol.MaxDriftedPerCluster)
+			return true, false
+		}
+	case DriftRestage:
+		if !h.restaging && h.spec.Restage != nil {
+			h.restaging = true
+			return false, true
+		}
+	}
+	return false, false
+}
+
+// foldPriorDriftLocked replays the drift records of a resumed journal
+// into the status snapshot. Prior records restore the counts but never
+// re-fire the policy: the drift that mattered is re-evaluated against the
+// live fleet, not against history (see rollout.RecDrift).
+func (h *Handle) foldPriorDriftLocked(prior []rollout.Record) {
+	for _, r := range prior {
+		if r.Type != rollout.RecDrift {
+			continue
+		}
+		if m := h.status.Members[r.Node]; m != nil && !m.Drifted &&
+			strings.HasPrefix(r.Reason, "drifted") {
+			m.Drifted = true
+			h.status.Drifted++
+			if h.driftByCluster == nil {
+				h.driftByCluster = make(map[string]int)
+			}
+			h.driftByCluster[r.Cluster]++
+		}
+	}
+}
+
+// restage executes the DriftRestage action: abort this rollout (its
+// journal seals abandoned), rebuild the clusters of deployment from the
+// live fleet view via Spec.Restage, and relaunch the same upgrade as a
+// new rollout under a fresh ID and journal. There is deliberately no
+// in-place plan surgery — the journaled plan identity is immutable, so a
+// re-stage is honestly a new rollout, linked from the old status.
+func (h *Handle) restage() {
+	clusters, err := h.spec.Restage()
+	if err != nil {
+		h.mu.Lock()
+		h.restaging = false
+		h.status.Error = fmt.Sprintf("drift restage: %v", err)
+		h.signalLocked()
+		h.mu.Unlock()
+		return
+	}
+	h.Abort()
+	spec := h.spec
+	spec.Clusters = clusters
+	spec.Journal = "" // fresh default journal under the new ID
+	spec.Resume = false
+	next, err := h.orch.Start(context.Background(), spec)
+	h.mu.Lock()
+	if err != nil {
+		h.status.Error = fmt.Sprintf("drift restage: %v", err)
+	} else {
+		h.status.RestagedAs = next.ID()
+	}
+	h.signalLocked()
+	h.mu.Unlock()
+}
+
+// Drifted returns the names of this rollout's members currently counted
+// as drifted, sorted by the order they were reported.
+func (h *Handle) DriftedMembers() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var out []string
+	seen := make(map[string]bool)
+	for _, r := range h.events {
+		if r.Type != rollout.RecDrift || seen[r.Node] ||
+			!strings.HasPrefix(r.Reason, "drifted") {
+			continue
+		}
+		if m := h.status.Members[r.Node]; m != nil && m.Drifted {
+			seen[r.Node] = true
+			out = append(out, r.Node)
+		}
+	}
+	return out
+}

@@ -36,6 +36,11 @@ type StartRequest struct {
 	GateBaseline   float64 `json:"gate_baseline,omitempty"`
 	GateMaxExcess  float64 `json:"gate_max_excess,omitempty"`
 	GateMinSamples int     `json:"gate_min_samples,omitempty"`
+	// Drift policy knobs (see DriftPolicy): DriftMax is the per-cluster
+	// drifted-member budget, DriftAction what tripping it does (journal,
+	// hold, restage; empty means journal).
+	DriftMax    int    `json:"drift_max,omitempty"`
+	DriftAction string `json:"drift_action,omitempty"`
 }
 
 // GatePolicy translates the request's gate knobs into a policy (disabled
@@ -49,6 +54,14 @@ func (r StartRequest) GatePolicy() staging.GatePolicy {
 		BaselineFailureRate: r.GateBaseline,
 		MaxExcessRate:       r.GateMaxExcess,
 		MinSamples:          r.GateMinSamples,
+	}
+}
+
+// DriftPolicy translates the request's drift knobs into a policy.
+func (r StartRequest) DriftPolicy() DriftPolicy {
+	return DriftPolicy{
+		MaxDriftedPerCluster: r.DriftMax,
+		Action:               DriftAction(r.DriftAction),
 	}
 }
 
@@ -85,6 +98,8 @@ type WaitResponse struct {
 //	POST /rollouts/{id}/abort                                → Status
 //	POST /rollouts/{id}/rollback                             → Status
 //	POST /rollouts/{id}/wait?timeout=30s                     → WaitResponse
+//	GET  /fleet/drift                                        → live drift view
+//	POST /fleet/refresh                                      → new fleet view
 //
 // Errors are {"error": "..."} with a 4xx/5xx status.
 type API struct {
@@ -108,6 +123,15 @@ type API struct {
 	// EnablePprof mounts net/http/pprof under /debug/pprof/ — off by
 	// default because the admin mux may be reachable beyond localhost.
 	EnablePprof bool
+	// FleetDrift, when set, serves the live drift monitor's state for
+	// GET /fleet/drift (mirage-vendor wires the fleetwatch monitor's
+	// FleetView here). Nil makes the route a 501 — the orchestrator
+	// itself stays ignorant of how the fleet is watched.
+	FleetDrift func() (any, error)
+	// FleetRefresh, when set, performs a full fleet re-fingerprint into a
+	// fresh fleet view and returns it, for POST /fleet/refresh. Nil makes
+	// the route a 501.
+	FleetRefresh func() (any, error)
 }
 
 func (a *API) retryAfter() string {
@@ -130,6 +154,8 @@ func (a *API) Handler() http.Handler {
 	mux.HandleFunc("POST /rollouts/{id}/abort", a.abort)
 	mux.HandleFunc("POST /rollouts/{id}/rollback", a.rollback)
 	mux.HandleFunc("POST /rollouts/{id}/wait", a.wait)
+	mux.HandleFunc("GET /fleet/drift", a.fleetDrift)
+	mux.HandleFunc("POST /fleet/refresh", a.fleetRefresh)
 	mux.HandleFunc("GET /healthz", a.healthz)
 	mux.HandleFunc("GET /metrics", a.metrics)
 	if a.EnablePprof {
@@ -192,6 +218,12 @@ func (a *API) start(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, errors.New("unknown policy "+strconv.Quote(req.Policy)))
 			return
 		}
+	}
+	switch DriftAction(req.DriftAction) {
+	case "", DriftJournal, DriftHold, DriftRestage:
+	default:
+		writeError(w, http.StatusBadRequest, errors.New("unknown drift action "+strconv.Quote(req.DriftAction)))
+		return
 	}
 	spec, err := a.Launch(req)
 	if err != nil {
@@ -303,6 +335,32 @@ func (a *API) rollback(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, h.Status())
+}
+
+func (a *API) fleetDrift(w http.ResponseWriter, _ *http.Request) {
+	if a.FleetDrift == nil {
+		writeError(w, http.StatusNotImplemented, errors.New("this control plane does not watch its fleet"))
+		return
+	}
+	v, err := a.FleetDrift()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+func (a *API) fleetRefresh(w http.ResponseWriter, _ *http.Request) {
+	if a.FleetRefresh == nil {
+		writeError(w, http.StatusNotImplemented, errors.New("this control plane does not watch its fleet"))
+		return
+	}
+	v, err := a.FleetRefresh()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
 }
 
 func (a *API) wait(w http.ResponseWriter, r *http.Request) {

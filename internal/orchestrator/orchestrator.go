@@ -71,6 +71,14 @@ type Spec struct {
 	// AutoRollback arms journaled automatic rollback to Baseline when the
 	// vendor abandons the upgrade.
 	AutoRollback bool
+	// Drift is the rollout's tolerance for mid-flight fleet drift (zero
+	// value: journal-and-continue with a zero budget — events are
+	// recorded, nothing is held).
+	Drift DriftPolicy
+	// Restage, when set, rebuilds the clusters of deployment from the
+	// live fleet view — consulted by the DriftRestage action (the vendor
+	// wires it to the drift monitor's current FleetView).
+	Restage func() ([]*deploy.Cluster, error)
 }
 
 // ErrSaturated is returned by Start (and mapped to HTTP 429 by the admin
@@ -128,6 +136,9 @@ type MemberStatus struct {
 	Failures    int    `json:"failures,omitempty"`
 	UpgradeID   string `json:"upgrade,omitempty"` // version integrated, "" if none
 	Quarantined bool   `json:"quarantined,omitempty"`
+	// Drifted marks a member whose live profile invalidated its cluster's
+	// representative guarantee mid-rollout (fleetwatch classification).
+	Drifted bool `json:"drifted,omitempty"`
 }
 
 // Status is a point-in-time snapshot of a rollout, built by folding the
@@ -142,18 +153,25 @@ type Status struct {
 	FinalID   string `json:"final,omitempty"`
 	// Stage is the last plan stage that started (-1 before the first);
 	// Stages the total stage count of the plan.
-	Stage       int                      `json:"stage"`
-	Stages      int                      `json:"stages"`
-	GatesPassed int                      `json:"gates_passed"`
-	Rounds      int                      `json:"rounds"`
-	Tested      int                      `json:"tested"`
-	Failures    int                      `json:"failures"`
-	Integrated  int                      `json:"integrated"`
-	Quarantined int                      `json:"quarantined"`
+	Stage       int `json:"stage"`
+	Stages      int `json:"stages"`
+	GatesPassed int `json:"gates_passed"`
+	Rounds      int `json:"rounds"`
+	Tested      int `json:"tested"`
+	Failures    int `json:"failures"`
+	Integrated  int `json:"integrated"`
+	Quarantined int `json:"quarantined"`
 	// RolledBack counts members restored to the baseline; Baseline names
 	// the version a rollback restores (set once rollback starts).
-	RolledBack int                      `json:"rolled_back,omitempty"`
-	Baseline   string                   `json:"baseline,omitempty"`
+	RolledBack int    `json:"rolled_back,omitempty"`
+	Baseline   string `json:"baseline,omitempty"`
+	// Drifted counts members whose live profile invalidated their
+	// cluster's representative mid-rollout; DriftHold explains a pause
+	// the drift policy forced (cleared by ResumeRun — the operator ack);
+	// RestagedAs names the rollout a DriftRestage relaunched this one as.
+	Drifted    int                      `json:"drifted,omitempty"`
+	DriftHold  string                   `json:"drift_hold,omitempty"`
+	RestagedAs string                   `json:"restaged_as,omitempty"`
 	Members    map[string]*MemberStatus `json:"members,omitempty"`
 	// Transfer is the wire-traffic delta the rollout caused (set on
 	// terminal snapshots when the controller has a Transfer source): total
@@ -436,8 +454,16 @@ type Handle struct {
 	paused      bool
 	unpause     chan struct{} // closed on ResumeRun
 	rollingBack bool          // a manual Rollback is in flight
-	out         *deploy.Outcome
-	err         error
+	// liveJournal is the rollout's open journal while Engine.Deploy runs
+	// (installed by the engine's OnOpen hook, cleared when Deploy
+	// returns): where NotifyDrift appends RecDrift records.
+	liveJournal *rollout.Journal
+	// driftByCluster counts drifted members per cluster of deployment —
+	// the quantity DriftPolicy.MaxDriftedPerCluster bounds.
+	driftByCluster map[string]int
+	restaging      bool // a DriftRestage is in flight
+	out            *deploy.Outcome
+	err            error
 }
 
 // ID identifies the rollout within its orchestrator.
@@ -502,8 +528,21 @@ func (h *Handle) run(ctx context.Context, ctl *deploy.Controller, spec Spec, jou
 			Baseline:     spec.Baseline,
 			AutoRollback: spec.AutoRollback,
 			Telemetry:    reg,
+			// Capture the live journal for drift records, and fold the
+			// drift history of a resumed journal back into the status
+			// snapshot (counts only — the policy re-fires from live
+			// events, not replayed ones).
+			OnOpen: func(j *rollout.Journal, prior []rollout.Record) {
+				h.mu.Lock()
+				h.liveJournal = j
+				h.foldPriorDriftLocked(prior)
+				h.mu.Unlock()
+			},
 		}
 		out, err = eng.Deploy(ctx, spec.Policy, spec.Upgrade, spec.Clusters)
+		h.mu.Lock()
+		h.liveJournal = nil
+		h.mu.Unlock()
 	} else {
 		ctl.Observer = h
 		out, err = ctl.Deploy(ctx, spec.Policy, spec.Upgrade, spec.Clusters)
@@ -619,6 +658,9 @@ func (h *Handle) ResumeRun() {
 	}
 	h.paused = false
 	close(h.unpause)
+	// Resuming is the operator's ack of a drift hold: the budget keeps
+	// counting, but this particular hold is answered.
+	h.status.DriftHold = ""
 	if !h.status.State.Terminal() {
 		h.status.State = StateRunning
 		h.signalLocked()

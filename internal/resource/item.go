@@ -97,6 +97,13 @@ func (s *Set) Add(it Item) {
 	s.items[it.ID()] = it
 }
 
+// Remove deletes an item by identity; removing an absent item is a no-op.
+func (s *Set) Remove(it Item) {
+	if s != nil && s.items != nil {
+		delete(s.items, it.ID())
+	}
+}
+
 // AddAll inserts every item of other.
 func (s *Set) AddAll(other *Set) {
 	for _, it := range other.items {

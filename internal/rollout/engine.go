@@ -52,6 +52,14 @@ type Engine struct {
 	// group-commit batch sizes land in the operational histograms (nil is
 	// a no-op; the controller carries its own Telemetry field).
 	Telemetry *telemetry.Registry
+	// OnOpen, when set, receives the live journal right before the
+	// deployment starts — on resume together with the replayed records,
+	// on a fresh run with nil. It is how the orchestrator appends
+	// first-class records of its own (drift events) concurrently with the
+	// controller's recorder: Journal serializes appends internally, and
+	// replay skips record types it does not drive protocol state from.
+	// The journal is only valid until Deploy returns.
+	OnOpen func(j *Journal, prior []Record)
 }
 
 // teeObserver journals each event first and forwards it to the secondary
@@ -92,6 +100,7 @@ func (e *Engine) Deploy(ctx context.Context, policy deploy.Policy, up *pkgmgr.Up
 	plan := ctl.PlanFor(policy, clusters)
 
 	var j *Journal
+	var prior []Record
 	if e.Resume {
 		journal, records, err := Open(e.Path)
 		if err != nil {
@@ -133,6 +142,7 @@ func (e *Engine) Deploy(ctx context.Context, policy deploy.Policy, up *pkgmgr.Up
 			}
 		}
 		j = journal
+		prior = records
 		ctl.Cursor = cursor
 	} else {
 		journal, err := Create(e.Path)
@@ -147,6 +157,9 @@ func (e *Engine) Deploy(ctx context.Context, policy deploy.Policy, up *pkgmgr.Up
 		j = journal
 	}
 	defer j.Close()
+	if e.OnOpen != nil {
+		e.OnOpen(j, prior)
+	}
 	ctl.Observer = &teeObserver{journal: &Recorder{J: j, Group: true}, extra: e.Observer}
 	defer func() { ctl.Observer, ctl.Cursor = nil, nil }()
 

@@ -57,6 +57,13 @@ const (
 	RecAbandoned = "abandoned"
 	// RecComplete seals a journal whose rollout finished.
 	RecComplete = "complete"
+	// RecDrift records a live-fleet drift event folded mid-rollout: Node
+	// is the machine, Cluster the cluster it left, Reason the
+	// classification ("migrated", "drifted") plus destination. Drift
+	// records are history, not protocol state: replay counts them into
+	// the resumed rollout's drift totals but they gate nothing by
+	// themselves — the drift policy re-evaluates against the live fleet.
+	RecDrift = "drift"
 
 	// Rollback records follow an abandoned record when the fleet is driven
 	// back to the baseline. All four are boundary records — each is fsynced

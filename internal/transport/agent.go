@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -60,6 +61,14 @@ type Agent struct {
 	// vendorRefs caches the vendor-sent resource references per app.
 	vendorRefs map[string][]string
 
+	// watchMu guards watch, which caches per-app everything needed to
+	// re-fingerprint offline (registry config, refs, vendor reference
+	// items) plus the last vendor-acknowledged diff. handleFingerprint
+	// fills it on the control-channel goroutine; the Watch loop reads it
+	// from its own.
+	watchMu sync.Mutex
+	watch   map[string]*watchState
+
 	peerLn                          net.Listener
 	peerReqs, peerChunks, peerBytes atomic.Int64
 }
@@ -74,6 +83,7 @@ func NewAgent(m *machine.Machine) *Agent {
 		SeedCache:  true,
 		local:      make(map[string][]string),
 		vendorRefs: make(map[string][]string),
+		watch:      make(map[string]*watchState),
 	}
 }
 
@@ -371,6 +381,18 @@ func (a *Agent) handleFingerprint(raw json.RawMessage) Frame {
 	refs := mergeRefs(req.Refs, a.local[req.App])
 	own := parser.NewFingerprinter(reg).Fingerprint(a.M, refs)
 	diff := own.Diff(ItemsFromWire(req.VendorItems))
+	// Cache what watch mode needs to re-fingerprint offline. The reply
+	// below hands the vendor this very diff, so it is the acknowledged
+	// baseline future deltas are computed against.
+	a.watchMu.Lock()
+	a.watch[req.App] = &watchState{
+		registry:    req.Registry,
+		refs:        req.Refs,
+		vendorItems: req.VendorItems,
+		lastDiff:    diff,
+		lastSig:     diff.Signature(),
+	}
+	a.watchMu.Unlock()
 	return Frame{Diff: ItemsToWire(diff), AppSet: a.M.AppSetKey(), OK: true}
 }
 

@@ -392,6 +392,14 @@ type Server struct {
 	// production servers leave it nil.
 	Faults *FaultInjector
 
+	// OnProfileDelta, when set, receives watch-mode agents' OpProfileDelta
+	// pushes. Returning resync=true asks the agent to re-send its complete
+	// profile (Status "resync"); an error refuses the push. Unset, the
+	// server refuses deltas — drift detection is opt-in vendor wiring
+	// (mirage-vendor bridges this to a fleetwatch.Monitor). Set it before
+	// serving starts.
+	OnProfileDelta func(req *ProfileDeltaReq) (resync bool, err error)
+
 	// Telemetry, when set, receives per-op RPC latency and frame-byte
 	// histograms plus injected-delay accounting (nil is a no-op). RPC
 	// spans additionally land in whatever rollout trace rides the call's
@@ -734,7 +742,36 @@ func (s *Server) register(conn net.Conn) {
 		return
 	}
 	var hello Frame
-	if err := fc.ReadFrame(&hello); err != nil || hello.Op != OpRegister || hello.Register == nil {
+	if err := fc.ReadFrame(&hello); err != nil {
+		unpend()
+		conn.Close()
+		return
+	}
+	if hello.Op == OpProfileDelta && hello.Delta != nil {
+		// A watch-mode agent's short-lived delta push: handle, answer one
+		// frame, and close — it never becomes a control channel.
+		resp := Frame{ID: hello.ID}
+		if h := s.OnProfileDelta; h == nil {
+			resp.Err = "vendor accepts no profile deltas"
+		} else if resync, err := h(hello.Delta); err != nil {
+			resp.Err = err.Error()
+		} else {
+			resp.OK = true
+			if resync {
+				resp.Status = StatusResync
+			}
+		}
+		bw := bufio.NewWriter(conn)
+		fc.bw = bw
+		conn.SetWriteDeadline(time.Now().Add(10 * time.Second))
+		if err := fc.WriteFrame(resp); err == nil {
+			bw.Flush()
+		}
+		unpend()
+		conn.Close()
+		return
+	}
+	if hello.Op != OpRegister || hello.Register == nil {
 		unpend()
 		conn.Close()
 		return

@@ -34,14 +34,15 @@ type Frame struct {
 	// — the vendor item list and registry — is identical for every agent
 	// of a profiling fan-out: the server serializes it once per collection
 	// and reuses the bytes across the fleet.
-	Register    *RegisterReq    `json:"register,omitempty"`
-	Identify    *IdentifyReq    `json:"identify,omitempty"`
-	Record      *RecordReq      `json:"record,omitempty"`
-	Fingerprint json.RawMessage `json:"fingerprint,omitempty"`
-	Test        *TestReq        `json:"test,omitempty"`
-	Integrate   *IntegrateReq   `json:"integrate,omitempty"`
-	FetchChunks *FetchChunksReq `json:"fetch_chunks,omitempty"`
-	PeerFetch   *PeerFetchReq   `json:"peer_fetch,omitempty"`
+	Register    *RegisterReq     `json:"register,omitempty"`
+	Identify    *IdentifyReq     `json:"identify,omitempty"`
+	Record      *RecordReq       `json:"record,omitempty"`
+	Fingerprint json.RawMessage  `json:"fingerprint,omitempty"`
+	Test        *TestReq         `json:"test,omitempty"`
+	Integrate   *IntegrateReq    `json:"integrate,omitempty"`
+	FetchChunks *FetchChunksReq  `json:"fetch_chunks,omitempty"`
+	PeerFetch   *PeerFetchReq    `json:"peer_fetch,omitempty"`
+	Delta       *ProfileDeltaReq `json:"delta,omitempty"`
 
 	// ChunkMeta announces a binary chunk body: immediately after this
 	// frame's newline follow the raw bytes of each listed chunk, in
@@ -103,10 +104,22 @@ const (
 	// the transfer self-verifying, so a peer needs no trust beyond the
 	// digest check every fetched chunk already passes.
 	OpPeerGet = "peer_get"
+	// OpProfileDelta is a watch-mode agent's push of a profile change: the
+	// items added to / removed from its diff-against-vendor since the last
+	// acknowledged profile, sent on a short-lived agent-initiated
+	// connection (like OpPeerGet, not over the control channel — drift
+	// detection must not contend with an in-flight rollout RPC). The
+	// vendor replies OK, or Status "resync" when it cannot fold the delta,
+	// upon which the agent re-sends its full profile with Full set.
+	OpProfileDelta = "profile_delta"
 )
 
-// RegisterReq is the only agent-initiated message: it announces the
-// machine to the vendor.
+// StatusResync is the vendor's reply status asking a delta-pushing agent
+// to re-send its complete profile.
+const StatusResync = "resync"
+
+// RegisterReq announces the machine to the vendor. It and OpProfileDelta
+// are the only agent-initiated messages.
 type RegisterReq struct {
 	Machine string `json:"machine"`
 	// Peer, when non-empty, advertises the address of the agent's peer
@@ -186,6 +199,25 @@ type PeerResult struct {
 	// Failed lists peers dropped mid-fetch: dead, unreachable, or
 	// serving bytes whose digest did not match the requested address.
 	Failed []string `json:"failed,omitempty"`
+}
+
+// ProfileDeltaReq is one watch-mode profile push. Added and Removed are
+// the items that entered/left the machine's diff-against-vendor since its
+// last acknowledged profile — for content resources these are CDC chunk
+// digests, so an edited config file costs a handful of items, and an
+// unchanged machine sends nothing at all. Sig is the signature of the
+// complete post-change diff set; the vendor verifies it after folding and
+// answers Status "resync" on mismatch. Full marks a complete profile
+// (first contact or resync answer): Added is the whole diff, Removed is
+// ignored.
+type ProfileDeltaReq struct {
+	Machine string     `json:"machine"`
+	App     string     `json:"app"`
+	AppSet  string     `json:"appset"`
+	Sig     uint64     `json:"sig"`
+	Added   []WireItem `json:"added,omitempty"`
+	Removed []WireItem `json:"removed,omitempty"`
+	Full    bool       `json:"full,omitempty"`
 }
 
 // WireItem is a serialized resource item.
